@@ -1,0 +1,86 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// chapter (one benchmark per experiment id; see DESIGN.md §3 for the
+// index). Each benchmark reruns the experiment b.N times at CI scale and
+// reports the headline series as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full pipeline and prints machine-readable rows. Use
+// cmd/joinsim for the formatted tables and for thesis-scale runs.
+package cqjoin_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cqjoin/internal/exp"
+)
+
+// benchScale keeps every experiment under a few hundred milliseconds so
+// the full -bench=. sweep stays laptop-friendly.
+func benchScale() exp.Scale {
+	return exp.Scale{Nodes: 192, Queries: 250, Tuples: 250, Seed: 1}
+}
+
+// runExperiment wraps one experiment as a benchmark and reports the value
+// of the chosen numeric column of the chosen row as a custom metric.
+func runExperiment(b *testing.B, id string, metricRow, metricCol int, metricName string) {
+	b.Helper()
+	e, err := exp.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *exp.Table
+	for i := 0; i < b.N; i++ {
+		tab = e.Run(benchScale())
+	}
+	if tab == nil || len(tab.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	if metricRow < len(tab.Rows) && metricCol < len(tab.Rows[metricRow]) {
+		cell := strings.TrimSuffix(tab.Rows[metricRow][metricCol], "%")
+		if v, err := strconv.ParseFloat(cell, 64); err == nil {
+			b.ReportMetric(v, metricName)
+		}
+	}
+}
+
+func BenchmarkTable41(b *testing.B)          { runExperiment(b, "T4.1", 0, 7, "SAI-join-msgs") }
+func BenchmarkFig48Multisend(b *testing.B)   { runExperiment(b, "F4.8", 4, 4, "iter/rec-ratio-k256") }
+func BenchmarkFig52TrafficJFRT(b *testing.B) { runExperiment(b, "F5.2", 0, 2, "SAI-hops/tuple") }
+func BenchmarkFig53QuerySweep(b *testing.B)  { runExperiment(b, "F5.3", 0, 2, "SAI-hops/tuple-minQ") }
+func BenchmarkFig54Strategies(b *testing.B)  { runExperiment(b, "F5.4", 1, 1, "minrate-hops/tuple") }
+func BenchmarkFig55BosRatio(b *testing.B)    { runExperiment(b, "F5.5", 4, 2, "minrate-hops-bos16") }
+func BenchmarkFig56ReplFilter(b *testing.B)  { runExperiment(b, "F5.6", 3, 3, "k8-max-TF") }
+func BenchmarkFig57ReplStorage(b *testing.B) { runExperiment(b, "F5.7", 3, 1, "k8-total-TS") }
+func BenchmarkFig58WindowFilter(b *testing.B) {
+	runExperiment(b, "F5.8", 0, 2, "evalTF-smallW-smallQ")
+}
+func BenchmarkFig59WindowStorage(b *testing.B) {
+	runExperiment(b, "F5.9", 0, 2, "evalTS-smallW-smallQ")
+}
+func BenchmarkFig510LoadAllAlgos(b *testing.B) { runExperiment(b, "F5.10", 0, 3, "SAI-TF-gini") }
+func BenchmarkFig511TwoLevel(b *testing.B)     { runExperiment(b, "F5.11", 2, 2, "DAIT-eval-TF") }
+func BenchmarkFig512TupleFreq(b *testing.B)    { runExperiment(b, "F5.12", 0, 3, "SAI-mean-TF") }
+func BenchmarkFig513QueryLoad(b *testing.B)    { runExperiment(b, "F5.13", 0, 3, "SAI-mean-TF") }
+func BenchmarkFig514NetSize(b *testing.B)      { runExperiment(b, "F5.14", 0, 3, "SAI-mean-smallN") }
+func BenchmarkFig515NetSizeTop(b *testing.B)   { runExperiment(b, "F5.15", 0, 3, "SAI-top1-smallN") }
+func BenchmarkFig516DAIV(b *testing.B)         { runExperiment(b, "F5.16", 0, 3, "mean-TF-smallN") }
+func BenchmarkX45DAIVKeyed(b *testing.B)       { runExperiment(b, "X4.5", 2, 3, "keyed/grouped-factor") }
+func BenchmarkX71MultiWay(b *testing.B)        { runExperiment(b, "X7.1", 1, 1, "hops/tuple-k3") }
+
+// Micro-benchmarks of the substrate operations the experiments lean on.
+
+func BenchmarkSubstrateLookup(b *testing.B) {
+	sc := benchScale()
+	tab := exp.Fig48(exp.Scale{Nodes: sc.Nodes, Seed: sc.Seed})
+	if len(tab.Rows) == 0 {
+		b.Fatal("no rows")
+	}
+	// Fig48 at k=1 measures single-lookup cost; reuse it as the metric.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig48(exp.Scale{Nodes: sc.Nodes, Seed: int64(i + 1)})
+	}
+}

@@ -1,0 +1,103 @@
+// Command joinsim regenerates the paper's tables and figures from the
+// simulator, printing the same rows/series the thesis reports.
+//
+// Usage:
+//
+//	joinsim -list
+//	joinsim -exp F5.2                 # one experiment at CI scale
+//	joinsim -exp all -scale paper     # the full evaluation at thesis scale
+//	joinsim -exp F5.10 -nodes 4096 -queries 20000 -tuples 5000
+//
+// CI scale (the default) finishes in seconds per experiment; paper scale
+// reproduces the thesis set-up (10^4 nodes, 10^5 queries) and takes
+// minutes per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cqjoin/internal/exp"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id (e.g. F5.2, T4.1) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.String("scale", "ci", "scale preset: ci or paper")
+		nodes   = flag.Int("nodes", 0, "override: overlay size")
+		queries = flag.Int("queries", 0, "override: indexed queries")
+		tuples  = flag.Int("tuples", 0, "override: inserted tuples")
+		seed    = flag.Int64("seed", 0, "override: random seed")
+		format  = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "joinsim: -exp <id> or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sc := exp.CI()
+	if *scale == "paper" {
+		sc = exp.Paper()
+	} else if *scale != "ci" {
+		fmt.Fprintf(os.Stderr, "joinsim: unknown scale %q (want ci or paper)\n", *scale)
+		os.Exit(2)
+	}
+	if *nodes > 0 {
+		sc.Nodes = *nodes
+	}
+	if *queries > 0 {
+		sc.Queries = *queries
+	}
+	if *tuples > 0 {
+		sc.Tuples = *tuples
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	var todo []exp.Experiment
+	if *expID == "all" {
+		todo = exp.All()
+	} else {
+		e, err := exp.Lookup(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinsim:", err)
+			os.Exit(2)
+		}
+		todo = []exp.Experiment{e}
+	}
+
+	if *format == "table" {
+		fmt.Printf("scale: nodes=%d queries=%d tuples=%d seed=%d\n\n", sc.Nodes, sc.Queries, sc.Tuples, sc.Seed)
+	}
+	for _, e := range todo {
+		start := time.Now()
+		tab := e.Run(sc)
+		switch *format {
+		case "csv":
+			if err := tab.PrintCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "joinsim:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		case "table":
+			tab.Print(os.Stdout)
+			fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+		default:
+			fmt.Fprintf(os.Stderr, "joinsim: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package cqjoin is a library for continuous two-way equi-join query
+// processing over large structured overlay networks, reproducing
+// Idreos/Tryfonopoulos/Koubarakis, "Distributed Evaluation of Continuous
+// Equi-join Queries over Large Structured Overlay Networks" (ICDE 2006).
+//
+// A Cluster simulates a Chord overlay of cooperating peers. Every peer can
+// insert relational tuples (Publish) and pose continuous SQL join queries
+// (Subscribe); the network's nodes collaborate through two-level
+// distributed indexing to deliver a notification to the subscriber whenever
+// a newly inserted pair of tuples satisfies a query:
+//
+//	catalog := cqjoin.MustCatalog(
+//		cqjoin.MustSchema("Document", "Id", "Title", "Conference", "AuthorId"),
+//		cqjoin.MustSchema("Authors", "Id", "Name", "Surname"),
+//	)
+//	cluster, _ := cqjoin.NewCluster(cqjoin.Config{Nodes: 128, Catalog: catalog})
+//	alice := cluster.Node(0)
+//	alice.Subscribe(`SELECT D.Title, D.Conference
+//	                 FROM Document AS D, Authors AS A
+//	                 WHERE D.AuthorId = A.Id AND A.Surname = 'Smith'`)
+//	cluster.OnNotify(func(n cqjoin.Notification) { fmt.Println(n) })
+//	bob := cluster.Node(1)
+//	bob.Publish("Authors", 17, "John", "Smith")
+//	bob.Publish("Document", 1, "P2P Joins", "ICDE", 17)
+//
+// Four algorithms are available — SAI, DAIQ, DAIT and DAIV — plus the naive
+// baselines the paper argues against; the Join Fingers Routing Table,
+// attribute-level replication and index-attribute strategies are switchable
+// through Config. See DESIGN.md for the full map from the paper to this
+// implementation.
+package cqjoin
+
+import (
+	"fmt"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/engine"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+// Re-exported data-model types. Internal packages are not importable by
+// library users; these aliases are the public names.
+type (
+	// Schema describes a relation: name plus ordered attributes.
+	Schema = relation.Schema
+	// Catalog is the set of co-existing schemas a cluster serves.
+	Catalog = relation.Catalog
+	// Tuple is one row of a relation with its publication time.
+	Tuple = relation.Tuple
+	// Value is a string or numeric attribute value.
+	Value = relation.Value
+	// ValueKind is the runtime type of a Value.
+	ValueKind = relation.Kind
+	// Query is a parsed continuous two-way equi-join query.
+	Query = query.Query
+	// MultiQuery is a parsed continuous multi-way chain equi-join query
+	// (the Chapter 7 extension).
+	MultiQuery = query.MultiQuery
+	// Notification is a query answer delivered to a subscriber.
+	Notification = engine.Notification
+	// Algorithm selects the query-processing protocol.
+	Algorithm = engine.Algorithm
+	// Strategy selects SAI's index attribute (random, min-rate, min-domain).
+	Strategy = engine.Strategy
+	// Traffic is the overlay-hop and message ledger.
+	Traffic = metrics.Traffic
+	// Distribution summarizes how load spreads across nodes.
+	Distribution = metrics.Distribution
+)
+
+// The available algorithms (Chapter 4).
+const (
+	SAI  = engine.SAI
+	DAIQ = engine.DAIQ
+	DAIT = engine.DAIT
+	DAIV = engine.DAIV
+	// BaselineRelation, BaselineAttribute and BaselinePair are the naive
+	// single-level schemes of Section 4.1, provided for comparison.
+	BaselineRelation  = engine.BaselineRelation
+	BaselineAttribute = engine.BaselineAttribute
+	BaselinePair      = engine.BaselinePair
+)
+
+// The value kinds.
+const (
+	StringKind = relation.String
+	NumberKind = relation.Number
+)
+
+// The index-attribute strategies for SAI (Section 4.3.6).
+const (
+	StrategyRandom    = engine.StrategyRandom
+	StrategyMinRate   = engine.StrategyMinRate
+	StrategyMinDomain = engine.StrategyMinDomain
+	StrategyLeft      = engine.StrategyLeft
+)
+
+// Data-model constructors, re-exported.
+var (
+	// S builds a string Value.
+	S = relation.S
+	// N builds a numeric Value.
+	N = relation.N
+	// NewSchema and MustSchema build relation schemas.
+	NewSchema  = relation.NewSchema
+	MustSchema = relation.MustSchema
+	// NewCatalog and MustCatalog build schema catalogs.
+	NewCatalog  = relation.NewCatalog
+	MustCatalog = relation.MustCatalog
+	// NewTuple and MustTuple build tuples.
+	NewTuple  = relation.NewTuple
+	MustTuple = relation.MustTuple
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Nodes is the initial overlay size. Must be at least 1.
+	Nodes int
+	// Catalog declares the relations tuples and queries may reference.
+	Catalog *Catalog
+	// Algorithm selects the protocol; the zero value is SAI.
+	Algorithm Algorithm
+	// Strategy selects SAI's index-attribute choice; zero is random.
+	Strategy Strategy
+	// UseJFRT enables the Join Fingers Routing Table (Section 4.7.1).
+	UseJFRT bool
+	// ReplicationFactor spreads each rewriter over k replica nodes
+	// (Section 4.7.2); values < 2 disable replication.
+	ReplicationFactor int
+	// Window is the sliding window in logical time units; 0 keeps stored
+	// tuples forever.
+	Window int64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Cluster is a simulated overlay network running the continuous-join
+// engine. All methods are safe for concurrent use.
+type Cluster struct {
+	net     *chord.Network
+	eng     *engine.Engine
+	catalog *Catalog
+}
+
+// NewCluster builds an overlay of cfg.Nodes peers with exact routing state
+// and attaches the query-processing engine to every node.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cqjoin: cluster needs at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("cqjoin: cluster needs a catalog")
+	}
+	net := chord.New(chord.Config{})
+	net.AddNodes("peer", cfg.Nodes)
+	eng := engine.New(net, cfg.Catalog, engine.Config{
+		Algorithm:         cfg.Algorithm,
+		Strategy:          cfg.Strategy,
+		UseJFRT:           cfg.UseJFRT,
+		ReplicationFactor: cfg.ReplicationFactor,
+		Window:            cfg.Window,
+		Seed:              cfg.Seed,
+	})
+	return &Cluster{net: net, eng: eng, catalog: cfg.Catalog}, nil
+}
+
+// Size returns the number of alive peers.
+func (c *Cluster) Size() int { return c.net.Size() }
+
+// Node returns peer i (in ring order, modulo the overlay size).
+func (c *Cluster) Node(i int) *Node {
+	nodes := c.net.Nodes()
+	return &Node{c: c, n: nodes[((i%len(nodes))+len(nodes))%len(nodes)]}
+}
+
+// NodeByKey returns the alive peer with the given key, or nil.
+func (c *Cluster) NodeByKey(key string) *Node {
+	n := c.net.NodeByKey(key)
+	if n == nil {
+		return nil
+	}
+	return &Node{c: c, n: n}
+}
+
+// Join adds a peer with the given key; ring state and stored items are
+// handed off exactly as Chord prescribes, including any notifications
+// stored while this key was offline.
+func (c *Cluster) Join(key string) (*Node, error) {
+	n, err := c.net.Join(key)
+	if err != nil {
+		return nil, err
+	}
+	c.eng.Attach(n)
+	return &Node{c: c, n: n}, nil
+}
+
+// OnNotify installs a callback invoked for every delivered notification.
+func (c *Cluster) OnNotify(fn func(Notification)) { c.eng.OnNotify(fn) }
+
+// Notifications returns every notification delivered so far.
+func (c *Cluster) Notifications() []Notification { return c.eng.Notifications() }
+
+// Traffic exposes the overlay-hop ledger for measurement.
+func (c *Cluster) Traffic() *Traffic { return c.net.Traffic() }
+
+// FilteringLoad summarizes the per-node filtering load (TF) distribution.
+func (c *Cluster) FilteringLoad() Distribution {
+	return metrics.SummarizeInt(c.eng.FilteringLoads())
+}
+
+// StorageLoad summarizes the per-node storage load (TS) distribution.
+func (c *Cluster) StorageLoad() Distribution {
+	return metrics.SummarizeInt(c.eng.StorageLoads())
+}
+
+// EvictExpired applies the sliding window, dropping stored tuples that
+// have fallen out of it.
+func (c *Cluster) EvictExpired() { c.eng.EvictExpired() }
+
+// Node is one peer of the cluster.
+type Node struct {
+	c *Cluster
+	n *chord.Node
+}
+
+// Key returns the peer's unique key.
+func (p *Node) Key() string { return p.n.Key() }
+
+// Alive reports whether the peer is still part of the overlay.
+func (p *Node) Alive() bool { return p.n.Alive() }
+
+// Leave disconnects the peer voluntarily; its stored items (including
+// notifications held for offline subscribers) move to its successor.
+func (p *Node) Leave() { p.c.net.Leave(p.n) }
+
+// Fail crashes the peer abruptly, losing its stored items.
+func (p *Node) Fail() { p.c.net.Fail(p.n) }
+
+// Subscribe parses and indexes a continuous query posed by this peer. The
+// returned query carries its unique key; notifications for it reference
+// that key.
+func (p *Node) Subscribe(sql string) (*Query, error) {
+	q, err := query.Parse(p.c.catalog, sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.c.eng.Subscribe(p.n, q)
+}
+
+// SubscribeMulti parses and indexes a continuous multi-way chain join
+// (k >= 2 relations joined along a chain of equalities). The cluster must
+// run an algorithm that stores tuples at the value level (SAI or DAIQ).
+func (p *Node) SubscribeMulti(sql string) (*MultiQuery, error) {
+	mq, err := query.ParseMulti(p.c.catalog, sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.c.eng.SubscribeMulti(p.n, mq)
+}
+
+// Unsubscribe retracts a continuous query previously returned by this
+// peer's Subscribe: the query is removed from its rewriters and its stored
+// rewrites are purged from the evaluators, so future tuples no longer
+// trigger it.
+func (p *Node) Unsubscribe(q *Query) error {
+	return p.c.eng.Unsubscribe(p.n, q)
+}
+
+// Publish inserts a tuple given as Go values (string or numeric); see
+// PublishTuple for pre-built tuples. The stamped tuple is returned.
+func (p *Node) Publish(rel string, values ...interface{}) (*Tuple, error) {
+	schema := p.c.catalog.Lookup(rel)
+	if schema == nil {
+		return nil, fmt.Errorf("cqjoin: unknown relation %s", rel)
+	}
+	vals := make([]Value, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			vals[i] = S(x)
+		case float64:
+			vals[i] = N(x)
+		case float32:
+			vals[i] = N(float64(x))
+		case int:
+			vals[i] = N(float64(x))
+		case int32:
+			vals[i] = N(float64(x))
+		case int64:
+			vals[i] = N(float64(x))
+		case Value:
+			vals[i] = x
+		default:
+			return nil, fmt.Errorf("cqjoin: unsupported value type %T for %s", v, rel)
+		}
+	}
+	t, err := relation.NewTuple(schema, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return p.c.eng.Publish(p.n, t)
+}
+
+// PublishTuple inserts a pre-built tuple.
+func (p *Node) PublishTuple(t *Tuple) (*Tuple, error) {
+	return p.c.eng.Publish(p.n, t)
+}

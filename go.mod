@@ -1,0 +1,3 @@
+module cqjoin
+
+go 1.22

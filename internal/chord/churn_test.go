@@ -1,0 +1,136 @@
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cqjoin/internal/id"
+)
+
+// Property: after ANY sequence of joins, voluntary leaves and crashes, the
+// ring invariants hold — sorted membership, exact successor/predecessor
+// chains (after the repairs the operations themselves perform), and
+// routing that agrees with the oracle from every node for random keys.
+func TestChurnSequencesPreserveInvariants(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			net := New(Config{})
+			net.AddNodes("base", 24)
+			joined := 0
+			for op := 0; op < 120; op++ {
+				switch rng.Intn(3) {
+				case 0:
+					joined++
+					if _, err := net.Join(fmt.Sprintf("churn-%d-%d", seed, joined)); err != nil {
+						t.Fatalf("join: %v", err)
+					}
+				case 1:
+					if net.Size() > 4 {
+						nodes := net.Nodes()
+						net.Leave(nodes[rng.Intn(len(nodes))])
+					}
+				case 2:
+					if net.Size() > 4 {
+						nodes := net.Nodes()
+						net.Fail(nodes[rng.Intn(len(nodes))])
+						// A crash leaves stale fingers; the maintenance
+						// protocol (or oracle repair) restores them.
+						net.RepairAll()
+					}
+				}
+				// Spot-check invariants every few operations.
+				if op%17 != 0 {
+					continue
+				}
+				assertRingExact(t, net)
+			}
+			assertRingExact(t, net)
+			assertRoutingMatchesOracle(t, net, rng, 100)
+		})
+	}
+}
+
+func assertRingExact(t *testing.T, net *Network) {
+	t.Helper()
+	nodes := net.Nodes()
+	for i, n := range nodes {
+		if got, want := n.Successor(), nodes[(i+1)%len(nodes)]; got != want {
+			t.Fatalf("successor of %s = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func assertRoutingMatchesOracle(t *testing.T, net *Network, rng *rand.Rand, samples int) {
+	t.Helper()
+	nodes := net.Nodes()
+	for i := 0; i < samples; i++ {
+		var k id.ID
+		rng.Read(k[:])
+		src := nodes[rng.Intn(len(nodes))]
+		got, _, err := src.route(k)
+		if err != nil {
+			t.Fatalf("route: %v", err)
+		}
+		if want := net.OracleSuccessor(k); got != want {
+			t.Fatalf("route(%s) = %s, want %s", k.Short(), got, want)
+		}
+	}
+}
+
+// Keys must always have exactly one owner, across churn.
+func TestOwnershipPartitionUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	net := New(Config{})
+	net.AddNodes("p", 20)
+	for op := 0; op < 40; op++ {
+		if rng.Intn(2) == 0 {
+			_, _ = net.Join(fmt.Sprintf("extra-%d", op))
+		} else if net.Size() > 4 {
+			nodes := net.Nodes()
+			net.Leave(nodes[rng.Intn(len(nodes))])
+		}
+		var k id.ID
+		rng.Read(k[:])
+		owners := 0
+		for _, n := range net.Nodes() {
+			if n.OwnsKey(k) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("op %d: key %s has %d owners", op, k.Short(), owners)
+		}
+	}
+}
+
+// The network must survive losing a large fraction of nodes at once when
+// successor lists are long enough.
+func TestMassFailure(t *testing.T) {
+	net := New(Config{SuccessorListLen: 16})
+	net.AddNodes("m", 128)
+	rng := rand.New(rand.NewSource(5))
+	// Crash 40% of the nodes without any repair in between.
+	for i := 0; i < 51; i++ {
+		nodes := net.Nodes()
+		net.Fail(nodes[rng.Intn(len(nodes))])
+	}
+	assertRoutingMatchesOracle(t, net, rng, 200)
+}
+
+func TestStabilizationHealsWithoutOracle(t *testing.T) {
+	// Kill nodes, then rely purely on the periodic protocol — no
+	// RepairAll — to restore exact pointers.
+	net := New(Config{SuccessorListLen: 8})
+	net.AddNodes("s", 40)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 6; i++ {
+		nodes := net.Nodes()
+		net.Fail(nodes[rng.Intn(len(nodes))])
+	}
+	net.StabilizeAll(3)
+	assertRingExact(t, net)
+	assertRoutingMatchesOracle(t, net, rng, 100)
+}

@@ -1,0 +1,107 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqjoin/internal/id"
+)
+
+func TestJoinAtExplicitPosition(t *testing.T) {
+	net := buildNet(t, 32)
+	target := id.Hash("R+hotattr")
+	n, err := net.JoinAt("helper", target)
+	if err != nil {
+		t.Fatalf("JoinAt: %v", err)
+	}
+	if n.ID() != target {
+		t.Fatalf("joined at %s, want %s", n.ID().Short(), target.Short())
+	}
+	// The helper now owns the hot identifier.
+	if got := net.OracleSuccessor(target); got != n {
+		t.Fatalf("owner of target = %s, want helper", got)
+	}
+	if !n.OwnsKey(target) {
+		t.Fatal("helper does not own the target key")
+	}
+	// Routing from everywhere reaches it.
+	for i := 0; i < 20; i++ {
+		src := net.Nodes()[i]
+		dst, _, err := src.route(target)
+		if err != nil || dst != n {
+			t.Fatalf("route to target from %s: dst=%v err=%v", src, dst, err)
+		}
+	}
+}
+
+func TestMoveNode(t *testing.T) {
+	net := buildNet(t, 32)
+	victim := net.Nodes()[5]
+	key := victim.Key()
+	target := id.Hash("S+E")
+	moved, err := net.MoveNode(victim, target)
+	if err != nil {
+		t.Fatalf("MoveNode: %v", err)
+	}
+	if victim.Alive() {
+		t.Fatal("old incarnation still alive")
+	}
+	if !moved.Alive() || moved.Key() != key || moved.ID() != target {
+		t.Fatalf("moved node wrong: key=%s id=%s", moved.Key(), moved.ID().Short())
+	}
+	if net.Size() != 32 {
+		t.Fatalf("size = %d, want 32", net.Size())
+	}
+	// The ring remains exact.
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		var k id.ID
+		rng.Read(k[:])
+		src := net.Nodes()[rng.Intn(net.Size())]
+		got, _, err := src.route(k)
+		if err != nil {
+			t.Fatalf("route after move: %v", err)
+		}
+		if want := net.OracleSuccessor(k); got != want {
+			t.Fatalf("route after move: got %s want %s", got, want)
+		}
+	}
+}
+
+func TestMoveNodePreservesHandler(t *testing.T) {
+	net := buildNet(t, 16)
+	rec := newRecorder()
+	victim := net.Nodes()[3]
+	victim.SetHandler(rec)
+	moved, err := net.MoveNode(victim, id.Hash("somewhere"))
+	if err != nil {
+		t.Fatalf("MoveNode: %v", err)
+	}
+	if moved.Handler() == nil {
+		t.Fatal("handler lost on move")
+	}
+	moved.net.Nodes()[0].DirectSend(testMsg{kind: "m"}, moved)
+	if rec.count() != 1 {
+		t.Fatal("moved node's handler not invoked")
+	}
+}
+
+func TestMoveDeadNodeRejected(t *testing.T) {
+	net := buildNet(t, 8)
+	n := net.Nodes()[0]
+	net.Fail(n)
+	if _, err := net.MoveNode(n, id.Hash("x")); err == nil {
+		t.Fatal("moving a dead node accepted")
+	}
+}
+
+func TestJoinAtOccupiedPositionRejected(t *testing.T) {
+	net := buildNet(t, 8)
+	target := id.Hash("hot")
+	if _, err := net.JoinAt("first", target); err != nil {
+		t.Fatalf("JoinAt: %v", err)
+	}
+	if _, err := net.JoinAt("second", target); err == nil {
+		t.Fatal("duplicate ring position accepted")
+	}
+}

@@ -1,0 +1,390 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cqjoin/internal/id"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/sim"
+)
+
+// Config parameterizes a simulated overlay.
+type Config struct {
+	// SuccessorListLen is the length r of each node's successor list
+	// (Section 2.2: "in practice even small values of r are enough").
+	// Zero means the default of 8.
+	SuccessorListLen int
+	// Traffic receives hop/message accounting. Nil allocates a fresh ledger.
+	Traffic *metrics.Traffic
+	// Clock is the logical clock shared by the network. Nil allocates one.
+	Clock *sim.Clock
+}
+
+const defaultSuccessorListLen = 8
+
+// Network is a simulated Chord overlay: the set of alive nodes, a sorted
+// ring index used for O(log N) membership bookkeeping (never on the routing
+// data path — routing always walks finger tables), the shared logical clock
+// and the traffic ledger.
+type Network struct {
+	mu    sync.RWMutex
+	byKey map[string]*Node
+	ring  []*Node // alive nodes in ascending identifier order
+
+	succListLen int
+	traffic     *metrics.Traffic
+	clock       *sim.Clock
+}
+
+// New creates an empty overlay.
+func New(cfg Config) *Network {
+	if cfg.SuccessorListLen <= 0 {
+		cfg.SuccessorListLen = defaultSuccessorListLen
+	}
+	if cfg.Traffic == nil {
+		cfg.Traffic = &metrics.Traffic{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = &sim.Clock{}
+	}
+	return &Network{
+		byKey:       make(map[string]*Node),
+		succListLen: cfg.SuccessorListLen,
+		traffic:     cfg.Traffic,
+		clock:       cfg.Clock,
+	}
+}
+
+// Traffic returns the network's traffic ledger.
+func (net *Network) Traffic() *metrics.Traffic { return net.traffic }
+
+// Clock returns the network's logical clock.
+func (net *Network) Clock() *sim.Clock { return net.clock }
+
+// Size returns the number of alive nodes.
+func (net *Network) Size() int {
+	net.mu.RLock()
+	defer net.mu.RUnlock()
+	return len(net.ring)
+}
+
+// Nodes returns the alive nodes in ascending identifier order.
+func (net *Network) Nodes() []*Node {
+	net.mu.RLock()
+	defer net.mu.RUnlock()
+	out := make([]*Node, len(net.ring))
+	copy(out, net.ring)
+	return out
+}
+
+// NodeByKey returns the alive node with the given key, or nil.
+func (net *Network) NodeByKey(key string) *Node {
+	net.mu.RLock()
+	defer net.mu.RUnlock()
+	n := net.byKey[key]
+	if n == nil || !n.Alive() {
+		return nil
+	}
+	return n
+}
+
+// Join adds a node with the given key to the overlay, exactly as Section 2.2
+// describes the end state of a completed join: the new node discovers its
+// successor, neighbor pointers are corrected, the node builds its finger
+// table, and its successor transfers the keys in (pred(n), n] to it.
+//
+// The routing cost of the join lookup is charged to the "chord-join" kind.
+// Returns an error when the key is already present.
+func (net *Network) Join(key string) (*Node, error) {
+	return net.JoinAt(key, id.Hash(key))
+}
+
+// JoinAt joins a node at an explicitly chosen ring position instead of
+// Hash(key). This is the identifier-moving mechanism of Section 4.7.2
+// (Figure 4.7): an underloaded node can place itself immediately at a hot
+// identifier and take over its arc. Notifications for an offline
+// subscriber are still addressed to Hash(key), so a node that moved away
+// from its natural position relies on the direct-IP delivery path while
+// online.
+func (net *Network) JoinAt(key string, nid id.ID) (*Node, error) {
+	n := &Node{
+		net:   net,
+		key:   key,
+		ip:    fmt.Sprintf("sim://%s", nid.Short()),
+		id:    nid,
+		succs: make([]*Node, 0, net.succListLen),
+	}
+	n.alive.Store(true)
+
+	net.mu.Lock()
+	if old, ok := net.byKey[key]; ok && old.Alive() {
+		net.mu.Unlock()
+		return nil, fmt.Errorf("chord: join %q: key already in overlay", key)
+	}
+	if i := net.ringIndexLocked(nid); i < len(net.ring) && net.ring[i].id == nid {
+		net.mu.Unlock()
+		return nil, fmt.Errorf("chord: join %q: ring position %s already occupied by %s", key, nid.Short(), net.ring[i])
+	}
+	// Pick an arbitrary alive bootstrap before inserting n.
+	var bootstrap *Node
+	if len(net.ring) > 0 {
+		bootstrap = net.ring[0]
+	}
+	net.insertLocked(n)
+	net.mu.Unlock()
+
+	if bootstrap != nil {
+		// Charge the join lookup: finding Successor(id(n)) from the
+		// bootstrap node. The ring index already contains n, so route from
+		// the bootstrap's view using fingers built before insertion; cost is
+		// what matters here, correctness of pointers is established below.
+		_, hops, err := bootstrap.route(nid)
+		if err == nil {
+			net.traffic.Record("chord-join", hops)
+		}
+	}
+
+	net.repairAround(n)
+	net.buildFingers(n)
+
+	// Successor hands over the keys the new node is now responsible for.
+	succ := n.Successor()
+	if succ != n {
+		lo := n.Predecessor()
+		var loID id.ID
+		if lo != nil {
+			loID = lo.ID()
+		} else {
+			loID = succ.ID()
+		}
+		if h, ok := succ.Handler().(KeyTransferrer); ok {
+			h.TransferKeys(succ, n, loID, n.ID())
+		}
+	}
+	return n, nil
+}
+
+// AddNodes joins count nodes named <prefix>0 .. <prefix>(count-1) and then
+// rebuilds all pointers exactly. It is the fast path for constructing the
+// large static networks of the experiments (up to 10^4 nodes).
+func (net *Network) AddNodes(prefix string, count int) []*Node {
+	nodes := make([]*Node, 0, count)
+	net.mu.Lock()
+	for i := 0; i < count; i++ {
+		key := fmt.Sprintf("%s%d", prefix, i)
+		if _, ok := net.byKey[key]; ok {
+			continue
+		}
+		nid := id.Hash(key)
+		n := &Node{
+			net: net,
+			key: key,
+			ip:  fmt.Sprintf("sim://%s", nid.Short()),
+			id:  nid,
+		}
+		n.alive.Store(true)
+		net.insertLocked(n)
+		nodes = append(nodes, n)
+	}
+	net.mu.Unlock()
+	net.RepairAll()
+	return nodes
+}
+
+// Leave removes a node voluntarily (Section 2.2): it transfers its keys to
+// its successor and neighbor pointers are corrected.
+func (net *Network) Leave(n *Node) {
+	if !n.Alive() {
+		return
+	}
+	succ := n.Successor()
+	pred := n.Predecessor()
+	if succ != n && succ != nil {
+		if h, ok := n.Handler().(KeyTransferrer); ok {
+			// Everything n stored now belongs to its successor.
+			h.TransferKeys(n, succ, n.ID(), n.ID())
+		}
+	}
+	net.remove(n)
+	if succ != nil && succ.Alive() {
+		net.repairAround(succ)
+	} else if pred != nil && pred.Alive() {
+		net.repairAround(pred)
+	}
+}
+
+// Fail removes a node abruptly, without key transfer, modelling a crash.
+// Routing recovers through successor lists; call RepairAll (or run the
+// stabilization protocol) to restore exact pointers.
+func (net *Network) Fail(n *Node) {
+	if !n.Alive() {
+		return
+	}
+	net.remove(n)
+}
+
+func (net *Network) remove(n *Node) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	n.alive.Store(false)
+	delete(net.byKey, n.key)
+	i := net.ringIndexLocked(n.id)
+	if i < len(net.ring) && net.ring[i] == n {
+		net.ring = append(net.ring[:i], net.ring[i+1:]...)
+	}
+	// Correct the immediate neighbors' pointers so successor chains stay
+	// valid, as Chord's stabilization would within one round.
+	if len(net.ring) == 0 {
+		return
+	}
+	succIdx := net.ringIndexLocked(n.id) % len(net.ring)
+	succ := net.ring[succIdx]
+	predIdx := (succIdx - 1 + len(net.ring)) % len(net.ring)
+	pred := net.ring[predIdx]
+	pred.mu.Lock()
+	pred.succs = net.successorsOfLocked(predIdx)
+	pred.mu.Unlock()
+	succ.mu.Lock()
+	succ.pred = pred
+	succ.mu.Unlock()
+}
+
+// insertLocked adds n to the membership index. Callers hold net.mu.
+func (net *Network) insertLocked(n *Node) {
+	net.byKey[n.key] = n
+	i := net.ringIndexLocked(n.id)
+	net.ring = append(net.ring, nil)
+	copy(net.ring[i+1:], net.ring[i:])
+	net.ring[i] = n
+}
+
+// ringIndexLocked returns the position of the first ring node with
+// identifier >= k. Callers hold net.mu (read or write).
+func (net *Network) ringIndexLocked(k id.ID) int {
+	return sort.Search(len(net.ring), func(i int) bool {
+		return !net.ring[i].id.Less(k)
+	})
+}
+
+// OracleSuccessor returns Successor(k) computed from the membership index.
+// It is the ground truth used by tests and by exact pointer repair; the
+// message data path never calls it.
+func (net *Network) OracleSuccessor(k id.ID) *Node {
+	net.mu.RLock()
+	defer net.mu.RUnlock()
+	if len(net.ring) == 0 {
+		return nil
+	}
+	i := net.ringIndexLocked(k) % len(net.ring)
+	return net.ring[i]
+}
+
+// successorsOfLocked returns the successor list for the node at ring index
+// i. Callers hold net.mu.
+func (net *Network) successorsOfLocked(i int) []*Node {
+	n := len(net.ring)
+	r := net.succListLen
+	if r > n-1 {
+		r = n - 1
+	}
+	if r == 0 {
+		// Singleton ring: a node is its own successor.
+		return []*Node{net.ring[i]}
+	}
+	out := make([]*Node, 0, r)
+	for j := 1; j <= r; j++ {
+		out = append(out, net.ring[(i+j)%n])
+	}
+	return out
+}
+
+// repairAround rebuilds exact predecessor/successor pointers for n and its
+// ring neighbors (the end state one stabilization round would reach).
+func (net *Network) repairAround(n *Node) {
+	net.mu.RLock()
+	defer net.mu.RUnlock()
+	i := net.ringIndexLocked(n.id)
+	if i >= len(net.ring) || net.ring[i] != n {
+		return
+	}
+	cnt := len(net.ring)
+	// Fix n, its predecessor and the nodes whose successor lists now
+	// include n (the r nodes preceding it).
+	for d := -net.succListLen; d <= 1; d++ {
+		j := ((i+d)%cnt + cnt) % cnt
+		m := net.ring[j]
+		m.mu.Lock()
+		m.pred = net.ring[((j-1)%cnt+cnt)%cnt]
+		if m.pred == m {
+			m.pred = nil
+		}
+		m.succs = net.successorsOfLocked(j)
+		m.mu.Unlock()
+	}
+}
+
+// buildFingers computes n's exact finger table from the membership index.
+func (net *Network) buildFingers(n *Node) {
+	net.mu.RLock()
+	defer net.mu.RUnlock()
+	if len(net.ring) == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for j := 0; j < id.Bits; j++ {
+		start := n.id.AddPow2(uint(j))
+		i := net.ringIndexLocked(start) % len(net.ring)
+		n.fingers[j] = net.ring[i]
+	}
+}
+
+// MoveNode re-positions an alive node at a new ring identifier — the
+// load-balancing move of Section 4.7.2 (Figure 4.7). The node leaves
+// voluntarily (handing its stored keys to its successor) and immediately
+// rejoins at newID (receiving the keys of its new arc). The returned node
+// replaces the old one; the old *Node value is dead.
+func (net *Network) MoveNode(n *Node, newID id.ID) (*Node, error) {
+	if !n.Alive() {
+		return nil, fmt.Errorf("chord: move of departed node %s", n)
+	}
+	key := n.Key()
+	handler := n.Handler()
+	net.Leave(n)
+	moved, err := net.JoinAt(key, newID)
+	if err != nil {
+		return nil, err
+	}
+	// Reinstall the old handler before the join hand-off is requested by
+	// the application layer; chord's own hand-off already ran inside
+	// JoinAt against whatever handler the successor had.
+	moved.SetHandler(handler)
+	return moved, nil
+}
+
+// RepairAll rebuilds exact predecessor pointers, successor lists and finger
+// tables for every node — the fixed point the periodic stabilization
+// protocol converges to. Experiments on static networks call it once after
+// construction.
+func (net *Network) RepairAll() {
+	net.mu.RLock()
+	defer net.mu.RUnlock()
+	cnt := len(net.ring)
+	for i, n := range net.ring {
+		n.mu.Lock()
+		if cnt > 1 {
+			n.pred = net.ring[((i-1)%cnt+cnt)%cnt]
+		} else {
+			n.pred = nil
+		}
+		n.succs = net.successorsOfLocked(i)
+		for j := 0; j < id.Bits; j++ {
+			start := n.id.AddPow2(uint(j))
+			k := net.ringIndexLocked(start) % cnt
+			n.fingers[j] = net.ring[k]
+		}
+		n.mu.Unlock()
+	}
+}

@@ -1,0 +1,219 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"cqjoin/internal/id"
+)
+
+// ErrRoutingFailed is returned when a lookup cannot converge, e.g. on an
+// empty overlay or after exhausting the hop budget during heavy churn.
+var ErrRoutingFailed = fmt.Errorf("chord: routing failed to converge")
+
+// Sizer is implemented by messages that know their wire-encoded size. The
+// routing layer then also charges bytes to the traffic ledger: a message of
+// size s delivered after h hops is retransmitted h times, moving s*h bytes
+// over the physical network.
+type Sizer interface {
+	Size() int
+}
+
+// chargeBytes records the wire bytes a delivery moved, when the message
+// reports its size.
+func (n *Node) chargeBytes(msg Message, hops int) {
+	if hops <= 0 {
+		return
+	}
+	if s, ok := msg.(Sizer); ok {
+		n.net.traffic.AddBytes(msg.Kind(), s.Size()*hops)
+	}
+}
+
+// route walks the overlay from n toward Successor(target) using finger
+// tables, exactly like Chord's lookup (Section 2.2): each step forwards the
+// message to the furthest finger preceding the target, costing one overlay
+// hop, until the target falls between the current node and its successor.
+// It returns the responsible node and the number of hops travelled; a
+// message n delivers to itself costs zero hops.
+func (n *Node) route(target id.ID) (*Node, int, error) {
+	if !n.Alive() {
+		return nil, 0, fmt.Errorf("%w: origin %s is not in the overlay", ErrRoutingFailed, n)
+	}
+	if n.OwnsKey(target) {
+		return n, 0, nil
+	}
+	cur := n
+	hops := 0
+	// A correct lookup takes O(log N) hops; allow a generous budget so
+	// stale fingers after churn still converge via successor chains, but a
+	// broken ring fails instead of spinning.
+	budget := 2*n.net.Size() + 16
+	for ; hops < budget; hops++ {
+		succ := cur.Successor()
+		if id.BetweenRightIncl(target, cur.ID(), succ.ID()) {
+			return succ, hops + 1, nil
+		}
+		next := cur.closestPrecedingAlive(target)
+		if next == cur {
+			next = succ
+		}
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	return nil, hops, fmt.Errorf("%w: no progress toward %s from %s", ErrRoutingFailed, target.Short(), n)
+}
+
+// Lookup returns the node responsible for identifier target — the function
+// lookup(I) of the Chord API — together with the overlay hops the lookup
+// cost. The hops are charged to the "lookup" traffic kind.
+func (n *Node) Lookup(target id.ID) (*Node, int, error) {
+	dst, hops, err := n.route(target)
+	if err != nil {
+		return nil, hops, err
+	}
+	n.net.traffic.Record("lookup", hops)
+	return dst, hops, nil
+}
+
+// Send implements the send(msg, I) extension of Section 2.3: it routes msg
+// from n to Successor(I) and invokes that node's handler. The cost —
+// O(log N) overlay hops — is charged to the message's kind. It returns the
+// recipient and the hop count.
+func (n *Node) Send(msg Message, target id.ID) (*Node, int, error) {
+	dst, hops, err := n.route(target)
+	if err != nil {
+		return nil, hops, err
+	}
+	n.net.traffic.Record(msg.Kind(), hops)
+	n.chargeBytes(msg, hops)
+	deliver(dst, msg)
+	return dst, hops, nil
+}
+
+// DirectSend delivers msg from n straight to node dst over one simulated
+// point-to-point hop, modelling delivery to a known IP address (the
+// one-hop notification path of Section 4.6).
+func (n *Node) DirectSend(msg Message, dst *Node) {
+	n.net.traffic.Record(msg.Kind(), 1)
+	n.chargeBytes(msg, 1)
+	deliver(dst, msg)
+}
+
+// Deliverable pairs one message with the ring identifier it must reach, for
+// the multisend(M, L) form that sends message M_j to Successor(L_j).
+type Deliverable struct {
+	Target id.ID
+	Msg    Message
+}
+
+// Multisend implements the recursive multisend(M, L) of Section 2.3. The
+// sender sorts the identifiers in ascending clockwise order starting from
+// its own identifier and forwards the whole batch toward the first one;
+// every node that receives the batch delivers the messages it is
+// responsible for, prunes them from the list, and forwards the remainder to
+// the next identifier. One traffic message per deliverable is recorded and
+// the shared relay hops are charged to the batch's kinds proportionally.
+//
+// It returns the recipient of every deliverable (aligned with the input
+// batch) and the total overlay hops used. All deliverables must carry
+// messages of the same Kind for accounting purposes; mixing kinds is
+// allowed but hops are charged to the first kind.
+func (n *Node) Multisend(batch []Deliverable) ([]*Node, int, error) {
+	if len(batch) == 0 {
+		return nil, 0, nil
+	}
+	if !n.Alive() {
+		return nil, 0, fmt.Errorf("%w: origin %s is not in the overlay", ErrRoutingFailed, n)
+	}
+	// Sort clockwise from the sender: ascending distance(id(n), target).
+	type item struct {
+		d   Deliverable
+		idx int
+	}
+	sorted := make([]item, len(batch))
+	for i, d := range batch {
+		sorted[i] = item{d: d, idx: i}
+	}
+	origin := n.ID()
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return id.Distance(origin, sorted[i].d.Target).Less(id.Distance(origin, sorted[j].d.Target))
+	})
+
+	kind := sorted[0].d.Msg.Kind()
+	for _, it := range sorted {
+		n.net.traffic.Record(it.d.Msg.Kind(), 0)
+	}
+
+	recipients := make([]*Node, len(batch))
+	cur := n
+	totalHops := 0
+	budget := 2*n.net.Size() + 16*len(sorted) + 16
+	for len(sorted) > 0 {
+		// Deliver every remaining message the current node is responsible
+		// for ("x deletes all elements of L that are smaller or equal to
+		// id(x), starting from head(L), since node x is responsible for
+		// them").
+		for len(sorted) > 0 && cur.OwnsKey(sorted[0].d.Target) {
+			recipients[sorted[0].idx] = cur
+			// The message rode the shared walk for totalHops legs so far.
+			n.chargeBytes(sorted[0].d.Msg, totalHops)
+			deliver(cur, sorted[0].d.Msg)
+			sorted = sorted[1:]
+		}
+		if len(sorted) == 0 {
+			break
+		}
+		if totalHops >= budget {
+			n.net.traffic.RecordHopsOnly(kind, totalHops)
+			return recipients, totalHops, fmt.Errorf("%w: multisend exceeded hop budget", ErrRoutingFailed)
+		}
+		// One forwarding step toward head(L).
+		head := sorted[0].d.Target
+		succ := cur.Successor()
+		var next *Node
+		if id.BetweenRightIncl(head, cur.ID(), succ.ID()) {
+			next = succ
+		} else {
+			next = cur.closestPrecedingAlive(head)
+			if next == cur {
+				next = succ
+			}
+		}
+		if next == cur {
+			n.net.traffic.RecordHopsOnly(kind, totalHops)
+			return recipients, totalHops, fmt.Errorf("%w: multisend stuck at %s", ErrRoutingFailed, cur)
+		}
+		cur = next
+		totalHops++
+	}
+	n.net.traffic.RecordHopsOnly(kind, totalHops)
+	return recipients, totalHops, nil
+}
+
+// MultisendIterative is the baseline the paper implemented "for comparison
+// purposes": k independent send() lookups from the origin, costing
+// O(k log N) hops with no path sharing. Figure 4.8 contrasts it with the
+// recursive Multisend.
+func (n *Node) MultisendIterative(batch []Deliverable) ([]*Node, int, error) {
+	total := 0
+	recipients := make([]*Node, len(batch))
+	for i, d := range batch {
+		dst, hops, err := n.Send(d.Msg, d.Target)
+		total += hops
+		if err != nil {
+			return recipients, total, err
+		}
+		recipients[i] = dst
+	}
+	return recipients, total, nil
+}
+
+// deliver hands msg to the node's application handler, if any.
+func deliver(dst *Node, msg Message) {
+	if h := dst.Handler(); h != nil {
+		h.HandleMessage(dst, msg)
+	}
+}

@@ -1,0 +1,109 @@
+package chord
+
+import "cqjoin/internal/id"
+
+// This file implements Chord's periodic maintenance protocol from
+// Section 2.2: stabilize (learn about recently joined successors), notify
+// (update predecessor pointers), fix-fingers (refresh finger-table entries
+// via lookups) and check-predecessor (detect a failed predecessor).
+//
+// The simulator normally installs exact pointers directly (Network.Join,
+// Network.RepairAll) because the paper's experiments run on stable
+// networks; the protocol below exists so churn behaviour — the claim that
+// pointers converge after joins, leaves and failures — is reproduced and
+// testable without the oracle.
+
+// Stabilize runs one stabilization round on n: it asks its successor for
+// the successor's predecessor p, adopts p as its new successor when p has
+// slipped in between, notifies the (possibly new) successor of n's
+// existence, and refreshes its successor list.
+func (n *Node) Stabilize() {
+	if !n.Alive() {
+		return
+	}
+	succ := n.Successor()
+	if succ == n {
+		// Singleton ring: nothing to learn.
+		return
+	}
+	if p := succ.Predecessor(); p != nil && p.Alive() && id.Between(p.ID(), n.ID(), succ.ID()) {
+		succ = p
+	}
+	succ.notify(n)
+
+	// Refresh the successor list: succ followed by succ's list, truncated.
+	tail := succ.SuccessorList()
+	list := make([]*Node, 0, n.net.succListLen)
+	list = append(list, succ)
+	for _, s := range tail {
+		if len(list) >= n.net.succListLen {
+			break
+		}
+		if s != nil && s.Alive() && s != n {
+			list = append(list, s)
+		}
+	}
+	n.mu.Lock()
+	n.succs = list
+	n.mu.Unlock()
+}
+
+// notify tells n that node p believes it is n's predecessor; n adopts p
+// when it has no predecessor or p lies between the current predecessor and
+// n on the ring.
+func (n *Node) notify(p *Node) {
+	if p == n || !p.Alive() {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pred == nil || !n.pred.Alive() || id.Between(p.ID(), n.pred.ID(), n.ID()) {
+		n.pred = p
+	}
+}
+
+// CheckPredecessor clears n's predecessor pointer when the predecessor has
+// failed, so a live node can claim the slot on the next notify.
+func (n *Node) CheckPredecessor() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pred != nil && !n.pred.Alive() {
+		n.pred = nil
+	}
+}
+
+// FixFinger refreshes finger-table entry j (1-based) by looking up
+// Successor(id(n) + 2^(j-1)) through the overlay. The lookup hops are
+// charged to the "chord-maintain" traffic kind.
+func (n *Node) FixFinger(j int) {
+	if j < 1 || j > id.Bits {
+		return
+	}
+	start := n.ID().AddPow2(uint(j - 1))
+	dst, hops, err := n.route(start)
+	if err != nil {
+		return
+	}
+	n.net.traffic.Record("chord-maintain", hops)
+	n.mu.Lock()
+	n.fingers[j-1] = dst
+	n.mu.Unlock()
+}
+
+// StabilizeAll runs the full maintenance protocol for the given number of
+// rounds over every alive node: check-predecessor, stabilize, then refresh
+// all finger entries. Pointers converge to the exact ring within a few
+// rounds on a quiescent network.
+func (net *Network) StabilizeAll(rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, n := range net.Nodes() {
+			n.CheckPredecessor()
+			n.Stabilize()
+		}
+		for _, n := range net.Nodes() {
+			for j := 1; j <= id.Bits; j++ {
+				n.FixFinger(j)
+			}
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package daemon embeds a continuous-join cluster behind a TCP boundary:
+// a newline-delimited JSON protocol for subscribing, publishing, streaming
+// notifications and reading statistics. cmd/cqjoind is the thin CLI
+// wrapper; the package is separate so the protocol is testable in-process.
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"cqjoin"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// Nodes is the overlay size.
+	Nodes int
+	// Algorithm is one of "sai", "daiq", "dait", "daiv" (case-insensitive).
+	Algorithm string
+	// SchemaDSL declares the catalog: "R(A,B);S(D,E)".
+	SchemaDSL string
+	// UseJFRT enables the Join Fingers Routing Table.
+	UseJFRT bool
+	// Seed drives deterministic behaviour.
+	Seed int64
+}
+
+// Server owns one cluster and serves the JSON protocol.
+type Server struct {
+	cluster *cqjoin.Cluster
+
+	mu        sync.Mutex
+	queries   map[string]queryRef // query key -> owner + handle
+	listeners map[*listener]struct{}
+	listening net.Listener
+}
+
+type queryRef struct {
+	nodeKey string
+	q       *cqjoin.Query
+}
+
+type listener struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// New builds a server around a fresh cluster.
+func New(cfg Config) (*Server, error) {
+	catalog, err := ParseSchemaDSL(cfg.SchemaDSL)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := parseAlgorithm(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := cqjoin.NewCluster(cqjoin.Config{
+		Nodes:     cfg.Nodes,
+		Catalog:   catalog,
+		Algorithm: alg,
+		UseJFRT:   cfg.UseJFRT,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cluster:   cluster,
+		queries:   make(map[string]queryRef),
+		listeners: make(map[*listener]struct{}),
+	}
+	cluster.OnNotify(s.broadcast)
+	return s, nil
+}
+
+// Cluster exposes the embedded cluster (for tests and embedding).
+func (s *Server) Cluster() *cqjoin.Cluster { return s.cluster }
+
+// ParseSchemaDSL parses "R(A,B);S(D,E)" into a catalog.
+func ParseSchemaDSL(dsl string) (*cqjoin.Catalog, error) {
+	var schemas []*cqjoin.Schema
+	for _, part := range strings.Split(dsl, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		open := strings.IndexByte(part, '(')
+		if open <= 0 || !strings.HasSuffix(part, ")") {
+			return nil, fmt.Errorf("daemon: bad schema %q, want Rel(A,B,...)", part)
+		}
+		name := strings.TrimSpace(part[:open])
+		var attrs []string
+		for _, a := range strings.Split(part[open+1:len(part)-1], ",") {
+			attrs = append(attrs, strings.TrimSpace(a))
+		}
+		schema, err := cqjoin.NewSchema(name, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		schemas = append(schemas, schema)
+	}
+	if len(schemas) == 0 {
+		return nil, fmt.Errorf("daemon: empty schema")
+	}
+	return cqjoin.NewCatalog(schemas...)
+}
+
+func parseAlgorithm(name string) (cqjoin.Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "sai":
+		return cqjoin.SAI, nil
+	case "daiq", "dai-q":
+		return cqjoin.DAIQ, nil
+	case "dait", "dai-t":
+		return cqjoin.DAIT, nil
+	case "daiv", "dai-v":
+		return cqjoin.DAIV, nil
+	default:
+		return 0, fmt.Errorf("daemon: unknown algorithm %q", name)
+	}
+}
+
+// ListenAndServe accepts connections until the listener is closed.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on an existing listener (tests pass a
+// loopback listener with port 0).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.listening = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.listening
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+// Addr returns the bound address once serving.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listening == nil {
+		return nil
+	}
+	return s.listening.Addr()
+}
+
+// request is one protocol line from a client.
+type request struct {
+	Op       string        `json:"op"`
+	Node     int           `json:"node"`
+	SQL      string        `json:"sql,omitempty"`
+	Relation string        `json:"relation,omitempty"`
+	Values   []interface{} `json:"values,omitempty"`
+	Key      string        `json:"key,omitempty"`
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	lst := &listener{enc: enc}
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, lst)
+		s.mu.Unlock()
+	}()
+
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		var req request
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			lst.send(map[string]interface{}{"ok": false, "error": "bad json: " + err.Error()})
+			continue
+		}
+		lst.send(s.dispatch(&req, lst))
+	}
+}
+
+func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
+	fail := func(err error) map[string]interface{} {
+		return map[string]interface{}{"ok": false, "error": err.Error()}
+	}
+	switch req.Op {
+	case "subscribe":
+		q, err := s.cluster.Node(req.Node).Subscribe(req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		s.mu.Lock()
+		s.queries[q.Key()] = queryRef{nodeKey: s.cluster.Node(req.Node).Key(), q: q}
+		s.mu.Unlock()
+		return map[string]interface{}{"ok": true, "key": q.Key()}
+	case "subscribe-multi":
+		mq, err := s.cluster.Node(req.Node).SubscribeMulti(req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		return map[string]interface{}{"ok": true, "key": mq.Key()}
+	case "unsubscribe":
+		s.mu.Lock()
+		ref, ok := s.queries[req.Key]
+		delete(s.queries, req.Key)
+		s.mu.Unlock()
+		if !ok {
+			return fail(fmt.Errorf("unknown query %q", req.Key))
+		}
+		node := s.cluster.NodeByKey(ref.nodeKey)
+		if node == nil {
+			return fail(fmt.Errorf("subscriber %s is offline", ref.nodeKey))
+		}
+		if err := node.Unsubscribe(ref.q); err != nil {
+			return fail(err)
+		}
+		return map[string]interface{}{"ok": true}
+	case "publish":
+		vals := make([]interface{}, len(req.Values))
+		copy(vals, req.Values)
+		t, err := s.cluster.Node(req.Node).Publish(req.Relation, vals...)
+		if err != nil {
+			return fail(err)
+		}
+		return map[string]interface{}{"ok": true, "pubt": t.PubT()}
+	case "listen":
+		s.mu.Lock()
+		s.listeners[lst] = struct{}{}
+		s.mu.Unlock()
+		return map[string]interface{}{"ok": true}
+	case "stats":
+		tr := s.cluster.Traffic()
+		return map[string]interface{}{
+			"ok":            true,
+			"nodes":         s.cluster.Size(),
+			"notifications": len(s.cluster.Notifications()),
+			"hops":          tr.TotalHops(),
+			"messages":      tr.TotalMessages(),
+			"bytes":         tr.TotalBytes(),
+		}
+	default:
+		return fail(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// broadcast pushes one notification to every listening connection.
+func (s *Server) broadcast(n cqjoin.Notification) {
+	vals := make([]interface{}, len(n.Values))
+	for i, v := range n.Values {
+		if v.Kind() == cqjoin.NumberKind {
+			vals[i] = v.Num()
+		} else {
+			vals[i] = v.Str()
+		}
+	}
+	event := map[string]interface{}{
+		"event":      "notification",
+		"query":      n.QueryKey,
+		"subscriber": n.Subscriber,
+		"values":     vals,
+	}
+	s.mu.Lock()
+	targets := make([]*listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		targets = append(targets, l)
+	}
+	s.mu.Unlock()
+	for _, l := range targets {
+		l.send(event)
+	}
+}
+
+func (l *listener) send(v interface{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.enc.Encode(v)
+}

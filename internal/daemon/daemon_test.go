@@ -1,0 +1,277 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, cfg Config) (*Server, net.Conn) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return srv, conn
+}
+
+type client struct {
+	t      *testing.T
+	conn   net.Conn
+	r      *bufio.Reader
+	events []map[string]interface{}
+}
+
+func newClient(t *testing.T, conn net.Conn) *client {
+	return &client{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+// call sends one request and returns its response; asynchronous
+// notification events arriving in between are queued for nextEvent.
+func (c *client) call(req map[string]interface{}) map[string]interface{} {
+	c.t.Helper()
+	b, _ := json.Marshal(req)
+	if _, err := c.conn.Write(append(b, '\n')); err != nil {
+		c.t.Fatalf("write: %v", err)
+	}
+	for {
+		msg := c.read()
+		if _, isEvent := msg["event"]; isEvent {
+			c.events = append(c.events, msg)
+			continue
+		}
+		return msg
+	}
+}
+
+// nextEvent returns the oldest queued notification event, reading more
+// lines if none is queued yet.
+func (c *client) nextEvent() map[string]interface{} {
+	c.t.Helper()
+	for len(c.events) == 0 {
+		msg := c.read()
+		if _, isEvent := msg["event"]; isEvent {
+			c.events = append(c.events, msg)
+		}
+	}
+	ev := c.events[0]
+	c.events = c.events[1:]
+	return ev
+}
+
+func (c *client) read() map[string]interface{} {
+	c.t.Helper()
+	_ = c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	var resp map[string]interface{}
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		c.t.Fatalf("bad response %q: %v", line, err)
+	}
+	return resp
+}
+
+func defaultConfig() Config {
+	return Config{
+		Nodes:     48,
+		Algorithm: "sai",
+		SchemaDSL: "Orders(Id,Customer,Product);Shipments(Id,Product,Depot)",
+		Seed:      1,
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	_, conn := startServer(t, defaultConfig())
+	c := newClient(t, conn)
+
+	if resp := c.call(map[string]interface{}{"op": "listen"}); resp["ok"] != true {
+		t.Fatalf("listen: %v", resp)
+	}
+	resp := c.call(map[string]interface{}{
+		"op": "subscribe", "node": 0,
+		"sql": `SELECT O.Customer, S.Depot FROM Orders AS O, Shipments AS S WHERE O.Product = S.Product`,
+	})
+	if resp["ok"] != true {
+		t.Fatalf("subscribe: %v", resp)
+	}
+	key, _ := resp["key"].(string)
+	if key == "" {
+		t.Fatalf("no query key in %v", resp)
+	}
+
+	if resp := c.call(map[string]interface{}{
+		"op": "publish", "node": 1, "relation": "Orders",
+		"values": []interface{}{1, "acme", "widget"},
+	}); resp["ok"] != true {
+		t.Fatalf("publish: %v", resp)
+	}
+	if resp := c.call(map[string]interface{}{
+		"op": "publish", "node": 2, "relation": "Shipments",
+		"values": []interface{}{9, "widget", "rotterdam"},
+	}); resp["ok"] != true {
+		t.Fatalf("publish: %v", resp)
+	}
+
+	// The matching pair pushed a notification event to the listener.
+	event := c.nextEvent()
+	if event["event"] != "notification" || event["query"] != key {
+		t.Fatalf("event = %v", event)
+	}
+	vals, _ := event["values"].([]interface{})
+	if len(vals) != 2 || vals[0] != "acme" || vals[1] != "rotterdam" {
+		t.Fatalf("event values = %v", vals)
+	}
+
+	stats := c.call(map[string]interface{}{"op": "stats"})
+	if stats["ok"] != true || stats["notifications"].(float64) != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats["hops"].(float64) <= 0 || stats["bytes"].(float64) <= 0 {
+		t.Fatalf("stats missing traffic: %v", stats)
+	}
+
+	// Retraction through the protocol.
+	if resp := c.call(map[string]interface{}{"op": "unsubscribe", "key": key}); resp["ok"] != true {
+		t.Fatalf("unsubscribe: %v", resp)
+	}
+	c.call(map[string]interface{}{
+		"op": "publish", "node": 3, "relation": "Orders",
+		"values": []interface{}{2, "globex", "gears"},
+	})
+	c.call(map[string]interface{}{
+		"op": "publish", "node": 4, "relation": "Shipments",
+		"values": []interface{}{10, "gears", "hamburg"},
+	})
+	stats = c.call(map[string]interface{}{"op": "stats"})
+	if stats["notifications"].(float64) != 1 {
+		t.Fatalf("retracted query still notified: %v", stats)
+	}
+}
+
+func TestDaemonErrors(t *testing.T) {
+	_, conn := startServer(t, defaultConfig())
+	c := newClient(t, conn)
+
+	if resp := c.call(map[string]interface{}{"op": "nope"}); resp["ok"] != false {
+		t.Fatalf("unknown op accepted: %v", resp)
+	}
+	if resp := c.call(map[string]interface{}{"op": "subscribe", "sql": "not sql"}); resp["ok"] != false {
+		t.Fatalf("bad sql accepted: %v", resp)
+	}
+	if resp := c.call(map[string]interface{}{"op": "publish", "relation": "Nope", "values": []interface{}{1}}); resp["ok"] != false {
+		t.Fatalf("bad relation accepted: %v", resp)
+	}
+	if resp := c.call(map[string]interface{}{"op": "unsubscribe", "key": "missing"}); resp["ok"] != false {
+		t.Fatalf("unknown key accepted: %v", resp)
+	}
+	// Garbage line.
+	if _, err := c.conn.Write([]byte("{{{\n")); err != nil {
+		t.Fatal(err)
+	}
+	if resp := c.read(); resp["ok"] != false || !strings.Contains(resp["error"].(string), "bad json") {
+		t.Fatalf("garbage accepted: %v", resp)
+	}
+}
+
+func TestDaemonMultiWay(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.SchemaDSL = "A(x,y);B(x,y);C(x,y)"
+	_, conn := startServer(t, cfg)
+	c := newClient(t, conn)
+
+	resp := c.call(map[string]interface{}{
+		"op": "subscribe-multi", "node": 0,
+		"sql": `SELECT A.y, C.y FROM A, B, C WHERE A.x = B.y AND B.x = C.y`,
+	})
+	if resp["ok"] != true {
+		t.Fatalf("subscribe-multi: %v", resp)
+	}
+	c.call(map[string]interface{}{"op": "publish", "node": 1, "relation": "A", "values": []interface{}{1, 10}})
+	c.call(map[string]interface{}{"op": "publish", "node": 2, "relation": "B", "values": []interface{}{2, 1}})
+	c.call(map[string]interface{}{"op": "publish", "node": 3, "relation": "C", "values": []interface{}{0, 2}})
+	stats := c.call(map[string]interface{}{"op": "stats"})
+	if stats["notifications"].(float64) != 1 {
+		t.Fatalf("multi-way chain did not complete: %v", stats)
+	}
+}
+
+func TestParseSchemaDSL(t *testing.T) {
+	cat, err := ParseSchemaDSL(" R(A, B) ; S(D,E) ")
+	if err != nil {
+		t.Fatalf("ParseSchemaDSL: %v", err)
+	}
+	if cat.Lookup("R") == nil || cat.Lookup("S") == nil {
+		t.Fatal("schemas missing")
+	}
+	if cat.Lookup("R").Arity() != 2 {
+		t.Fatal("attrs wrong")
+	}
+	for _, bad := range []string{"", "R", "R()", "(A)", "R(A"} {
+		if _, err := ParseSchemaDSL(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for name, want := range map[string]string{
+		"sai": "SAI", "DAIQ": "DAI-Q", "dai-t": "DAI-T", "DaiV": "DAI-V", "": "SAI",
+	} {
+		alg, err := parseAlgorithm(name)
+		if err != nil {
+			t.Fatalf("parseAlgorithm(%q): %v", name, err)
+		}
+		if alg.String() != want {
+			t.Fatalf("parseAlgorithm(%q) = %s, want %s", name, alg, want)
+		}
+	}
+	if _, err := parseAlgorithm("bogus"); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, conn := startServer(t, defaultConfig())
+	c1 := newClient(t, conn)
+	c1.call(map[string]interface{}{"op": "subscribe", "node": 0,
+		"sql": `SELECT O.Customer, S.Depot FROM Orders AS O, Shipments AS S WHERE O.Product = S.Product`})
+
+	// A second client publishes concurrently with the first polling stats.
+	conn2, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	c2 := newClient(t, conn2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			c2.call(map[string]interface{}{"op": "publish", "node": 1, "relation": "Orders",
+				"values": []interface{}{i, "acme", "widget"}})
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if resp := c1.call(map[string]interface{}{"op": "stats"}); resp["ok"] != true {
+			t.Fatalf("stats under load: %v", resp)
+		}
+	}
+	<-done
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"testing"
+
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+func TestEngineAccessors(t *testing.T) {
+	env := newTestEnv(t, 16, Config{Algorithm: DAIT, UseJFRT: true, Window: 9})
+	cfg := env.eng.Config()
+	if cfg.Algorithm != DAIT || !cfg.UseJFRT || cfg.Window != 9 {
+		t.Fatalf("Config() = %+v", cfg)
+	}
+	if env.eng.Network() != env.net {
+		t.Fatal("Network() wrong")
+	}
+}
+
+func TestOnNotifyCallbackAndReset(t *testing.T) {
+	env := newTestEnv(t, 32, Config{Algorithm: SAI})
+	var calls int
+	env.eng.OnNotify(func(Notification) { calls++ })
+	env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	env.publish(t, 1, rTuple(env, 1, 7, 0))
+	env.publish(t, 2, sTuple(env, 2, 7, 0))
+	if calls != 1 {
+		t.Fatalf("callback calls = %d, want 1", calls)
+	}
+	env.eng.ResetNotifications()
+	if got := env.eng.Notifications(); len(got) != 0 {
+		t.Fatalf("ResetNotifications left %d entries", len(got))
+	}
+	// The callback keeps firing after a reset.
+	env.publish(t, 3, sTuple(env, 3, 7, 0))
+	if calls != 2 {
+		t.Fatalf("callback calls = %d, want 2", calls)
+	}
+}
+
+func TestLoadAccessorsAndReset(t *testing.T) {
+	env := newTestEnv(t, 24, Config{Algorithm: SAI})
+	env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	env.publish(t, 1, rTuple(env, 1, 7, 0))
+	if sum(env.eng.FilteringLoads()) == 0 {
+		t.Fatal("FilteringLoads all zero")
+	}
+	if sum(env.eng.StorageLoads()) == 0 {
+		t.Fatal("StorageLoads all zero")
+	}
+	if got := len(env.eng.FilteringLoads()); got != 24 {
+		t.Fatalf("loads length = %d, want one per node", got)
+	}
+	env.eng.ResetLoads()
+	if sum(env.eng.FilteringLoads())+sum(env.eng.StorageLoads()) != 0 {
+		t.Fatal("ResetLoads left residue")
+	}
+}
+
+func TestPublishErrorPaths(t *testing.T) {
+	env := newTestEnv(t, 16, Config{Algorithm: SAI})
+	foreign := relation.MustTuple(relation.MustSchema("Foreign", "X"), relation.N(1))
+	if _, err := env.eng.Publish(env.node(0), foreign); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	dead := env.node(3)
+	env.net.Fail(dead)
+	env.net.RepairAll()
+	if _, err := env.eng.Publish(dead, rTuple(env, 1, 2, 3)); err == nil {
+		t.Fatal("publish from dead node accepted")
+	}
+	if _, err := env.eng.Subscribe(dead, query.MustParse(env.catalog, `SELECT R.A FROM R, S WHERE R.B = S.E`)); err == nil {
+		t.Fatal("subscribe from dead node accepted")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{
+		StrategyRandom:    "random",
+		StrategyMinRate:   "min-rate",
+		StrategyMinDomain: "min-domain",
+		StrategyLeft:      "left",
+		Strategy(99):      "unknown",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Fatalf("Strategy(%d).String() = %q, want %q", s, s.String(), name)
+		}
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm renders empty")
+	}
+}
+
+// BaselinePair sites must honor the sliding window too.
+func TestPairBaselineWindowEviction(t *testing.T) {
+	env := newTestEnv(t, 24, Config{Algorithm: BaselinePair, Window: 5})
+	env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	env.publish(t, 1, rTuple(env, 1, 7, 0))
+	before := sum(env.eng.StorageLoads())
+	env.net.Clock().Advance(100)
+	env.eng.EvictExpired()
+	after := sum(env.eng.StorageLoads())
+	if after >= before {
+		t.Fatalf("pair eviction did not reduce storage: %d -> %d", before, after)
+	}
+	env.publish(t, 2, sTuple(env, 2, 7, 0))
+	if got := env.eng.Notifications(); len(got) != 0 {
+		t.Fatalf("expired pair tuple matched: %v", got)
+	}
+}
+
+// Pair-baseline state must survive churn hand-offs (exercises the
+// pairStore branch of TransferKeys).
+func TestPairBaselineSurvivesChurn(t *testing.T) {
+	env := newTestEnv(t, 24, Config{Algorithm: BaselinePair})
+	env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	env.publish(t, 1, rTuple(env, 1, 7, 0))
+	for i := 0; i < 6; i++ {
+		n, err := env.net.Join("pair-late-" + string(rune('a'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.eng.Attach(n)
+	}
+	nodes := env.net.Nodes()
+	env.net.Leave(nodes[5])
+	env.net.Leave(nodes[11])
+	env.publish(t, 2, sTuple(env, 2, 7, 0))
+	if got := env.eng.Notifications(); len(got) != 1 {
+		t.Fatalf("%d notifications after pair churn, want 1", len(got))
+	}
+}

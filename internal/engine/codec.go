@@ -1,0 +1,564 @@
+package engine
+
+import (
+	"fmt"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+	"cqjoin/internal/wire"
+)
+
+// Full wire codecs for every engine message. The in-process simulator
+// passes Go values between nodes for speed, but the encodings here are the
+// authoritative on-the-wire form: every message's Size() is the exact
+// length of its encoding (enforced by tests), so the byte ledger reports
+// what a socket deployment would actually transmit, and a real transport
+// can adopt EncodeMessage/DecodeMessage unchanged.
+
+// Message type tags.
+const (
+	tagQuery byte = iota + 1
+	tagALIndex
+	tagVLIndex
+	tagJoin
+	tagJoinV
+	tagJoinBatch
+	tagNotify
+	tagProbe
+	tagUnsub
+	tagPurge
+	tagBaselineQuery
+	tagBaselineTuple
+	tagBaselineProbe
+	tagMQuery
+	tagMJoin
+)
+
+// EncodeMessage appends msg's wire form to w.
+func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
+	switch m := msg.(type) {
+	case queryMsg:
+		w.PutUvarint(uint64(tagQuery))
+		wire.EncodeQuery(w, m.Q)
+		w.PutString(m.Attr)
+		w.PutUvarint(uint64(m.Side))
+		w.PutUvarint(uint64(m.Replica))
+	case alIndexMsg:
+		w.PutUvarint(uint64(tagALIndex))
+		wire.EncodeTuple(w, m.T)
+		w.PutString(m.Attr)
+		w.PutUvarint(uint64(m.Replica))
+	case vlIndexMsg:
+		w.PutUvarint(uint64(tagVLIndex))
+		wire.EncodeTuple(w, m.T)
+		w.PutString(m.Attr)
+	case joinMsg:
+		w.PutUvarint(uint64(tagJoin))
+		w.PutUvarint(uint64(len(m.Rewrites)))
+		for _, rw := range m.Rewrites {
+			encodeRewritten(w, rw)
+		}
+	case joinVMsg:
+		w.PutUvarint(uint64(tagJoinV))
+		w.PutString(m.Input)
+		w.PutString(m.Cond)
+		w.PutUvarint(uint64(m.Side))
+		w.PutValue(m.Value)
+		wire.EncodeTuple(w, m.Trigger)
+		w.PutUvarint(uint64(len(m.Queries)))
+		for _, q := range m.Queries {
+			wire.EncodeQuery(w, q)
+		}
+	case joinBatch:
+		w.PutUvarint(uint64(tagJoinBatch))
+		w.PutUvarint(uint64(len(m.Msgs)))
+		for _, inner := range m.Msgs {
+			if err := EncodeMessage(w, inner); err != nil {
+				return err
+			}
+		}
+	case notifyMsg:
+		w.PutUvarint(uint64(tagNotify))
+		w.PutString(m.Subscriber)
+		w.PutUvarint(uint64(len(m.Batch)))
+		for _, n := range m.Batch {
+			encodeNotification(w, n)
+		}
+	case probeMsg:
+		w.PutUvarint(uint64(tagProbe))
+		w.PutString(m.AttrInput)
+	case unsubMsg:
+		w.PutUvarint(uint64(tagUnsub))
+		w.PutString(m.QueryKey)
+		w.PutString(m.Cond)
+		w.PutString(m.Input)
+	case purgeMsg:
+		w.PutUvarint(uint64(tagPurge))
+		w.PutString(m.QueryKey)
+		w.PutString(m.Input)
+	case baselineQueryMsg:
+		w.PutUvarint(uint64(tagBaselineQuery))
+		wire.EncodeQuery(w, m.Q)
+		w.PutUvarint(uint64(m.Side))
+		w.PutString(m.Input)
+	case baselineTupleMsg:
+		w.PutUvarint(uint64(tagBaselineTuple))
+		wire.EncodeTuple(w, m.T)
+		w.PutString(m.Input)
+		w.PutUvarint(uint64(m.Side))
+	case baselineProbeMsg:
+		w.PutUvarint(uint64(tagBaselineProbe))
+		w.PutString(m.Input)
+		w.PutUvarint(uint64(len(m.Rewrites)))
+		for _, rw := range m.Rewrites {
+			encodeRewritten(w, rw)
+		}
+	case mQueryMsg:
+		w.PutUvarint(uint64(tagMQuery))
+		encodeMultiQuery(w, m.MQ)
+		w.PutString(m.Attr)
+		w.PutUvarint(uint64(m.Replica))
+	case mJoinMsg:
+		w.PutUvarint(uint64(tagMJoin))
+		w.PutUvarint(uint64(len(m.Rewrites)))
+		for _, rw := range m.Rewrites {
+			encodeMRewritten(w, rw)
+		}
+	default:
+		return fmt.Errorf("engine: no codec for message type %T", msg)
+	}
+	return nil
+}
+
+func encodeRewritten(w *wire.Buffer, rw *rewritten) {
+	w.PutString(rw.Key)
+	wire.EncodeQuery(w, rw.Orig)
+	w.PutUvarint(uint64(rw.IndexSide))
+	wire.EncodeTuple(w, rw.Trigger)
+	w.PutString(rw.WantRel)
+	w.PutString(rw.WantAttr)
+	w.PutValue(rw.WantValue)
+}
+
+func encodeNotification(w *wire.Buffer, n Notification) {
+	w.PutString(n.QueryKey)
+	w.PutString(n.Subscriber)
+	w.PutString(n.subscriberIP)
+	w.PutUvarint(uint64(len(n.Values)))
+	for _, v := range n.Values {
+		w.PutValue(v)
+	}
+	w.PutVarint(n.LeftPubT)
+	w.PutVarint(n.RightPubT)
+	w.PutVarint(n.DeliveredAt)
+}
+
+func encodeMultiQuery(w *wire.Buffer, mq *query.MultiQuery) {
+	w.PutString(mq.Key())
+	w.PutString(mq.Subscriber())
+	w.PutString(mq.SubscriberIP())
+	w.PutVarint(mq.InsT())
+	w.PutString(mq.Text())
+	w.PutString(mq.Rels()[0].Name()) // pipeline orientation marker
+}
+
+func encodeMRewritten(w *wire.Buffer, rw *mRewritten) {
+	w.PutString(rw.Key)
+	encodeMultiQuery(w, rw.Orig)
+	w.PutUvarint(uint64(rw.Stage))
+	w.PutUvarint(uint64(len(rw.Acc)))
+	for _, t := range rw.Acc {
+		wire.EncodeTuple(w, t)
+	}
+	w.PutString(rw.WantRel)
+	w.PutString(rw.WantAttr)
+	w.PutValue(rw.WantValue)
+}
+
+// DecodeMessage reads one message encoded by EncodeMessage, resolving
+// queries against the catalog.
+func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, error) {
+	tag, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	switch byte(tag) {
+	case tagQuery:
+		q, err := wire.DecodeQuery(r, catalog)
+		if err != nil {
+			return nil, err
+		}
+		attr, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		side, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		replica, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return queryMsg{Q: q, Attr: attr, Side: query.Side(side), Replica: int(replica)}, nil
+	case tagALIndex:
+		t, err := wire.DecodeTuple(r)
+		if err != nil {
+			return nil, err
+		}
+		attr, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		replica, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return alIndexMsg{T: t, Attr: attr, Replica: int(replica)}, nil
+	case tagVLIndex:
+		t, err := wire.DecodeTuple(r)
+		if err != nil {
+			return nil, err
+		}
+		attr, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		return vlIndexMsg{T: t, Attr: attr}, nil
+	case tagJoin:
+		rws, err := decodeRewrittens(r, catalog)
+		if err != nil {
+			return nil, err
+		}
+		return joinMsg{Rewrites: rws}, nil
+	case tagJoinV:
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		cond, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		side, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		val, err := r.Value()
+		if err != nil {
+			return nil, err
+		}
+		trig, err := wire.DecodeTuple(r)
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		qs := make([]*query.Query, n)
+		for i := range qs {
+			if qs[i], err = wire.DecodeQuery(r, catalog); err != nil {
+				return nil, err
+			}
+		}
+		return joinVMsg{Input: input, Cond: cond, Side: query.Side(side), Value: val, Trigger: trig, Queries: qs}, nil
+	case tagJoinBatch:
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		msgs := make([]chord.Message, n)
+		for i := range msgs {
+			if msgs[i], err = DecodeMessage(r, catalog); err != nil {
+				return nil, err
+			}
+		}
+		return joinBatch{Msgs: msgs}, nil
+	case tagNotify:
+		sub, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		batch := make([]Notification, n)
+		for i := range batch {
+			if batch[i], err = decodeNotification(r); err != nil {
+				return nil, err
+			}
+		}
+		return notifyMsg{Subscriber: sub, Batch: batch}, nil
+	case tagProbe:
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		return probeMsg{AttrInput: input}, nil
+	case tagUnsub:
+		key, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		cond, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		return unsubMsg{QueryKey: key, Cond: cond, Input: input}, nil
+	case tagPurge:
+		key, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		return purgeMsg{QueryKey: key, Input: input}, nil
+	case tagBaselineQuery:
+		q, err := wire.DecodeQuery(r, catalog)
+		if err != nil {
+			return nil, err
+		}
+		side, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		return baselineQueryMsg{Q: q, Side: query.Side(side), Input: input}, nil
+	case tagBaselineTuple:
+		t, err := wire.DecodeTuple(r)
+		if err != nil {
+			return nil, err
+		}
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		side, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return baselineTupleMsg{T: t, Input: input, Side: query.Side(side)}, nil
+	case tagBaselineProbe:
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		rws, err := decodeRewrittens(r, catalog)
+		if err != nil {
+			return nil, err
+		}
+		return baselineProbeMsg{Input: input, Rewrites: rws}, nil
+	case tagMQuery:
+		mq, err := decodeMultiQuery(r, catalog)
+		if err != nil {
+			return nil, err
+		}
+		attr, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		replica, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return mQueryMsg{MQ: mq, Attr: attr, Replica: int(replica)}, nil
+	case tagMJoin:
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rws := make([]*mRewritten, n)
+		for i := range rws {
+			if rws[i], err = decodeMRewritten(r, catalog); err != nil {
+				return nil, err
+			}
+		}
+		return mJoinMsg{Rewrites: rws}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown message tag %d", tag)
+	}
+}
+
+func decodeRewrittens(r *wire.Reader, catalog *relation.Catalog) ([]*rewritten, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*rewritten, n)
+	for i := range out {
+		if out[i], err = decodeRewritten(r, catalog); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func decodeRewritten(r *wire.Reader, catalog *relation.Catalog) (*rewritten, error) {
+	key, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	q, err := wire.DecodeQuery(r, catalog)
+	if err != nil {
+		return nil, err
+	}
+	side, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	trig, err := wire.DecodeTuple(r)
+	if err != nil {
+		return nil, err
+	}
+	wantRel, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	wantAttr, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	wantVal, err := r.Value()
+	if err != nil {
+		return nil, err
+	}
+	return &rewritten{
+		Key: key, Orig: q, IndexSide: query.Side(side), Trigger: trig,
+		WantRel: wantRel, WantAttr: wantAttr, WantValue: wantVal,
+	}, nil
+}
+
+func decodeNotification(r *wire.Reader) (Notification, error) {
+	var n Notification
+	var err error
+	if n.QueryKey, err = r.String(); err != nil {
+		return n, err
+	}
+	if n.Subscriber, err = r.String(); err != nil {
+		return n, err
+	}
+	if n.subscriberIP, err = r.String(); err != nil {
+		return n, err
+	}
+	count, err := r.Uvarint()
+	if err != nil {
+		return n, err
+	}
+	n.Values = make([]relation.Value, count)
+	for i := range n.Values {
+		if n.Values[i], err = r.Value(); err != nil {
+			return n, err
+		}
+	}
+	if n.LeftPubT, err = r.Varint(); err != nil {
+		return n, err
+	}
+	if n.RightPubT, err = r.Varint(); err != nil {
+		return n, err
+	}
+	if n.DeliveredAt, err = r.Varint(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func decodeMultiQuery(r *wire.Reader, catalog *relation.Catalog) (*query.MultiQuery, error) {
+	key, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	sub, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	ip, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	insT, err := r.Varint()
+	if err != nil {
+		return nil, err
+	}
+	text, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	first, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	mq, err := query.ParseMulti(catalog, text)
+	if err != nil {
+		return nil, fmt.Errorf("engine: re-parse multi query: %w", err)
+	}
+	if mq.Rels()[0].Name() != first {
+		mq = mq.Reverse()
+		if mq.Rels()[0].Name() != first {
+			return nil, fmt.Errorf("engine: orientation marker %q matches neither chain endpoint", first)
+		}
+	}
+	return mq.WithInsT(insT).WithRestoredIdentity(key, sub, ip), nil
+}
+
+func decodeMRewritten(r *wire.Reader, catalog *relation.Catalog) (*mRewritten, error) {
+	key, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	mq, err := decodeMultiQuery(r, catalog)
+	if err != nil {
+		return nil, err
+	}
+	stage, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]*relation.Tuple, count)
+	for i := range acc {
+		if acc[i], err = wire.DecodeTuple(r); err != nil {
+			return nil, err
+		}
+	}
+	wantRel, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	wantAttr, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	wantVal, err := r.Value()
+	if err != nil {
+		return nil, err
+	}
+	return &mRewritten{
+		Key: key, Orig: mq, Stage: int(stage), Acc: acc,
+		WantRel: wantRel, WantAttr: wantAttr, WantValue: wantVal,
+	}, nil
+}
+
+// encodedLen is the single source of truth for message sizes: the exact
+// length of the message's wire encoding.
+func encodedLen(msg chord.Message) int {
+	var w wire.Buffer
+	if err := EncodeMessage(&w, msg); err != nil {
+		return 0
+	}
+	return w.Len()
+}

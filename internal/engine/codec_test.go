@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+	"cqjoin/internal/wire"
+)
+
+// codecFixtures builds one instance of every engine message.
+func codecFixtures(t *testing.T) (*relation.Catalog, []chord.Message) {
+	t.Helper()
+	env := newTestEnv(t, 16, Config{Algorithm: SAI})
+	q := env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND S.F >= 1`)
+	tu := rTuple(env, 1, 7, 2).WithPubT(9)
+	su := sTuple(env, 3, 7, 1).WithPubT(11)
+	proj, err := tu.Project(q.NeededAttrs("R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := &rewritten{
+		Key: "n#1+1+7", Orig: q, IndexSide: query.SideLeft, Trigger: proj,
+		WantRel: "S", WantAttr: "E", WantValue: relation.N(7),
+	}
+	notif, err := buildNotification(q, query.SideLeft, proj, su)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mcat := relation.MustCatalog(
+		relation.MustSchema("A", "x", "y"),
+		relation.MustSchema("B", "x", "y"),
+		relation.MustSchema("C", "x", "y"),
+	)
+	// Merge both catalogs so one decoder handles everything.
+	full := relation.MustCatalog(
+		env.r, env.s, env.doc, env.authors,
+		mcat.Lookup("A"), mcat.Lookup("B"), mcat.Lookup("C"),
+	)
+	mq := query.MustParseMulti(full, `SELECT A.y, C.y FROM A, B, C WHERE A.x = B.y AND B.x = C.y`).
+		WithIdentity("peer3", "sim://x", 2).WithInsT(5)
+	mqRev := mq.Reverse()
+	ta := relation.MustTuple(full.Lookup("A"), relation.N(1), relation.N(10)).WithPubT(6)
+	mrw := &mRewritten{
+		Key: "peer3#2+6", Orig: mqRev, Stage: 1, Acc: []*relation.Tuple{ta},
+		WantRel: "B", WantAttr: "y", WantValue: relation.N(1),
+	}
+
+	msgs := []chord.Message{
+		queryMsg{Q: q, Side: query.SideRight, Attr: "E", Replica: 2},
+		alIndexMsg{T: tu, Attr: "B", Replica: 1},
+		vlIndexMsg{T: su, Attr: "E"},
+		joinMsg{Rewrites: []*rewritten{rw, rw}},
+		joinVMsg{Input: "7", Cond: q.ConditionKey(), Side: query.SideLeft, Value: relation.N(7), Trigger: tu, Queries: []*query.Query{q}},
+		joinBatch{Msgs: []chord.Message{vlIndexMsg{T: su, Attr: "E"}, joinMsg{Rewrites: []*rewritten{rw}}}},
+		notifyMsg{Subscriber: q.Subscriber(), Batch: []Notification{notif, notif}},
+		probeMsg{AttrInput: "R+B"},
+		unsubMsg{QueryKey: q.Key(), Cond: q.ConditionKey(), Input: "R+B"},
+		purgeMsg{QueryKey: q.Key(), Input: "S+E+7"},
+		baselineQueryMsg{Q: q, Side: query.SideLeft, Input: "R"},
+		baselineTupleMsg{T: tu, Input: "R.B+S.E", Side: query.SideLeft},
+		baselineProbeMsg{Input: "S", Rewrites: []*rewritten{rw}},
+		mQueryMsg{MQ: mqRev, Attr: "x", Replica: 0},
+		mJoinMsg{Rewrites: []*mRewritten{mrw}},
+	}
+	return full, msgs
+}
+
+func TestCodecRoundTripAllMessages(t *testing.T) {
+	catalog, msgs := codecFixtures(t)
+	for _, msg := range msgs {
+		var w wire.Buffer
+		if err := EncodeMessage(&w, msg); err != nil {
+			t.Fatalf("%T: encode: %v", msg, err)
+		}
+		r := wire.NewReader(w.Bytes())
+		got, err := DecodeMessage(r, catalog)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%T: %d bytes left after decode", msg, r.Remaining())
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(msg) {
+			t.Fatalf("decoded %T, want %T", got, msg)
+		}
+		assertSemanticEqual(t, msg, got)
+	}
+}
+
+// assertSemanticEqual compares the fields the receiving handlers consume.
+func assertSemanticEqual(t *testing.T, want, got chord.Message) {
+	t.Helper()
+	switch w := want.(type) {
+	case queryMsg:
+		g := got.(queryMsg)
+		if g.Q.Key() != w.Q.Key() || g.Q.ConditionKey() != w.Q.ConditionKey() ||
+			g.Q.InsT() != w.Q.InsT() || g.Attr != w.Attr || g.Side != w.Side || g.Replica != w.Replica {
+			t.Fatalf("queryMsg mismatch: %+v", g)
+		}
+		if len(g.Q.Filters()) != len(w.Q.Filters()) {
+			t.Fatal("queryMsg lost filters")
+		}
+	case alIndexMsg:
+		g := got.(alIndexMsg)
+		if g.T.String() != w.T.String() || g.T.PubT() != w.T.PubT() || g.Attr != w.Attr || g.Replica != w.Replica {
+			t.Fatalf("alIndexMsg mismatch: %+v", g)
+		}
+	case vlIndexMsg:
+		g := got.(vlIndexMsg)
+		if g.T.String() != w.T.String() || g.Attr != w.Attr {
+			t.Fatalf("vlIndexMsg mismatch: %+v", g)
+		}
+	case joinMsg:
+		g := got.(joinMsg)
+		if len(g.Rewrites) != len(w.Rewrites) {
+			t.Fatal("joinMsg lost rewrites")
+		}
+		for i := range g.Rewrites {
+			assertRewrittenEqual(t, w.Rewrites[i], g.Rewrites[i])
+		}
+	case joinVMsg:
+		g := got.(joinVMsg)
+		if g.Input != w.Input || g.Cond != w.Cond || g.Side != w.Side ||
+			!g.Value.Equal(w.Value) || g.Trigger.String() != w.Trigger.String() ||
+			len(g.Queries) != len(w.Queries) || g.Queries[0].Key() != w.Queries[0].Key() {
+			t.Fatalf("joinVMsg mismatch: %+v", g)
+		}
+	case joinBatch:
+		g := got.(joinBatch)
+		if len(g.Msgs) != len(w.Msgs) {
+			t.Fatal("joinBatch lost messages")
+		}
+		for i := range g.Msgs {
+			assertSemanticEqual(t, w.Msgs[i], g.Msgs[i])
+		}
+	case notifyMsg:
+		g := got.(notifyMsg)
+		if g.Subscriber != w.Subscriber || len(g.Batch) != len(w.Batch) {
+			t.Fatalf("notifyMsg mismatch: %+v", g)
+		}
+		for i := range g.Batch {
+			if g.Batch[i].ContentKey() != w.Batch[i].ContentKey() ||
+				g.Batch[i].LeftPubT != w.Batch[i].LeftPubT ||
+				g.Batch[i].RightPubT != w.Batch[i].RightPubT ||
+				g.Batch[i].subscriberIP != w.Batch[i].subscriberIP {
+				t.Fatalf("notification %d mismatch", i)
+			}
+		}
+	case probeMsg:
+		if got.(probeMsg) != w {
+			t.Fatal("probeMsg mismatch")
+		}
+	case unsubMsg:
+		if got.(unsubMsg) != w {
+			t.Fatal("unsubMsg mismatch")
+		}
+	case purgeMsg:
+		if got.(purgeMsg) != w {
+			t.Fatal("purgeMsg mismatch")
+		}
+	case baselineQueryMsg:
+		g := got.(baselineQueryMsg)
+		if g.Q.Key() != w.Q.Key() || g.Side != w.Side || g.Input != w.Input {
+			t.Fatalf("baselineQueryMsg mismatch: %+v", g)
+		}
+	case baselineTupleMsg:
+		g := got.(baselineTupleMsg)
+		if g.T.String() != w.T.String() || g.Input != w.Input || g.Side != w.Side {
+			t.Fatalf("baselineTupleMsg mismatch: %+v", g)
+		}
+	case baselineProbeMsg:
+		g := got.(baselineProbeMsg)
+		if g.Input != w.Input || len(g.Rewrites) != len(w.Rewrites) {
+			t.Fatalf("baselineProbeMsg mismatch: %+v", g)
+		}
+	case mQueryMsg:
+		g := got.(mQueryMsg)
+		if g.MQ.Key() != w.MQ.Key() || g.MQ.InsT() != w.MQ.InsT() ||
+			g.Attr != w.Attr || g.Replica != w.Replica {
+			t.Fatalf("mQueryMsg mismatch: %+v", g)
+		}
+		// Orientation must survive: the pipeline's first relation.
+		if g.MQ.Rels()[0].Name() != w.MQ.Rels()[0].Name() {
+			t.Fatalf("mQueryMsg orientation lost: %s vs %s",
+				g.MQ.Rels()[0].Name(), w.MQ.Rels()[0].Name())
+		}
+	case mJoinMsg:
+		g := got.(mJoinMsg)
+		if len(g.Rewrites) != len(w.Rewrites) {
+			t.Fatal("mJoinMsg lost rewrites")
+		}
+		for i := range g.Rewrites {
+			gr, wr := g.Rewrites[i], w.Rewrites[i]
+			if gr.Key != wr.Key || gr.Stage != wr.Stage || len(gr.Acc) != len(wr.Acc) ||
+				gr.WantRel != wr.WantRel || gr.WantAttr != wr.WantAttr || !gr.WantValue.Equal(wr.WantValue) ||
+				gr.Orig.Rels()[0].Name() != wr.Orig.Rels()[0].Name() {
+				t.Fatalf("mRewritten %d mismatch", i)
+			}
+		}
+	default:
+		t.Fatalf("no comparer for %T", want)
+	}
+}
+
+func assertRewrittenEqual(t *testing.T, w, g *rewritten) {
+	t.Helper()
+	if g.Key != w.Key || g.Orig.Key() != w.Orig.Key() || g.IndexSide != w.IndexSide ||
+		g.Trigger.String() != w.Trigger.String() || g.WantRel != w.WantRel ||
+		g.WantAttr != w.WantAttr || !g.WantValue.Equal(w.WantValue) {
+		t.Fatalf("rewritten mismatch: %+v vs %+v", g, w)
+	}
+}
+
+// Size() must be the exact encoded length for every message type.
+func TestSizeMatchesEncoding(t *testing.T) {
+	_, msgs := codecFixtures(t)
+	for _, msg := range msgs {
+		s, ok := msg.(chord.Sizer)
+		if !ok {
+			t.Fatalf("%T does not implement Sizer", msg)
+		}
+		var w wire.Buffer
+		if err := EncodeMessage(&w, msg); err != nil {
+			t.Fatalf("%T: encode: %v", msg, err)
+		}
+		if s.Size() != w.Len() {
+			t.Fatalf("%T: Size()=%d, encoding=%d", msg, s.Size(), w.Len())
+		}
+	}
+}
+
+func TestDecodeUnknownTag(t *testing.T) {
+	var w wire.Buffer
+	w.PutUvarint(200)
+	if _, err := DecodeMessage(wire.NewReader(w.Bytes()), nil); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	catalog, msgs := codecFixtures(t)
+	for _, msg := range msgs {
+		var w wire.Buffer
+		if err := EncodeMessage(&w, msg); err != nil {
+			t.Fatal(err)
+		}
+		full := w.Bytes()
+		// Strict prefixes must fail cleanly.
+		for _, cut := range []int{0, 1, len(full) / 2, len(full) - 1} {
+			if cut >= len(full) {
+				continue
+			}
+			if _, err := DecodeMessage(wire.NewReader(full[:cut]), catalog); err == nil {
+				t.Fatalf("%T: truncation at %d accepted", msg, cut)
+			}
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package engine implements the paper's primary contribution (Chapter 4):
+// four distributed algorithms for evaluating continuous two-way equi-join
+// queries over a DHT — SAI (single-attribute indexing), DAI-Q, DAI-T and
+// DAI-V (double-attribute indexing) — together with the naive baselines of
+// Section 4.1, the two-level ALQT/VLQT/VLTT hash tables of Section 4.3.5,
+// notification creation and delivery (Section 4.6), and the optimizations
+// of Section 4.7: the Join Fingers Routing Table and attribute-level
+// replication.
+//
+// The engine installs itself as the message handler of every overlay node;
+// query submissions and tuple insertions become overlay messages whose hops
+// are charged to the network's traffic ledger, and each node accrues
+// filtering (TF) and storage (TS) load in its metrics.Load, reproducing the
+// measurement model of Chapter 5.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/id"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+// Algorithm selects the query-processing protocol.
+type Algorithm int
+
+const (
+	// SAI indexes each query under one join attribute (Section 4.3).
+	SAI Algorithm = iota
+	// DAIQ indexes under both join attributes; evaluators store tuples and
+	// create notifications when rewritten queries arrive (Section 4.4.2).
+	DAIQ
+	// DAIT indexes under both join attributes; evaluators store rewritten
+	// queries and create notifications when tuples arrive. Rewriters never
+	// reindex the same rewritten query twice (Section 4.4.3).
+	DAIT
+	// DAIV indexes under both sides and maps rewritten queries to
+	// evaluators by the value of the join-condition side alone, supporting
+	// type-T2 queries (Section 4.5).
+	DAIV
+	// BaselineRelation is the naive scheme of Section 4.1 indexing queries
+	// and tuples by relation name only: load concentrates on one node per
+	// relation.
+	BaselineRelation
+	// BaselineAttribute indexes by relation+attribute name with no value
+	// level: load bounded by the number of schema attributes.
+	BaselineAttribute
+	// BaselinePair indexes a query at Hash(R.A + S.B), the combination of
+	// its two join attributes; tuples must reach every attribute pair.
+	BaselinePair
+)
+
+// String names the algorithm as the paper does.
+func (a Algorithm) String() string {
+	switch a {
+	case SAI:
+		return "SAI"
+	case DAIQ:
+		return "DAI-Q"
+	case DAIT:
+		return "DAI-T"
+	case DAIV:
+		return "DAI-V"
+	case BaselineRelation:
+		return "naive-rel"
+	case BaselineAttribute:
+		return "naive-attr"
+	case BaselinePair:
+		return "naive-pair"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Algorithm selects the protocol. The zero value is SAI.
+	Algorithm Algorithm
+	// Strategy picks the index attribute for SAI queries (Section 4.3.6).
+	// The zero value is StrategyRandom.
+	Strategy Strategy
+	// UseJFRT enables the Join Fingers Routing Table (Section 4.7.1):
+	// rewriters cache evaluator addresses so repeat reindexing costs one
+	// hop instead of O(log N).
+	UseJFRT bool
+	// IterativeMultisend replaces the recursive multisend of Section 2.3
+	// with k independent lookups, the comparison baseline of Figure 4.8.
+	IterativeMultisend bool
+	// ReplicationFactor k replicates the rewriter role of every attribute
+	// over k nodes (Section 4.7.2). Queries are indexed at all replicas;
+	// each incoming tuple is routed to one replica chosen by its attribute
+	// value, splitting the filtering load. Values < 2 disable replication.
+	ReplicationFactor int
+	// DAIVKeyed enables the Section 4.5 extension of DAI-V that computes
+	// evaluator identifiers as Key(q) + valJC: every query gets private
+	// evaluators (best load spread, supports an even more expressive query
+	// class) but rewritten queries can no longer be grouped, multiplying
+	// traffic by roughly the number of co-triggered queries.
+	DAIVKeyed bool
+	// Window is the sliding-window length in logical time units: evaluator
+	// tuples older than Window are evicted. Zero keeps tuples forever.
+	Window int64
+	// Seed drives the engine's private randomness (random index-attribute
+	// choices). The same seed reproduces the same run.
+	Seed int64
+}
+
+// Engine coordinates query processing over one overlay.
+type Engine struct {
+	cfg     Config
+	net     *chord.Network
+	catalog *relation.Catalog
+
+	mu       sync.Mutex
+	states   map[*chord.Node]*nodeState
+	byKey    map[string]*nodeState // subscriber key -> state (for delivery)
+	seq      map[string]int        // per-subscriber query sequence numbers
+	subs     map[string][]string   // query key -> attribute-level index inputs
+	rng      *rand.Rand
+	sink     []Notification
+	onNotify func(Notification)
+}
+
+// New creates an engine over the given overlay and schema catalog and
+// attaches it to every node currently in the overlay. Nodes joining later
+// must be attached with Attach.
+func New(net *chord.Network, catalog *relation.Catalog, cfg Config) *Engine {
+	if cfg.ReplicationFactor < 2 {
+		cfg.ReplicationFactor = 1
+	}
+	e := &Engine{
+		cfg:     cfg,
+		net:     net,
+		catalog: catalog,
+		states:  make(map[*chord.Node]*nodeState),
+		byKey:   make(map[string]*nodeState),
+		seq:     make(map[string]int),
+		subs:    make(map[string][]string),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, n := range net.Nodes() {
+		e.Attach(n)
+	}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Network returns the overlay the engine runs on.
+func (e *Engine) Network() *chord.Network { return e.net }
+
+// Attach installs the engine as node n's message handler and allocates its
+// query-processing state.
+func (e *Engine) Attach(n *chord.Node) *nodeState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.states[n]; ok {
+		return st
+	}
+	st := newNodeState(e, n)
+	e.states[n] = st
+	e.byKey[n.Key()] = st
+	n.SetHandler(st)
+	return st
+}
+
+// Detach forgets node n's state (after it left the overlay for good).
+func (e *Engine) Detach(n *chord.Node) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.states, n)
+	if st, ok := e.byKey[n.Key()]; ok && st.node == n {
+		delete(e.byKey, n.Key())
+	}
+}
+
+// state returns the node's processing state, attaching lazily so nodes that
+// joined after New participate transparently.
+func (e *Engine) state(n *chord.Node) *nodeState {
+	e.mu.Lock()
+	st, ok := e.states[n]
+	e.mu.Unlock()
+	if ok {
+		return st
+	}
+	return e.Attach(n)
+}
+
+// MoveNode re-positions a peer at a new ring identifier — the attribute-
+// level load-balancing move of Section 4.7.2 (Figure 4.7). Placing an
+// underloaded peer exactly at a hot identifier (id.Hash of the hot
+// attribute input) makes it the new owner of that rewriter role; the ALQT
+// bucket and all other stored items of the arc move with the ownership.
+func (e *Engine) MoveNode(n *chord.Node, to id.ID) (*chord.Node, error) {
+	moved, err := e.net.MoveNode(n, to)
+	if err != nil {
+		return nil, err
+	}
+	e.Detach(n)
+	// chord.MoveNode carries the previous incarnation's handler over; the
+	// engine instead binds the fresh per-node state (created lazily during
+	// the join's key hand-off) so loads and tables follow the new node.
+	st := e.Attach(moved)
+	moved.SetHandler(st)
+	return moved, nil
+}
+
+// OnNotify installs a callback invoked for every notification delivered to
+// its subscriber (including replayed stored notifications).
+func (e *Engine) OnNotify(fn func(Notification)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onNotify = fn
+}
+
+// Notifications returns a copy of every notification delivered so far, in
+// delivery order.
+func (e *Engine) Notifications() []Notification {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Notification, len(e.sink))
+	copy(out, e.sink)
+	return out
+}
+
+// ResetNotifications clears the delivered-notification record (the load and
+// traffic ledgers are reset through their own types).
+func (e *Engine) ResetNotifications() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sink = nil
+}
+
+func (e *Engine) record(n Notification) {
+	e.mu.Lock()
+	e.sink = append(e.sink, n)
+	fn := e.onNotify
+	e.mu.Unlock()
+	if fn != nil {
+		fn(n)
+	}
+}
+
+// Subscribe indexes a continuous query on behalf of node from, assigning it
+// a fresh key Key(q) and insertion time, and returns the identified query.
+// The query must be type T1 unless the engine runs DAI-V (Section 4.5),
+// the only algorithm evaluating type-T2 queries.
+func (e *Engine) Subscribe(from *chord.Node, q *query.Query) (*query.Query, error) {
+	if !from.Alive() {
+		return nil, fmt.Errorf("engine: subscribe from departed node %s", from)
+	}
+	if q.Type() == query.T2 && e.cfg.Algorithm != DAIV && e.cfg.Algorithm != BaselineRelation {
+		return nil, fmt.Errorf("engine: %s cannot evaluate type-T2 query %q; use DAI-V", e.cfg.Algorithm, q)
+	}
+	e.mu.Lock()
+	e.seq[from.Key()]++
+	seq := e.seq[from.Key()]
+	e.mu.Unlock()
+
+	qq := q.WithIdentity(from.Key(), from.IP(), seq).WithInsT(e.net.Clock().Tick())
+	if err := e.indexQuery(from, qq); err != nil {
+		return nil, err
+	}
+	return qq, nil
+}
+
+// Publish inserts a tuple into the network on behalf of node from, stamping
+// its publication time, and runs the full two-phase evaluation: the tuple
+// is indexed per Section 4.2, triggers queries at rewriters, rewritten
+// queries reach evaluators and notifications flow back to subscribers —
+// all before Publish returns (the simulator delivers synchronously).
+func (e *Engine) Publish(from *chord.Node, t *relation.Tuple) (*relation.Tuple, error) {
+	if !from.Alive() {
+		return nil, fmt.Errorf("engine: publish from departed node %s", from)
+	}
+	if e.catalog.Lookup(t.Relation()) == nil {
+		return nil, fmt.Errorf("engine: relation %s not in catalog", t.Relation())
+	}
+	tt := t.WithPubT(e.net.Clock().Tick())
+	if err := e.indexTuple(from, tt); err != nil {
+		return nil, err
+	}
+	return tt, nil
+}
+
+// LoadOf returns node n's load counters.
+func (e *Engine) LoadOf(n *chord.Node) *metrics.Load {
+	return &e.state(n).load
+}
+
+// FilteringLoads returns every alive node's total filtering load (TF), in
+// ring order.
+func (e *Engine) FilteringLoads() []int64 {
+	nodes := e.net.Nodes()
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		out[i] = e.state(n).load.TotalFiltering()
+	}
+	return out
+}
+
+// StorageLoads returns every alive node's total storage load (TS), in ring
+// order.
+func (e *Engine) StorageLoads() []int64 {
+	nodes := e.net.Nodes()
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		out[i] = e.state(n).load.TotalStorage()
+	}
+	return out
+}
+
+// RoleLoads returns per-node loads restricted to one role and metric,
+// feeding the rewriter-vs-evaluator split of Figure 5.11.
+func (e *Engine) RoleLoads(role metrics.Role, storage bool) []int64 {
+	nodes := e.net.Nodes()
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		l := &e.state(n).load
+		if storage {
+			out[i] = l.Storage(role)
+		} else {
+			out[i] = l.Filtering(role)
+		}
+	}
+	return out
+}
+
+// ResetLoads zeroes every node's load counters, typically after warm-up.
+func (e *Engine) ResetLoads() {
+	for _, n := range e.net.Nodes() {
+		e.state(n).load.Reset()
+	}
+}
+
+// EvictExpired applies the sliding window across all nodes, removing stored
+// tuples whose publication time has fallen out of the window. It is a
+// no-op when Config.Window is zero.
+func (e *Engine) EvictExpired() {
+	if e.cfg.Window <= 0 {
+		return
+	}
+	cutoff := e.net.Clock().Now() - e.cfg.Window
+	for _, n := range e.net.Nodes() {
+		e.state(n).evictBefore(cutoff)
+	}
+}
+
+// randIntn returns a deterministic pseudo-random int in [0, n) from the
+// engine's seeded source.
+func (e *Engine) randIntn(n int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rng.Intn(n)
+}

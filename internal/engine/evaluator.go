@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/relation"
+)
+
+// This file implements the value level of the two-level indexing scheme:
+// the evaluator role (Sections 4.3.3, 4.3.4, 4.4.2, 4.4.3, 4.5). An
+// evaluator is reached through an identifier derived from a join-attribute
+// value; it matches rewritten queries against tuples and creates the
+// notifications.
+
+// handleJoin processes rewritten queries arriving at an evaluator. The
+// reaction is the algorithm's defining choice (Table 4.1):
+//
+//   - SAI stores the rewritten query (first arrival of its key; repeats
+//     only add time information, Section 4.3.3) AND matches it against the
+//     stored tuples of the load-distributing relation.
+//   - DAI-Q only matches against stored tuples; rewritten queries are never
+//     stored, so future tuples cannot double-report (Section 4.4.2).
+//   - DAI-T only stores the rewritten query; notifications are created when
+//     tuples arrive (Section 4.4.3).
+func (st *nodeState) handleJoin(m joinMsg) {
+	alg := st.engine.cfg.Algorithm
+	var notifs []Notification
+	work := 1
+	stored := 0
+
+	st.mu.Lock()
+	for _, rw := range m.Rewrites {
+		input := vlInput(rw.WantRel, rw.WantAttr, rw.WantValue)
+
+		if alg == SAI || alg == DAIT {
+			qb := st.vlqt[input]
+			if qb == nil {
+				qb = newVLQTBucket(input)
+				st.vlqt[input] = qb
+			}
+			if sr, dup := qb.byKey[rw.Key]; dup {
+				// Same rewritten key: created from the same query by a
+				// tuple with the same index-attribute value. Only the new
+				// publication time is recorded (Section 4.3.3).
+				sr.times = append(sr.times, rw.Trigger.PubT())
+				work++
+				continue
+			}
+			sr := &storedRewrite{rw: rw, times: []int64{rw.Trigger.PubT()}}
+			qb.byKey[rw.Key] = sr
+			qb.sorted = append(qb.sorted, sr)
+			stored++
+		}
+
+		if alg == SAI || alg == DAIQ {
+			// Match the rewritten query against stored tuples that were
+			// inserted after the query was posed.
+			if tb := st.vltt[input]; tb != nil {
+				for _, tt := range tb.tuples {
+					work++
+					if n, ok := matchRewrite(rw, tt); ok {
+						notifs = append(notifs, n)
+					}
+				}
+			}
+		}
+	}
+	st.mu.Unlock()
+
+	st.load.AddFiltering(metrics.Evaluator, work)
+	if stored > 0 {
+		st.load.AddStorage(metrics.Evaluator, stored)
+	}
+	st.sendNotifications(notifs)
+}
+
+// handleVLIndex processes a tuple arriving at the value level
+// (Section 4.3.4):
+//
+//   - SAI matches the tuple against stored rewritten queries AND stores it
+//     in the VLTT (necessary for completeness: a rewritten query arriving
+//     later must find it).
+//   - DAI-Q only stores the tuple; stored rewritten queries do not exist.
+//   - DAI-T only matches; tuples are never stored at the value level.
+func (st *nodeState) handleVLIndex(m vlIndexMsg) {
+	alg := st.engine.cfg.Algorithm
+	t := m.T
+	input := vlInput(t.Relation(), m.Attr, t.MustValue(m.Attr))
+	var notifs []Notification
+	var outs []outbound
+	work := 1
+	stored := 0
+
+	st.mu.Lock()
+	if alg == SAI || alg == DAIT {
+		if qb := st.vlqt[input]; qb != nil {
+			for _, sr := range qb.sorted {
+				work++
+				if n, ok := matchRewrite(sr.rw, t); ok {
+					notifs = append(notifs, n)
+				}
+			}
+		}
+	}
+	// Stored multi-way partial matches awaiting this identifier.
+	mNotifs, mOuts, mWork := st.matchMultiStored(input, t)
+	notifs = append(notifs, mNotifs...)
+	outs = append(outs, mOuts...)
+	work += mWork
+	if alg == SAI || alg == DAIQ {
+		tb := st.vltt[input]
+		if tb == nil {
+			tb = &vlttBucket{input: input}
+			st.vltt[input] = tb
+		}
+		tb.tuples = append(tb.tuples, t)
+		stored++
+	}
+	st.mu.Unlock()
+
+	st.load.AddFiltering(metrics.Evaluator, work)
+	if stored > 0 {
+		st.load.AddStorage(metrics.Evaluator, stored)
+	}
+	st.sendJoins(outs)
+	st.sendNotifications(notifs)
+}
+
+// matchRewrite checks a rewritten query against a tuple of the
+// load-distributing relation. The value condition holds by construction —
+// both reached this identifier through DisR + DisA + valDA — so only the
+// time semantics (pubT >= insT, Section 3.2) and the selection predicates
+// on the stored side remain.
+func matchRewrite(rw *rewritten, t *relation.Tuple) (Notification, bool) {
+	if t.PubT() < rw.Orig.InsT() {
+		return Notification{}, false
+	}
+	if ok, err := rw.Orig.FiltersPass(t); err != nil || !ok {
+		return Notification{}, false
+	}
+	n, err := buildNotification(rw.Orig, rw.IndexSide, rw.Trigger, t)
+	if err != nil {
+		return Notification{}, false
+	}
+	return n, true
+}
+
+// handleJoinV processes DAI-V's join(q', t') messages (Section 4.5). The
+// evaluator owns one join-condition value: it matches the incoming tuple
+// against stored tuples of the opposite side with the same condition,
+// creates notifications, then stores the tuple. Rewritten queries are not
+// stored — symmetry between the two rewriters guarantees the other side's
+// future tuples will carry their own query group here.
+func (st *nodeState) handleJoinV(m joinVMsg) {
+	input := m.Input
+	var notifs []Notification
+	work := 1
+	stored := 0
+
+	st.mu.Lock()
+	b := st.vstore[input]
+	if b == nil {
+		b = newDAIVBucket(input)
+		st.vstore[input] = b
+	}
+	entry := b.byCond[m.Cond]
+	if entry == nil {
+		entry = &daivEntry{cond: m.Cond, seen: make(map[string]bool)}
+		b.byCond[m.Cond] = entry
+	}
+	for _, tt := range entry.tuples[m.Side.Other()] {
+		for _, q := range m.Queries {
+			work++
+			if tt.PubT() < q.InsT() {
+				continue
+			}
+			if ok, err := q.FiltersPass(tt); err != nil || !ok {
+				continue
+			}
+			if n, err := buildNotification(q, m.Side, m.Trigger, tt); err == nil {
+				notifs = append(notifs, n)
+			}
+		}
+	}
+	// Store the triggering tuple once, even when equivalent query groups
+	// indexed under different attributes deliver it twice.
+	ck := tupleContentKey(m.Trigger)
+	if !entry.seen[ck] {
+		entry.seen[ck] = true
+		entry.tuples[m.Side] = append(entry.tuples[m.Side], m.Trigger)
+		stored++
+	}
+	st.mu.Unlock()
+
+	st.load.AddFiltering(metrics.Evaluator, work)
+	if stored > 0 {
+		st.load.AddStorage(metrics.Evaluator, stored)
+	}
+	st.sendNotifications(notifs)
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"sync"
+
+	"cqjoin/internal/chord"
+)
+
+// jfrtCache is the Join Fingers Routing Table of Section 4.7.1. A rewriter
+// repeatedly reindexes rewritten queries to the same evaluators: the same
+// (relation, attribute, value) identifier recurs whenever tuples carry
+// recurring join values. The JFRT caches the evaluator node responsible
+// for each value-level identifier the rewriter has already looked up, so a
+// repeat reindexing costs a single direct hop instead of an O(log N)
+// overlay lookup. Entries are soft state: a cached node that has left the
+// overlay is dropped and the next reindexing repopulates the entry through
+// a normal lookup.
+type jfrtCache struct {
+	mu      sync.Mutex
+	entries map[string]*chord.Node
+	hits    int64
+	misses  int64
+}
+
+func newJFRTCache() *jfrtCache {
+	return &jfrtCache{entries: make(map[string]*chord.Node)}
+}
+
+// lookup returns the cached evaluator for the value-level input, when still
+// alive.
+func (c *jfrtCache) lookup(input string) (*chord.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[input]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	if !n.Alive() {
+		delete(c.entries, input)
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return n, true
+}
+
+// store records the evaluator learned from a routed lookup.
+func (c *jfrtCache) store(input string, n *chord.Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[input] = n
+}
+
+// stats reports hit/miss counts, used by the JFRT effectiveness bench.
+func (c *jfrtCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+// JFRTStats aggregates Join Fingers Routing Table statistics across all
+// nodes: total cache hits, misses and resident entries.
+func (e *Engine) JFRTStats() (hits, misses int64, entries int) {
+	e.mu.Lock()
+	states := make([]*nodeState, 0, len(e.states))
+	for _, st := range e.states {
+		states = append(states, st)
+	}
+	e.mu.Unlock()
+	for _, st := range states {
+		h, m, s := st.jfrt.stats()
+		hits += h
+		misses += m
+		entries += s
+	}
+	return hits, misses, entries
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"cqjoin/internal/chord"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+// Message kinds charged to the traffic ledger. The names follow the paper's
+// message vocabulary (Sections 4.2-4.6).
+const (
+	kindQuery    = "query"    // query(q, Id(n), IP(n)) indexing a query at the attribute level
+	kindALIndex  = "al-index" // al-index(t, A): tuple at the attribute level
+	kindVLIndex  = "vl-index" // vl-index(t, A): tuple at the value level
+	kindJoin     = "join"     // join(q'): rewritten query reindexed at the value level
+	kindNotify   = "notification"
+	kindProbe    = "strategy-probe" // rate/domain probe of candidate rewriters (Section 4.3.6)
+	kindBaseline = "probe"          // baseline cross-site probe (Section 4.1)
+)
+
+// queryMsg indexes query Q at the attribute level under index attribute
+// Attr of relation Rel — the message query(q, Id(n), IP(n)) of
+// Section 4.3.1. Replica is the attribute-level replica the message is
+// addressed to when replication is on.
+type queryMsg struct {
+	Q       *query.Query
+	Side    query.Side // the side whose attribute indexes the query here
+	Attr    string     // IndexA(q) as addressed to this rewriter
+	Replica int
+}
+
+func (queryMsg) Kind() string { return kindQuery }
+
+// alIndexMsg carries tuple T indexed at the attribute level under Attr —
+// al-index(t, A) of Section 4.2. Replica identifies the rewriter replica.
+type alIndexMsg struct {
+	T       *relation.Tuple
+	Attr    string
+	Replica int
+}
+
+func (alIndexMsg) Kind() string { return kindALIndex }
+
+// vlIndexMsg carries tuple T indexed at the value level under Attr —
+// vl-index(t, A) of Section 4.2.
+type vlIndexMsg struct {
+	T    *relation.Tuple
+	Attr string
+}
+
+func (vlIndexMsg) Kind() string { return kindVLIndex }
+
+// rewritten is one rewritten query q' produced when a tuple triggers query
+// Orig at the attribute level (Section 4.3.2). The index-relation
+// attributes of Orig have been consumed: Trigger carries the triggering
+// tuple projected on the attributes still needed (SELECT values and join
+// attribute), and the q' asks for tuples of WantRel whose WantAttr equals
+// WantValue.
+type rewritten struct {
+	Key       string // Key(q') per Section 4.3.3
+	Orig      *query.Query
+	IndexSide query.Side      // the side consumed by the trigger
+	Trigger   *relation.Tuple // projection of the triggering tuple
+	WantRel   string          // DisR(q)
+	WantAttr  string          // DisA(q)
+	WantValue relation.Value  // valDA(q, t)
+}
+
+// joinMsg reindexes one or more rewritten queries that share the same
+// evaluator — the join(q') message of Section 4.3.2, grouped per
+// Section 4.3.5 so similar queries travel in one message.
+type joinMsg struct {
+	Rewrites []*rewritten
+}
+
+func (joinMsg) Kind() string { return kindJoin }
+
+// joinVMsg is DAI-V's join(q', t') message (Section 4.5): the projection
+// Trigger of the triggering tuple plus the group of queries (equal join
+// conditions) it triggered. Value is valJC — the value both sides of the
+// join condition must take. Input is the exact string hashed to pick the
+// evaluator: plain DAI-V uses Value alone; the keyed extension prefixes
+// Key(q), trading grouping (and so traffic) for per-query load spread.
+type joinVMsg struct {
+	Input   string
+	Cond    string // canonical join condition, the grouping key
+	Side    query.Side
+	Value   relation.Value
+	Trigger *relation.Tuple
+	Queries []*query.Query // the triggered group, all with condition Cond
+}
+
+func (joinVMsg) Kind() string { return kindJoin }
+
+// joinBatch groups several value-level messages bound for one recipient
+// node into a single physical message — the grouping of Section 4.3.5
+// applied to the JFRT's direct-delivery path, so a warm cache never costs
+// more than one hop per destination node.
+type joinBatch struct {
+	Msgs []chord.Message
+}
+
+func (joinBatch) Kind() string { return kindJoin }
+
+// notifyMsg delivers a batch of notifications for one subscriber; multiple
+// notifications for the same receiver are grouped in one message
+// (Section 4.6).
+type notifyMsg struct {
+	Subscriber string
+	Batch      []Notification
+}
+
+func (notifyMsg) Kind() string { return kindNotify }
+
+// probeMsg asks a candidate rewriter for its observed tuple-arrival rate
+// and value-domain size under one attribute key (Section 4.3.6). The
+// simulator reads the answer synchronously; the message exists to charge
+// the probe's routing cost.
+type probeMsg struct {
+	AttrInput string
+}
+
+func (probeMsg) Kind() string { return kindProbe }
+
+// The naive-baseline messages of Section 4.1 live in baseline.go.

@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+// multiEnv sets up a chain-join catalog A-B-C-D with small attribute
+// domains so combinations actually complete.
+type multiEnv struct {
+	net        *chord.Network
+	eng        *Engine
+	catalog    *relation.Catalog
+	a, b, c, d *relation.Schema
+	nodes      []*chord.Node
+}
+
+func newMultiEnv(t testing.TB, nNodes int, cfg Config) *multiEnv {
+	t.Helper()
+	a := relation.MustSchema("A", "x", "y", "z")
+	b := relation.MustSchema("B", "x", "y", "z")
+	c := relation.MustSchema("C", "x", "y", "z")
+	d := relation.MustSchema("D", "x", "y", "z")
+	catalog := relation.MustCatalog(a, b, c, d)
+	net := chord.New(chord.Config{})
+	net.AddNodes("peer", nNodes)
+	eng := New(net, catalog, cfg)
+	return &multiEnv{net: net, eng: eng, catalog: catalog, a: a, b: b, c: c, d: d, nodes: net.Nodes()}
+}
+
+func (e *multiEnv) tuple(s *relation.Schema, x, y, z float64) *relation.Tuple {
+	return relation.MustTuple(s, relation.N(x), relation.N(y), relation.N(z))
+}
+
+func (e *multiEnv) publish(t testing.TB, i int, tu *relation.Tuple) *relation.Tuple {
+	t.Helper()
+	out, err := e.eng.Publish(e.nodes[i%len(e.nodes)], tu)
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	return out
+}
+
+func (e *multiEnv) subscribeMulti(t testing.TB, i int, sql string) *query.MultiQuery {
+	t.Helper()
+	mq, err := e.eng.SubscribeMulti(e.nodes[i%len(e.nodes)], query.MustParseMulti(e.catalog, sql))
+	if err != nil {
+		t.Fatalf("SubscribeMulti(%q): %v", sql, err)
+	}
+	return mq
+}
+
+func TestThreeWayJoinBasic(t *testing.T) {
+	for _, alg := range []Algorithm{SAI, DAIQ} {
+		t.Run(alg.String(), func(t *testing.T) {
+			env := newMultiEnv(t, 48, Config{Algorithm: alg, Strategy: StrategyLeft})
+			env.subscribeMulti(t, 0, `SELECT A.z, B.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+			// A(x=1) joins B(y=1, x=2) joins C(y=2).
+			env.publish(t, 1, env.tuple(env.a, 1, 0, 10))
+			env.publish(t, 2, env.tuple(env.b, 2, 1, 20))
+			env.publish(t, 3, env.tuple(env.c, 0, 2, 30))
+			got := env.eng.Notifications()
+			if len(got) != 1 {
+				t.Fatalf("%d notifications, want 1: %v", len(got), got)
+			}
+			n := got[0]
+			want := []float64{10, 20, 30}
+			for i, w := range want {
+				if !n.Values[i].Equal(relation.N(w)) {
+					t.Fatalf("values = %v, want %v", n.Values, want)
+				}
+			}
+		})
+	}
+}
+
+// Tuples arriving in every possible order must produce the combination
+// exactly once.
+func TestThreeWayAllArrivalOrders(t *testing.T) {
+	tuples := []struct {
+		rel  byte
+		x, z float64
+	}{
+		{'A', 1, 10}, {'B', 2, 20}, {'C', 0, 30},
+	}
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, perm := range perms {
+		env := newMultiEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft})
+		env.subscribeMulti(t, 0, `SELECT A.z, B.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+		for _, idx := range perm {
+			tu := tuples[idx]
+			switch tu.rel {
+			case 'A':
+				env.publish(t, 1, env.tuple(env.a, tu.x, 0, tu.z))
+			case 'B':
+				env.publish(t, 2, env.tuple(env.b, tu.x, 1, tu.z))
+			case 'C':
+				env.publish(t, 3, env.tuple(env.c, tu.x, 2, tu.z))
+			}
+		}
+		got := env.eng.Notifications()
+		if len(got) != 1 {
+			t.Fatalf("order %v: %d notifications, want 1", perm, len(got))
+		}
+	}
+}
+
+func TestMultiTimeSemantics(t *testing.T) {
+	env := newMultiEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft})
+	// One chain tuple inserted before the query: the combination must not
+	// fire even though the other two arrive after.
+	env.publish(t, 1, env.tuple(env.b, 2, 1, 20))
+	env.subscribeMulti(t, 0, `SELECT A.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+	env.publish(t, 2, env.tuple(env.a, 1, 0, 10))
+	env.publish(t, 3, env.tuple(env.c, 0, 2, 30))
+	if got := env.eng.Notifications(); len(got) != 0 {
+		t.Fatalf("stale tuple completed a chain: %v", got)
+	}
+	// A fresh B makes it fire.
+	env.publish(t, 4, env.tuple(env.b, 2, 1, 99))
+	if got := env.eng.Notifications(); len(got) != 1 {
+		t.Fatalf("%d notifications, want 1", len(got))
+	}
+}
+
+func TestMultiSelectionPredicates(t *testing.T) {
+	env := newMultiEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft})
+	env.subscribeMulti(t, 0, `
+		SELECT A.z, C.z FROM A, B, C
+		WHERE A.x = B.y AND B.x = C.y AND B.z >= 5 AND C.z = 30`)
+	env.publish(t, 1, env.tuple(env.a, 1, 0, 10))
+	env.publish(t, 2, env.tuple(env.b, 2, 1, 1))  // fails B.z >= 5
+	env.publish(t, 3, env.tuple(env.c, 0, 2, 30)) // passes, but no valid B
+	if got := env.eng.Notifications(); len(got) != 0 {
+		t.Fatalf("filtered chain fired: %v", got)
+	}
+	env.publish(t, 4, env.tuple(env.b, 2, 1, 7)) // passes
+	if got := env.eng.Notifications(); len(got) != 1 {
+		t.Fatalf("%d notifications, want 1", len(got))
+	}
+}
+
+func TestFourWayChain(t *testing.T) {
+	env := newMultiEnv(t, 64, Config{Algorithm: SAI, Strategy: StrategyLeft})
+	env.subscribeMulti(t, 0, `
+		SELECT A.z, D.z FROM A, B, C, D
+		WHERE A.x = B.y AND B.x = C.y AND C.x = D.y`)
+	env.publish(t, 1, env.tuple(env.d, 0, 3, 40))
+	env.publish(t, 2, env.tuple(env.c, 3, 2, 30))
+	env.publish(t, 3, env.tuple(env.a, 1, 0, 10))
+	env.publish(t, 4, env.tuple(env.b, 2, 1, 20))
+	got := env.eng.Notifications()
+	if len(got) != 1 {
+		t.Fatalf("%d notifications, want 1: %v", len(got), got)
+	}
+	if !got[0].Values[0].Equal(relation.N(10)) || !got[0].Values[1].Equal(relation.N(40)) {
+		t.Fatalf("values = %v", got[0].Values)
+	}
+}
+
+func TestMultiRequiresTupleStorageRegime(t *testing.T) {
+	for _, alg := range []Algorithm{DAIT, DAIV, BaselineRelation} {
+		env := newMultiEnv(t, 16, Config{Algorithm: alg})
+		mq := query.MustParseMulti(env.catalog, `SELECT A.z FROM A, B WHERE A.x = B.y`)
+		if _, err := env.eng.SubscribeMulti(env.nodes[0], mq); err == nil {
+			t.Fatalf("%s accepted a multi-way query", alg)
+		}
+	}
+}
+
+func TestMultiMinRateOrientation(t *testing.T) {
+	env := newMultiEnv(t, 64, Config{Algorithm: SAI, Strategy: StrategyMinRate})
+	// Stream A heavily; C stays quiet.
+	for i := 0; i < 20; i++ {
+		env.publish(t, i, env.tuple(env.a, float64(i), 0, 0))
+	}
+	env.publish(t, 30, env.tuple(env.c, 1, 1, 0))
+	mq := env.subscribeMulti(t, 0, `SELECT A.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+	// The quiet endpoint (C) must head the pipeline.
+	if mq.Rels()[0].Name() != "C" {
+		t.Fatalf("pipeline starts at %s, want C", mq.Rels()[0].Name())
+	}
+}
+
+// Brute-force oracle for random 3-way workloads.
+func TestMultiOracle(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		env := newMultiEnv(t, 48, Config{Algorithm: SAI, Seed: seed})
+		rng := rand.New(rand.NewSource(seed * 11))
+		mqs := []*query.MultiQuery{
+			env.subscribeMulti(t, 0, `SELECT A.z, B.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`),
+			env.subscribeMulti(t, 1, `SELECT A.z, C.z FROM A, B, C WHERE A.y = B.y AND B.x = C.x AND C.z >= 1`),
+		}
+		var as, bs, cs []*relation.Tuple
+		schemas := []*relation.Schema{env.a, env.b, env.c}
+		sinks := []*[]*relation.Tuple{&as, &bs, &cs}
+		for i := 0; i < 90; i++ {
+			k := rng.Intn(3)
+			tu := env.publish(t, rng.Intn(48), env.tuple(schemas[k],
+				float64(rng.Intn(3)), float64(rng.Intn(3)), float64(rng.Intn(3))))
+			*sinks[k] = append(*sinks[k], tu)
+		}
+
+		want := make(map[string]bool)
+		for _, mq := range mqs {
+			links := mq.Links()
+			rels := mq.Rels()
+			pools := map[string][]*relation.Tuple{"A": as, "B": bs, "C": cs}
+			for _, t0 := range pools[rels[0].Name()] {
+				for _, t1 := range pools[rels[1].Name()] {
+					for _, t2 := range pools[rels[2].Name()] {
+						combo := []*relation.Tuple{t0, t1, t2}
+						valid := true
+						for _, tt := range combo {
+							if tt.PubT() < mq.InsT() {
+								valid = false
+								break
+							}
+							if ok, err := mq.FiltersPass(tt); err != nil || !ok {
+								valid = false
+								break
+							}
+						}
+						if !valid {
+							continue
+						}
+						for li, l := range links {
+							lv, err1 := l.L.Eval(combo[li])
+							rv, err2 := l.R.Eval(combo[li+1])
+							if err1 != nil || err2 != nil || !lv.Equal(rv) {
+								valid = false
+								break
+							}
+						}
+						if !valid {
+							continue
+						}
+						vals, err := mq.ProjectNotification(combo)
+						if err != nil {
+							t.Fatalf("oracle projection: %v", err)
+						}
+						key := mq.Key()
+						for _, v := range vals {
+							key += "|" + v.Canon()
+						}
+						want[key] = true
+					}
+				}
+			}
+		}
+		got := make(map[string]bool)
+		for _, n := range env.eng.Notifications() {
+			got[n.ContentKey()] = true
+		}
+		if len(want) == 0 {
+			t.Fatalf("seed %d: oracle empty, test vacuous", seed)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("seed %d: missing %s (want %d got %d)", seed, k, len(want), len(got))
+			}
+		}
+		for k := range got {
+			if !want[k] {
+				t.Fatalf("seed %d: extra %s", seed, k)
+			}
+		}
+	}
+}
+
+func TestMultiWindowEviction(t *testing.T) {
+	env := newMultiEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft, Window: 5})
+	env.subscribeMulti(t, 0, `SELECT A.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+	env.publish(t, 1, env.tuple(env.a, 1, 0, 10))
+	env.publish(t, 2, env.tuple(env.b, 2, 1, 20)) // partial match A⋈B now stored
+	before := sum(env.eng.StorageLoads())
+	env.net.Clock().Advance(50)
+	env.eng.EvictExpired()
+	after := sum(env.eng.StorageLoads())
+	if after >= before {
+		t.Fatalf("eviction did not drop partial matches: %d -> %d", before, after)
+	}
+	// The expired partial match must not complete.
+	env.publish(t, 3, env.tuple(env.c, 0, 2, 30))
+	if got := env.eng.Notifications(); len(got) != 0 {
+		t.Fatalf("expired chain completed: %v", got)
+	}
+}
+
+func TestMultiGroupingSharesMessages(t *testing.T) {
+	env := newMultiEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft})
+	for i := 0; i < 4; i++ {
+		env.subscribeMulti(t, i, `SELECT A.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+	}
+	env.net.Traffic().Reset()
+	env.publish(t, 9, env.tuple(env.a, 1, 0, 10))
+	// One tuple triggers all four chain queries toward one evaluator: one
+	// mjoin message.
+	if got := env.net.Traffic().Messages("mjoin"); got != 1 {
+		t.Fatalf("mjoin messages = %d, want 1", got)
+	}
+}
+
+func TestMultiSurvivesChurn(t *testing.T) {
+	env := newMultiEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft})
+	env.subscribeMulti(t, 0, `SELECT A.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+	env.publish(t, 1, env.tuple(env.a, 1, 0, 10))
+	env.publish(t, 2, env.tuple(env.b, 2, 1, 20))
+	// Voluntary churn between stages: state hands over cleanly.
+	for i := 0; i < 5; i++ {
+		n, err := env.net.Join(fmt.Sprintf("late-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.eng.Attach(n)
+	}
+	nodes := env.net.Nodes()
+	env.net.Leave(nodes[7])
+	env.net.Leave(nodes[13])
+	env.publish(t, 3, env.tuple(env.c, 0, 2, 30))
+	if got := env.eng.Notifications(); len(got) != 1 {
+		t.Fatalf("%d notifications after churn, want 1", len(got))
+	}
+}
+
+func TestMultiLoadAccounting(t *testing.T) {
+	env := newMultiEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft})
+	env.subscribeMulti(t, 0, `SELECT A.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+	env.publish(t, 1, env.tuple(env.a, 1, 0, 10))
+	if got := sum(env.eng.RoleLoads(metrics.Rewriter, true)); got != 1 {
+		t.Fatalf("rewriter storage = %d, want 1 (the chain query)", got)
+	}
+	if got := sum(env.eng.RoleLoads(metrics.Evaluator, true)); got == 0 {
+		t.Fatal("no evaluator storage for the partial match")
+	}
+}

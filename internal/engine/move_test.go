@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"testing"
+
+	"cqjoin/internal/id"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/relation"
+)
+
+// The Section 4.7.2 identifier move: an underloaded peer takes over a hot
+// rewriter identifier; the stored queries move with the arc and query
+// processing continues seamlessly on the new owner.
+func TestMoveNodeRelievesHotRewriter(t *testing.T) {
+	env := newTestEnv(t, 64, Config{Algorithm: SAI, Strategy: StrategyLeft})
+	env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+
+	hotInput := "R+B"
+	hotID := id.Hash(hotInput)
+	oldOwner := env.net.OracleSuccessor(hotID)
+
+	// Load the rewriter, then record its filtering load.
+	for i := 0; i < 20; i++ {
+		env.publish(t, i, rTuple(env, float64(i), float64(i%5), 0))
+	}
+	before := env.eng.LoadOf(oldOwner).Filtering(metrics.Rewriter)
+	if before == 0 {
+		t.Fatal("hot rewriter accrued no load; test set-up broken")
+	}
+
+	// Pick a helper that is not the owner and move it onto the hot
+	// identifier.
+	var helper = env.node(30)
+	if helper == oldOwner {
+		helper = env.node(31)
+	}
+	moved, err := env.eng.MoveNode(helper, hotID)
+	if err != nil {
+		t.Fatalf("MoveNode: %v", err)
+	}
+	if got := env.net.OracleSuccessor(hotID); got != moved {
+		t.Fatalf("hot identifier owned by %s after move, want helper", got)
+	}
+
+	// New triggers land on the helper, not the old owner.
+	oldBefore := env.eng.LoadOf(oldOwner).Filtering(metrics.Rewriter)
+	for i := 0; i < 20; i++ {
+		env.publish(t, i, rTuple(env, float64(100+i), float64(i%5), 0))
+	}
+	if got := env.eng.LoadOf(oldOwner).Filtering(metrics.Rewriter); got != oldBefore {
+		t.Fatalf("old owner still accrues rewriter load: %d -> %d", oldBefore, got)
+	}
+	if got := env.eng.LoadOf(moved).Filtering(metrics.Rewriter); got == 0 {
+		t.Fatal("helper accrued no rewriter load")
+	}
+
+	// The query moved with the arc: matching still works end to end.
+	env.publish(t, 40, sTuple(env, 7, 3, 0))
+	found := false
+	for _, n := range env.eng.Notifications() {
+		if n.RightPubT > 0 && n.Values[1].Equal(relation.N(7)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no notification matched after the move: %v", env.eng.Notifications())
+	}
+}

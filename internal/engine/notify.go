@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/id"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+// Notification is the answer to a triggered continuous query: the SELECT
+// projection over a matched pair of tuples plus the time information of
+// Section 4.6 ("the appropriate tuples along with time information about
+// when those tuples were inserted").
+type Notification struct {
+	// QueryKey is Key(q) of the triggered query.
+	QueryKey string
+	// Subscriber is the key of the node that posed the query.
+	Subscriber string
+	// Values is the SELECT projection in declaration order.
+	Values []relation.Value
+	// LeftPubT and RightPubT are the publication times of the matched
+	// tuples of the left and right join relations.
+	LeftPubT, RightPubT int64
+	// DeliveredAt is the logical time the notification reached its
+	// subscriber (possibly after an offline period).
+	DeliveredAt int64
+
+	// subscriberIP is the address the subscriber had when it posed the
+	// query (IP(n) in the query() message of Section 4.3.1); evaluators use
+	// it for the one-hop delivery path and fall back to DHT routing when it
+	// is stale.
+	subscriberIP string
+}
+
+// ContentKey renders the notification's query key and values, the identity
+// under which all four algorithms must agree (duplicate-avoidance
+// invariant of Section 4.4).
+func (n Notification) ContentKey() string {
+	var b strings.Builder
+	b.WriteString(n.QueryKey)
+	for _, v := range n.Values {
+		b.WriteByte('|')
+		b.WriteString(v.Canon())
+	}
+	return b.String()
+}
+
+// String renders the notification for logs and example output.
+func (n Notification) String() string {
+	parts := make([]string, len(n.Values))
+	for i, v := range n.Values {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s -> (%s)", n.QueryKey, strings.Join(parts, ", "))
+}
+
+// buildNotification projects the matched pair of tuples through the query.
+// trig is the tuple that was consumed at the attribute level (the rewritten
+// query's side), other is the tuple matched at the value level.
+func buildNotification(q *query.Query, indexSide query.Side, trig, other *relation.Tuple) (Notification, error) {
+	left, right := trig, other
+	if indexSide == query.SideRight {
+		left, right = other, trig
+	}
+	vals, err := q.ProjectNotification(left, right)
+	if err != nil {
+		return Notification{}, err
+	}
+	return Notification{
+		QueryKey:     q.Key(),
+		Subscriber:   q.Subscriber(),
+		Values:       vals,
+		LeftPubT:     left.PubT(),
+		RightPubT:    right.PubT(),
+		subscriberIP: q.SubscriberIP(),
+	}, nil
+}
+
+// sendNotifications delivers a batch of notifications from evaluator node
+// (state st), grouping them per subscriber into one message each
+// (Section 4.6). Delivery prefers the direct IP path — one overlay hop,
+// available when the subscriber is online at the address the evaluator
+// knows. A subscriber that reconnected under a different address is
+// reached through the DHT (Send to Successor(Id(n)) = the subscriber,
+// since Id(n) = Hash(Key(n)) never changes) and replies with its new
+// address, which the evaluator caches for future one-hop deliveries. A
+// subscriber that is offline entirely has its notifications stored at
+// Successor(Id(n)) until it reconnects and receives them with the key
+// hand-off.
+func (st *nodeState) sendNotifications(batch []Notification) {
+	if len(batch) == 0 {
+		return
+	}
+	bySub := make(map[string][]Notification)
+	order := make([]string, 0, 4)
+	for _, n := range batch {
+		if _, seen := bySub[n.Subscriber]; !seen {
+			order = append(order, n.Subscriber)
+		}
+		bySub[n.Subscriber] = append(bySub[n.Subscriber], n)
+	}
+	for _, sub := range order {
+		msg := notifyMsg{Subscriber: sub, Batch: bySub[sub]}
+		dst := st.engine.net.NodeByKey(sub)
+		if dst == nil {
+			// Subscriber offline: route to Successor(Id(n)) for storage.
+			// Best-effort semantics (Section 3.2) leave routing failures
+			// to the underlying DHT.
+			_, _, _ = st.node.Send(msg, id.Hash(sub))
+			continue
+		}
+		if st.knownIP(sub, msg.Batch) == dst.IP() {
+			// Online at the known address: one hop.
+			st.node.DirectSend(msg, dst)
+			continue
+		}
+		// Online, but the known address is stale: deliver through the DHT
+		// and learn the new address from the subscriber's reply (one extra
+		// direct hop, charged as ip-update).
+		if _, _, err := st.node.Send(msg, id.Hash(sub)); err == nil {
+			st.engine.net.Traffic().Record("ip-update", 1)
+			st.mu.Lock()
+			st.subIPs[sub] = dst.IP()
+			st.mu.Unlock()
+		}
+	}
+}
+
+// knownIP returns the freshest address the evaluator has for a subscriber:
+// a learned entry if one exists, otherwise the address embedded in the
+// query when it was posed.
+func (st *nodeState) knownIP(sub string, batch []Notification) string {
+	st.mu.Lock()
+	ip, ok := st.subIPs[sub]
+	st.mu.Unlock()
+	if ok {
+		return ip
+	}
+	for _, n := range batch {
+		if n.subscriberIP != "" {
+			return n.subscriberIP
+		}
+	}
+	return ""
+}
+
+// handleNotify processes a notification message arriving at node st: the
+// subscriber itself consumes it; any other node is Successor(Id(n)) of an
+// offline subscriber and stores it for replay (Section 4.6).
+func (st *nodeState) handleNotify(msg notifyMsg) {
+	now := st.engine.net.Clock().Now()
+	if st.node.Key() == msg.Subscriber {
+		for _, n := range msg.Batch {
+			n.DeliveredAt = now
+			st.engine.record(n)
+		}
+		return
+	}
+	st.mu.Lock()
+	st.storedNotifs[msg.Subscriber] = append(st.storedNotifs[msg.Subscriber], msg.Batch...)
+	st.mu.Unlock()
+	st.load.AddStorage(metrics.Evaluator, len(msg.Batch))
+}
+
+// replayStoredNotifications hands stored notifications for subscriber key
+// over to the reconnected subscriber node.
+func (st *nodeState) replayStoredNotifications(sub string, dst *chord.Node) {
+	st.mu.Lock()
+	batch := st.storedNotifs[sub]
+	delete(st.storedNotifs, sub)
+	st.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	st.load.AddStorage(metrics.Evaluator, -len(batch))
+	st.node.DirectSend(notifyMsg{Subscriber: sub, Batch: batch}, dst)
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"testing"
+)
+
+// Section 4.6: a subscriber that reconnects under a new IP address is first
+// reached through the DHT (O(log N) hops); it replies with its new address
+// and subsequent notifications take the one-hop direct path again.
+func TestNotificationAfterIPChange(t *testing.T) {
+	env := newTestEnv(t, 128, Config{Algorithm: SAI, Strategy: StrategyLeft})
+	sub := env.node(0)
+	env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+
+	// First match: direct path, 1 hop.
+	env.publish(t, 1, rTuple(env, 1, 7, 0))
+	env.publish(t, 2, sTuple(env, 2, 7, 0))
+	if got := env.net.Traffic().Hops(kindNotify); got != 1 {
+		t.Fatalf("initial delivery hops = %d, want 1", got)
+	}
+	if got := env.net.Traffic().Messages("ip-update"); got != 0 {
+		t.Fatalf("ip-update before any change: %d", got)
+	}
+
+	// The subscriber moves to a new address.
+	sub.SetIP("sim://elsewhere")
+
+	env.net.Traffic().Reset()
+	env.publish(t, 3, sTuple(env, 3, 7, 0))
+	if got := len(env.eng.Notifications()); got != 2 {
+		t.Fatalf("notifications = %d, want 2", got)
+	}
+	// The stale-address delivery went through the DHT...
+	if got := env.net.Traffic().Hops(kindNotify); got <= 1 {
+		t.Fatalf("stale-IP delivery hops = %d, want > 1 (DHT route)", got)
+	}
+	// ...and the subscriber sent its new address back.
+	if got := env.net.Traffic().Messages("ip-update"); got != 1 {
+		t.Fatalf("ip-update messages = %d, want 1", got)
+	}
+
+	// The evaluator learned the address: the next delivery is direct again.
+	env.net.Traffic().Reset()
+	env.publish(t, 4, sTuple(env, 4, 7, 0))
+	if got := env.net.Traffic().Hops(kindNotify); got != 1 {
+		t.Fatalf("post-learning delivery hops = %d, want 1", got)
+	}
+	if got := env.net.Traffic().Messages("ip-update"); got != 0 {
+		t.Fatalf("redundant ip-update: %d", got)
+	}
+}
+
+// Notifications for several subscribers created by one event are grouped
+// into one message per receiver (Section 4.6).
+func TestNotificationGroupingPerSubscriber(t *testing.T) {
+	env := newTestEnv(t, 64, Config{Algorithm: SAI, Strategy: StrategyLeft})
+	// Two subscribers, same condition, two queries each.
+	for i := 0; i < 2; i++ {
+		env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+		env.subscribe(t, 1, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	}
+	env.publish(t, 5, rTuple(env, 1, 7, 0))
+	env.net.Traffic().Reset()
+	env.publish(t, 6, sTuple(env, 2, 7, 0))
+	// Four notifications (two per subscriber) but only two messages.
+	if got := len(env.eng.Notifications()); got != 4 {
+		t.Fatalf("notifications = %d, want 4", got)
+	}
+	if got := env.net.Traffic().Messages(kindNotify); got != 2 {
+		t.Fatalf("notification messages = %d, want 2 (grouped per subscriber)", got)
+	}
+}
+
+func TestNotificationStringAndContentKey(t *testing.T) {
+	env := newTestEnv(t, 32, Config{Algorithm: SAI})
+	env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	env.publish(t, 1, rTuple(env, 1, 7, 0))
+	env.publish(t, 2, sTuple(env, 2, 7, 0))
+	ns := env.eng.Notifications()
+	if len(ns) != 1 {
+		t.Fatalf("notifications = %d", len(ns))
+	}
+	n := ns[0]
+	if n.String() == "" || n.ContentKey() == "" {
+		t.Fatal("empty rendering")
+	}
+	// ContentKey distinguishes values.
+	other := ns[0]
+	other.Values = nil
+	if n.ContentKey() == other.ContentKey() {
+		t.Fatal("content key ignores values")
+	}
+}

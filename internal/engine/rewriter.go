@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"cqjoin/internal/chord"
+	"cqjoin/internal/id"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+// This file implements the attribute level of the two-level indexing
+// scheme: the rewriter role (Sections 4.3.1, 4.3.2, 4.4.1, 4.5). A
+// rewriter stores queries in its ALQT and, when an incoming tuple triggers
+// them, rewrites the join queries into select-project queries and reindexes
+// them at the value level where evaluators compute the join.
+
+// handleQueryIndex stores an arriving query in the local ALQT, grouped by
+// equivalent join condition (Section 4.3.5).
+func (st *nodeState) handleQueryIndex(m queryMsg) {
+	input := alInput(m.Q.Rel(m.Side).Name(), m.Attr, m.Replica)
+	cond := m.Q.ConditionKey()
+
+	st.mu.Lock()
+	b := st.alqt[input]
+	if b == nil {
+		b = newALBucket(input)
+		st.alqt[input] = b
+	}
+	g := b.byCond[cond]
+	if g == nil {
+		g = &queryGroup{cond: cond, side: m.Side}
+		b.byCond[cond] = g
+	}
+	g.queries = append(g.queries, m.Q)
+	st.mu.Unlock()
+
+	st.load.AddFiltering(metrics.Rewriter, 1)
+	st.load.AddStorage(metrics.Rewriter, 1)
+}
+
+// outbound is a rewritten-query message bound for one value-level
+// identifier.
+type outbound struct {
+	input string
+	msg   chord.Message
+}
+
+// handleALIndex processes a tuple arriving at the attribute level
+// (Section 4.3.2): the rewriter finds the triggered queries in one step via
+// the two-level ALQT, rewrites each triggered group, and reindexes the
+// rewritten queries at the value level — one join message per group, since
+// all queries of a group share the same evaluator for a given tuple
+// (Section 4.3.5). Tuples are never stored at the attribute level.
+func (st *nodeState) handleALIndex(m alIndexMsg) {
+	e := st.engine
+	t := m.T
+	rel := t.Relation()
+	input := alInput(rel, m.Attr, m.Replica)
+	v := t.MustValue(m.Attr)
+
+	var outs []outbound
+	examined := 0
+
+	st.mu.Lock()
+	b := st.alqt[input]
+	if b == nil {
+		b = newALBucket(input)
+		st.alqt[input] = b
+	}
+	// Track arrival statistics for the Section 4.3.6 strategies.
+	b.arrivals = append(b.arrivals, t.PubT())
+	b.distinct[v.Canon()] = struct{}{}
+
+	for _, g := range b.byCond {
+		var triggered []*query.Query
+		for _, q := range g.queries {
+			examined++
+			if t.PubT() < q.InsT() {
+				continue
+			}
+			if ok, err := q.FiltersPass(t); err != nil || !ok {
+				continue
+			}
+			triggered = append(triggered, q)
+		}
+		if len(triggered) == 0 {
+			continue
+		}
+		switch e.cfg.Algorithm {
+		case SAI, DAIQ, DAIT:
+			if out, ok := st.rewriteGroup(b, g, triggered, t); ok {
+				outs = append(outs, out)
+			}
+		case DAIV:
+			outs = append(outs, rewriteGroupV(g, triggered, t, e.cfg.DAIVKeyed)...)
+		}
+	}
+	// Multi-way chain queries indexed at this bucket (Chapter 7 extension).
+	mOuts, mExamined := st.triggerMulti(b, t)
+	outs = append(outs, mOuts...)
+	examined += mExamined
+	st.mu.Unlock()
+
+	st.load.AddFiltering(metrics.Rewriter, 1+examined)
+	st.sendJoins(outs)
+}
+
+// rewriteGroup rewrites one triggered group for the T1 algorithms
+// (Section 4.3.2): the index side of the join condition is evaluated over
+// the tuple, the load-distributing side is solved for its attribute
+// (valDA), and one join message carrying the group's rewritten queries is
+// addressed to the evaluator Successor(Hash(DisR + DisA + valDA)). The
+// caller holds st.mu.
+func (st *nodeState) rewriteGroup(b *alBucket, g *queryGroup, triggered []*query.Query, t *relation.Tuple) (outbound, bool) {
+	rep := triggered[0] // the group shares one join condition
+	vSide, err := rep.EvalSide(g.side, t)
+	if err != nil {
+		return outbound{}, false
+	}
+	valDA, err := rep.InvertSide(g.side.Other(), vSide)
+	if err != nil {
+		// The equality has no solution for this tuple (e.g. c/x = 0):
+		// nothing can ever match it.
+		return outbound{}, false
+	}
+	wantRel := rep.Rel(g.side.Other()).Name()
+	wantAttr, err := rep.SingleAttr(g.side.Other())
+	if err != nil {
+		return outbound{}, false
+	}
+
+	target := vlInput(wantRel, wantAttr, valDA)
+	storesRewrites := st.engine.cfg.Algorithm == SAI || st.engine.cfg.Algorithm == DAIT
+
+	var rws []*rewritten
+	for _, q := range triggered {
+		key, err := q.RewriteKey(t, valDA)
+		if err != nil {
+			continue
+		}
+		if storesRewrites {
+			// Remember where this query's rewrites live so a retraction
+			// can purge them (unsubscribe.go).
+			ts := b.sentTargets[q.Key()]
+			if ts == nil {
+				ts = make(map[string]struct{})
+				b.sentTargets[q.Key()] = ts
+			}
+			ts[target] = struct{}{}
+		}
+		if st.engine.cfg.Algorithm == DAIT {
+			// Section 4.4.3: a rewriter never reindexes the same rewritten
+			// query twice — evaluators store them.
+			if b.sentRewrites[key] {
+				continue
+			}
+			b.sentRewrites[key] = true
+		}
+		proj, err := t.Project(q.NeededAttrs(t.Relation()))
+		if err != nil {
+			continue
+		}
+		rws = append(rws, &rewritten{
+			Key:       key,
+			Orig:      q,
+			IndexSide: g.side,
+			Trigger:   proj,
+			WantRel:   wantRel,
+			WantAttr:  wantAttr,
+			WantValue: valDA,
+		})
+	}
+	if len(rws) == 0 {
+		return outbound{}, false
+	}
+	return outbound{input: target, msg: joinMsg{Rewrites: rws}}, true
+}
+
+// rewriteGroupV rewrites one triggered group for DAI-V (Section 4.5): the
+// evaluator identifier is the value valJC the join condition must take,
+// and the message carries the triggering tuple so the evaluator can both
+// match and store it. The full tuple is shipped rather than a per-group
+// projection so that equivalent groups indexed under different attributes
+// agree on the stored form (see DESIGN.md).
+//
+// With the keyed extension (Section 4.5's VIndex = Key(q) + valJC) every
+// query gets its own evaluator identifier: the group splinters into one
+// message per query — better load spread and a more expressive scheme, at
+// a traffic cost that grows with the number of indexed queries (the thesis
+// reports roughly a factor of 250 at 10^4 nodes and 10^5 queries).
+func rewriteGroupV(g *queryGroup, triggered []*query.Query, t *relation.Tuple, keyed bool) []outbound {
+	vJC, err := triggered[0].EvalSide(g.side, t)
+	if err != nil {
+		return nil
+	}
+	if !keyed {
+		return []outbound{{
+			input: daivInput(vJC),
+			msg: joinVMsg{
+				Input:   daivInput(vJC),
+				Cond:    g.cond,
+				Side:    g.side,
+				Value:   vJC,
+				Trigger: t,
+				Queries: triggered,
+			},
+		}}
+	}
+	outs := make([]outbound, 0, len(triggered))
+	for _, q := range triggered {
+		input := q.Key() + "+" + daivInput(vJC)
+		outs = append(outs, outbound{
+			input: input,
+			msg: joinVMsg{
+				Input:   input,
+				Cond:    g.cond,
+				Side:    g.side,
+				Value:   vJC,
+				Trigger: t,
+				Queries: []*query.Query{q},
+			},
+		})
+	}
+	return outs
+}
+
+// sendJoins routes rewritten-query messages to their evaluators. With the
+// JFRT enabled (Section 4.7.1) a cached evaluator is reached in one direct
+// hop; misses pay the O(log N) lookup and populate the cache. Without the
+// JFRT the whole batch goes through one multisend.
+func (st *nodeState) sendJoins(outs []outbound) {
+	if len(outs) == 0 {
+		return
+	}
+	e := st.engine
+	if e.cfg.UseJFRT {
+		// Cache hits are grouped per recipient node (Section 4.3.5's
+		// grouping applied to direct delivery): one physical message and
+		// one hop per warm destination, regardless of how many rewritten
+		// groups it carries.
+		var misses []outbound
+		var hitOrder []*chord.Node
+		hits := make(map[*chord.Node][]chord.Message)
+		for _, o := range outs {
+			dst, ok := st.jfrt.lookup(o.input)
+			if !ok {
+				misses = append(misses, o)
+				continue
+			}
+			if _, seen := hits[dst]; !seen {
+				hitOrder = append(hitOrder, dst)
+			}
+			hits[dst] = append(hits[dst], o.msg)
+		}
+		for _, dst := range hitOrder {
+			msgs := hits[dst]
+			if len(msgs) == 1 {
+				st.node.DirectSend(msgs[0], dst)
+			} else {
+				st.node.DirectSend(joinBatch{Msgs: msgs}, dst)
+			}
+		}
+		// Misses travel in the normal recursive multisend; each previously
+		// unseen evaluator acknowledges with one direct hop carrying its
+		// address, which populates the cache (the "join fingers").
+		if len(misses) > 0 {
+			batch := make([]chord.Deliverable, len(misses))
+			for i, o := range misses {
+				batch[i] = chord.Deliverable{Target: id.Hash(o.input), Msg: o.msg}
+			}
+			recipients, _, err := st.node.Multisend(batch)
+			if err == nil {
+				acked := make(map[*chord.Node]bool)
+				for i, dst := range recipients {
+					if dst == nil {
+						continue
+					}
+					st.jfrt.store(misses[i].input, dst)
+					if !acked[dst] {
+						acked[dst] = true
+						e.net.Traffic().Record("join-ack", 1)
+					}
+				}
+			}
+		}
+		return
+	}
+	batch := make([]chord.Deliverable, len(outs))
+	for i, o := range outs {
+		batch[i] = chord.Deliverable{Target: id.Hash(o.input), Msg: o.msg}
+	}
+	// Best-effort (Section 3.2): an unroutable overlay drops the batch.
+	if e.cfg.IterativeMultisend {
+		_, _, _ = st.node.MultisendIterative(batch)
+	} else {
+		_, _, _ = st.node.Multisend(batch)
+	}
+}

@@ -1,0 +1,408 @@
+package engine
+
+import (
+	"sync"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/id"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+// nodeState is the query-processing state of one overlay node: its role
+// tables (ALQT at the attribute level; VLQT, VLTT and the DAI-V value store
+// at the value level), the stored notifications it holds for offline
+// subscribers, the JFRT cache, and its load counters. A node plays the
+// rewriter role, the evaluator role, both or neither, purely as a function
+// of which identifiers it is responsible for (Section 4.1).
+//
+// All tables are keyed by the exact string that was hashed to reach this
+// node (e.g. "R+B", "R+B+7", "25"), so ring responsibility of every entry
+// can be recomputed for key hand-off on joins and leaves. The two-level
+// hash structure of Section 4.3.5 is preserved inside each bucket: the
+// first level (attribute, or value for DAI-V) is the table key prefix and
+// the second level (join condition, value, or rewritten-query key) is the
+// in-bucket map.
+type nodeState struct {
+	engine *Engine
+	node   *chord.Node
+	load   metrics.Load
+
+	mu           sync.Mutex
+	alqt         map[string]*alBucket
+	vlqt         map[string]*vlqtBucket
+	mvlqt        map[string]*mvlqtBucket
+	vltt         map[string]*vlttBucket
+	vstore       map[string]*daivBucket
+	pairStore    map[string]*pairBucket
+	storedNotifs map[string][]Notification
+	subIPs       map[string]string // learned subscriber addresses (Section 4.6)
+	jfrt         *jfrtCache
+}
+
+func newNodeState(e *Engine, n *chord.Node) *nodeState {
+	return &nodeState{
+		engine:       e,
+		node:         n,
+		alqt:         make(map[string]*alBucket),
+		vlqt:         make(map[string]*vlqtBucket),
+		mvlqt:        make(map[string]*mvlqtBucket),
+		vltt:         make(map[string]*vlttBucket),
+		vstore:       make(map[string]*daivBucket),
+		pairStore:    make(map[string]*pairBucket),
+		storedNotifs: make(map[string][]Notification),
+		subIPs:       make(map[string]string),
+		jfrt:         newJFRTCache(),
+	}
+}
+
+// alBucket is the slice of the attribute-level query table (ALQT) reached
+// through one attribute-level identifier. Queries are grouped by equivalent
+// join condition (Section 4.3.5) so one incoming tuple handles a whole
+// group at once. The bucket also tracks the tuple-arrival statistics the
+// index-attribute strategies of Section 4.3.6 probe: arrival timestamps
+// (rate) and distinct values seen (domain size).
+type alBucket struct {
+	input    string // the hashed string, e.g. "R+B" or "R+B#r2"
+	byCond   map[string]*queryGroup
+	multi    map[string]*mGroup // multi-way chain queries, by chain condition
+	arrivals []int64
+	distinct map[string]struct{}
+	// sentRewrites records the rewritten-query keys this rewriter has
+	// already reindexed; DAI-T consults it so a rewritten query is never
+	// reindexed twice (Section 4.4.3). Keeping it in the bucket makes it
+	// travel with the rewriter role on key hand-off.
+	sentRewrites map[string]bool
+	// sentTargets records, per query key, the value-level identifiers this
+	// rewriter has fanned rewrites out to — the purge list consulted when
+	// the query is retracted.
+	sentTargets map[string]map[string]struct{}
+}
+
+func newALBucket(input string) *alBucket {
+	return &alBucket{
+		input:        input,
+		byCond:       make(map[string]*queryGroup),
+		multi:        make(map[string]*mGroup),
+		distinct:     make(map[string]struct{}),
+		sentRewrites: make(map[string]bool),
+		sentTargets:  make(map[string]map[string]struct{}),
+	}
+}
+
+// queryGroup is the second ALQT level: all queries with one equivalent join
+// condition, indexed at this bucket under the same index attribute.
+type queryGroup struct {
+	cond    string
+	side    query.Side // side of the condition this bucket's attribute is on
+	queries []*query.Query
+}
+
+// vlqtBucket is the slice of the value-level query table reached through
+// one value-level identifier Hash(R+A+v): the rewritten queries waiting for
+// tuples whose attribute A equals v. The second level is keyed by rewritten
+// key so duplicates only add trigger times (Section 4.3.3).
+type vlqtBucket struct {
+	input  string
+	byKey  map[string]*storedRewrite
+	sorted []*storedRewrite // insertion order, for deterministic matching
+}
+
+type storedRewrite struct {
+	rw    *rewritten
+	times []int64 // publication times of the tuples that produced it
+}
+
+func newVLQTBucket(input string) *vlqtBucket {
+	return &vlqtBucket{input: input, byKey: make(map[string]*storedRewrite)}
+}
+
+// vlttBucket is the slice of the value-level tuple table reached through
+// one value-level identifier: the tuples stored under attribute A = v,
+// awaiting future rewritten queries (Section 4.3.4).
+type vlttBucket struct {
+	input  string
+	tuples []*relation.Tuple
+}
+
+// daivBucket is DAI-V's value store reached through Hash(valJC): projected
+// tuples of both relations grouped by join condition, plus content keys for
+// deduplication when the same tuple arrives through two different rewriters
+// of equivalent query groups.
+type daivBucket struct {
+	input  string // the value canon that was hashed
+	byCond map[string]*daivEntry
+}
+
+type daivEntry struct {
+	cond   string
+	tuples [2][]*relation.Tuple // per query.Side
+	seen   map[string]bool      // content keys of stored tuples
+}
+
+func newDAIVBucket(input string) *daivBucket {
+	return &daivBucket{input: input, byCond: make(map[string]*daivEntry)}
+}
+
+// pairBucket serves the naive pair-indexing baseline of Section 4.1: one
+// node holds both relations' tuples and the queries for one join-attribute
+// pair, and evaluates joins entirely locally.
+type pairBucket struct {
+	input  string
+	byCond map[string]*queryGroup
+	tuples [2][]*relation.Tuple // per query.Side of the pair key
+	seen   map[string]bool
+}
+
+func newPairBucket(input string) *pairBucket {
+	return &pairBucket{input: input, byCond: make(map[string]*queryGroup), seen: make(map[string]bool)}
+}
+
+// HandleMessage dispatches overlay messages to the role handlers.
+func (st *nodeState) HandleMessage(on *chord.Node, msg chord.Message) {
+	switch m := msg.(type) {
+	case queryMsg:
+		st.handleQueryIndex(m)
+	case alIndexMsg:
+		st.handleALIndex(m)
+	case vlIndexMsg:
+		st.handleVLIndex(m)
+	case joinMsg:
+		st.handleJoin(m)
+	case joinVMsg:
+		st.handleJoinV(m)
+	case joinBatch:
+		for _, inner := range m.Msgs {
+			st.HandleMessage(on, inner)
+		}
+	case notifyMsg:
+		st.handleNotify(m)
+	case probeMsg:
+		// The probe answer is read synchronously by the prober; receiving
+		// the message only charges its routing (Section 4.3.6).
+	case baselineQueryMsg:
+		st.handleBaselineQuery(m)
+	case baselineTupleMsg:
+		st.handleBaselineTuple(m)
+	case baselineProbeMsg:
+		st.handleBaselineProbe(m)
+	case unsubMsg:
+		st.handleUnsub(m)
+	case purgeMsg:
+		st.handlePurge(m)
+	case mQueryMsg:
+		st.handleMQueryIndex(m)
+	case mJoinMsg:
+		st.handleMJoin(m)
+	}
+}
+
+// TransferKeys implements chord.KeyTransferrer: every stored item whose
+// ring identifier falls in (lo, hi] moves from this node to node `to`.
+// Chord invokes it when `to` joins as this node's predecessor, or when this
+// node leaves and hands everything to its successor (lo == hi covers the
+// whole ring). Stored notifications addressed to the joining subscriber
+// itself are replayed immediately (Section 4.6).
+func (st *nodeState) TransferKeys(from, to *chord.Node, lo, hi id.ID) {
+	dst := st.engine.state(to)
+	inRange := func(input string) bool {
+		return id.BetweenRightIncl(id.Hash(input), lo, hi)
+	}
+
+	st.mu.Lock()
+	var moved struct {
+		al     []*alBucket
+		vq     []*vlqtBucket
+		mq     []*mvlqtBucket
+		vt     []*vlttBucket
+		dv     []*daivBucket
+		pair   []*pairBucket
+		notifs map[string][]Notification
+	}
+	moved.notifs = make(map[string][]Notification)
+	for k, b := range st.alqt {
+		if inRange(k) {
+			moved.al = append(moved.al, b)
+			delete(st.alqt, k)
+		}
+	}
+	for k, b := range st.vlqt {
+		if inRange(k) {
+			moved.vq = append(moved.vq, b)
+			delete(st.vlqt, k)
+		}
+	}
+	for k, b := range st.mvlqt {
+		if inRange(k) {
+			moved.mq = append(moved.mq, b)
+			delete(st.mvlqt, k)
+		}
+	}
+	for k, b := range st.vltt {
+		if inRange(k) {
+			moved.vt = append(moved.vt, b)
+			delete(st.vltt, k)
+		}
+	}
+	for k, b := range st.vstore {
+		if inRange(k) {
+			moved.dv = append(moved.dv, b)
+			delete(st.vstore, k)
+		}
+	}
+	for k, b := range st.pairStore {
+		if inRange(k) {
+			moved.pair = append(moved.pair, b)
+			delete(st.pairStore, k)
+		}
+	}
+	for sub, batch := range st.storedNotifs {
+		if inRange(sub) {
+			moved.notifs[sub] = batch
+			delete(st.storedNotifs, sub)
+		}
+	}
+	st.mu.Unlock()
+
+	// Re-home the buckets and rebalance the storage-load metric.
+	var rewriterItems, evaluatorItems int
+	dst.mu.Lock()
+	for _, b := range moved.al {
+		dst.alqt[b.input] = b
+		rewriterItems += b.storedItems()
+	}
+	for _, b := range moved.vq {
+		dst.vlqt[b.input] = b
+		evaluatorItems += len(b.byKey)
+	}
+	for _, b := range moved.mq {
+		dst.mvlqt[b.input] = b
+		evaluatorItems += len(b.rewrites)
+	}
+	for _, b := range moved.vt {
+		dst.vltt[b.input] = b
+		evaluatorItems += len(b.tuples)
+	}
+	for _, b := range moved.dv {
+		dst.vstore[b.input] = b
+		evaluatorItems += b.storedItems()
+	}
+	for _, b := range moved.pair {
+		dst.pairStore[b.input] = b
+		evaluatorItems += len(b.tuples[0]) + len(b.tuples[1]) + b.storedQueries()
+	}
+	var replay []string
+	for sub, batch := range moved.notifs {
+		dst.storedNotifs[sub] = append(dst.storedNotifs[sub], batch...)
+		evaluatorItems += len(batch)
+		if sub == to.Key() {
+			replay = append(replay, sub)
+		}
+	}
+	dst.mu.Unlock()
+
+	st.load.AddStorage(metrics.Rewriter, -rewriterItems)
+	st.load.AddStorage(metrics.Evaluator, -evaluatorItems)
+	dst.load.AddStorage(metrics.Rewriter, rewriterItems)
+	dst.load.AddStorage(metrics.Evaluator, evaluatorItems)
+
+	for _, sub := range replay {
+		dst.replayStoredNotifications(sub, to)
+	}
+}
+
+// storedItems counts the queries a rewriter bucket stores.
+func (b *alBucket) storedItems() int {
+	n := 0
+	for _, g := range b.byCond {
+		n += len(g.queries)
+	}
+	for _, g := range b.multi {
+		n += len(g.queries)
+	}
+	return n
+}
+
+// storedItems counts the tuples a DAI-V bucket stores.
+func (b *daivBucket) storedItems() int {
+	n := 0
+	for _, e := range b.byCond {
+		n += len(e.tuples[0]) + len(e.tuples[1])
+	}
+	return n
+}
+
+// storedQueries counts the queries a pair bucket stores.
+func (b *pairBucket) storedQueries() int {
+	n := 0
+	for _, g := range b.byCond {
+		n += len(g.queries)
+	}
+	return n
+}
+
+// evictBefore drops stored tuples older than the cutoff — the sliding
+// window of the evaluation chapter. Rewritten queries and the queries
+// themselves are continuous and never expire.
+func (st *nodeState) evictBefore(cutoff int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	evicted := 0
+	for _, b := range st.vltt {
+		kept := b.tuples[:0]
+		for _, t := range b.tuples {
+			if t.PubT() >= cutoff {
+				kept = append(kept, t)
+			} else {
+				evicted++
+			}
+		}
+		b.tuples = kept
+	}
+	for _, b := range st.vstore {
+		for _, e := range b.byCond {
+			for side := 0; side < 2; side++ {
+				kept := e.tuples[side][:0]
+				for _, t := range e.tuples[side] {
+					if t.PubT() >= cutoff {
+						kept = append(kept, t)
+					} else {
+						evicted++
+						delete(e.seen, tupleContentKey(t))
+					}
+				}
+				e.tuples[side] = kept
+			}
+		}
+	}
+	for _, b := range st.pairStore {
+		for side := 0; side < 2; side++ {
+			kept := b.tuples[side][:0]
+			for _, t := range b.tuples[side] {
+				if t.PubT() >= cutoff {
+					kept = append(kept, t)
+				} else {
+					evicted++
+					delete(b.seen, tupleContentKey(t))
+				}
+			}
+			b.tuples[side] = kept
+		}
+	}
+	evicted += st.evictMultiBefore(cutoff)
+	if evicted > 0 {
+		st.load.AddStorage(metrics.Evaluator, -evicted)
+	}
+}
+
+// tupleContentKey renders a tuple's identity (relation, values, time) for
+// the deduplication sets of DAI-V and the pair baseline.
+func tupleContentKey(t *relation.Tuple) string {
+	key := t.Relation()
+	for _, a := range t.Schema().Attrs() {
+		key += "|" + a + "=" + t.MustValue(a).Canon()
+	}
+	key += "|@" + relation.N(float64(t.PubT())).Canon()
+	return key
+}

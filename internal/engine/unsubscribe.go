@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/id"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/query"
+)
+
+// Continuous queries are long-lived but not eternal; this file adds the
+// removal path the paper leaves implicit. The subscriber (who knows where
+// it indexed its query) retracts it from its rewriter(s); each rewriter
+// drops it from the ALQT and purges the rewritten queries it had fanned
+// out to evaluators, using the per-query target set it recorded while
+// rewriting. Tuples stored at evaluators are shared state and stay.
+
+// unsubMsg retracts one query at an attribute-level rewriter.
+type unsubMsg struct {
+	QueryKey string
+	Cond     string
+	Input    string // the rewriter's ALQT bucket key
+}
+
+func (unsubMsg) Kind() string { return "unsubscribe" }
+
+// purgeMsg removes one query's stored rewrites at a value-level evaluator.
+type purgeMsg struct {
+	QueryKey string
+	Input    string // the evaluator's VLQT bucket key
+}
+
+func (purgeMsg) Kind() string { return "unsubscribe" }
+
+// Unsubscribe retracts a continuous query previously returned by
+// Subscribe. After it returns, future tuple insertions can no longer
+// trigger the query. Baseline algorithms do not support retraction.
+func (e *Engine) Unsubscribe(from *chord.Node, q *query.Query) error {
+	if !from.Alive() {
+		return fmt.Errorf("engine: unsubscribe from departed node %s", from)
+	}
+	switch e.cfg.Algorithm {
+	case SAI, DAIQ, DAIT, DAIV:
+	default:
+		return fmt.Errorf("engine: %s does not support unsubscribe", e.cfg.Algorithm)
+	}
+	e.mu.Lock()
+	inputs, ok := e.subs[q.Key()]
+	delete(e.subs, q.Key())
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("engine: unknown or already retracted query %s", q.Key())
+	}
+	batch := make([]chord.Deliverable, 0, len(inputs))
+	for _, input := range inputs {
+		batch = append(batch, chord.Deliverable{
+			Target: id.Hash(input),
+			Msg:    unsubMsg{QueryKey: q.Key(), Cond: q.ConditionKey(), Input: input},
+		})
+	}
+	return e.dispatch(from, batch)
+}
+
+// handleUnsub removes the query from this rewriter's ALQT and purges its
+// stored rewrites from every evaluator this rewriter fanned out to.
+func (st *nodeState) handleUnsub(m unsubMsg) {
+	var targets []string
+	removed := 0
+
+	st.mu.Lock()
+	if b := st.alqt[m.Input]; b != nil {
+		if g := b.byCond[m.Cond]; g != nil {
+			kept := g.queries[:0]
+			for _, q := range g.queries {
+				if q.Key() == m.QueryKey {
+					removed++
+					continue
+				}
+				kept = append(kept, q)
+			}
+			g.queries = kept
+			if len(g.queries) == 0 {
+				delete(b.byCond, m.Cond)
+			}
+		}
+		for input := range b.sentTargets[m.QueryKey] {
+			targets = append(targets, input)
+		}
+		delete(b.sentTargets, m.QueryKey)
+		// Forget the reindex-once markers so a re-subscription of the same
+		// subscriber sequence starts clean.
+		prefix := m.QueryKey + "+"
+		for k := range b.sentRewrites {
+			if strings.HasPrefix(k, prefix) {
+				delete(b.sentRewrites, k)
+			}
+		}
+	}
+	st.mu.Unlock()
+
+	st.load.AddFiltering(metrics.Rewriter, 1)
+	if removed > 0 {
+		st.load.AddStorage(metrics.Rewriter, -removed)
+	}
+	if len(targets) == 0 {
+		return
+	}
+	batch := make([]chord.Deliverable, 0, len(targets))
+	for _, input := range targets {
+		batch = append(batch, chord.Deliverable{
+			Target: id.Hash(input),
+			Msg:    purgeMsg{QueryKey: m.QueryKey, Input: input},
+		})
+	}
+	if st.engine.cfg.IterativeMultisend {
+		_, _, _ = st.node.MultisendIterative(batch)
+	} else {
+		_, _, _ = st.node.Multisend(batch)
+	}
+}
+
+// handlePurge drops the retracted query's stored rewrites from this
+// evaluator's VLQT.
+func (st *nodeState) handlePurge(m purgeMsg) {
+	removed := 0
+	prefix := m.QueryKey + "+"
+
+	st.mu.Lock()
+	if qb := st.vlqt[m.Input]; qb != nil {
+		kept := qb.sorted[:0]
+		for _, sr := range qb.sorted {
+			if sr.rw.Orig.Key() == m.QueryKey || strings.HasPrefix(sr.rw.Key, prefix) {
+				delete(qb.byKey, sr.rw.Key)
+				removed++
+				continue
+			}
+			kept = append(kept, sr)
+		}
+		qb.sorted = kept
+		if len(qb.sorted) == 0 {
+			delete(st.vlqt, m.Input)
+		}
+	}
+	st.mu.Unlock()
+
+	st.load.AddFiltering(metrics.Evaluator, 1)
+	if removed > 0 {
+		st.load.AddStorage(metrics.Evaluator, -removed)
+	}
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"testing"
+
+	"cqjoin/internal/metrics"
+)
+
+func TestUnsubscribeStopsNotifications(t *testing.T) {
+	for _, alg := range []Algorithm{SAI, DAIQ, DAIT, DAIV} {
+		t.Run(alg.String(), func(t *testing.T) {
+			env := newTestEnv(t, 48, Config{Algorithm: alg, Seed: 1})
+			q := env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+			env.publish(t, 1, rTuple(env, 1, 7, 0))
+			env.publish(t, 2, sTuple(env, 2, 7, 0))
+			if got := len(env.eng.Notifications()); got != 1 {
+				t.Fatalf("before retraction: %d notifications", got)
+			}
+			if err := env.eng.Unsubscribe(env.node(0), q); err != nil {
+				t.Fatalf("Unsubscribe: %v", err)
+			}
+			// Neither a fresh pair nor a partner for the old stored tuple
+			// may notify now.
+			env.publish(t, 3, sTuple(env, 3, 7, 0))
+			env.publish(t, 4, rTuple(env, 4, 9, 0))
+			env.publish(t, 5, sTuple(env, 5, 9, 0))
+			if got := len(env.eng.Notifications()); got != 1 {
+				t.Fatalf("after retraction: %d notifications, want still 1", got)
+			}
+		})
+	}
+}
+
+func TestUnsubscribeReclaimsStorage(t *testing.T) {
+	for _, alg := range []Algorithm{SAI, DAIT} {
+		t.Run(alg.String(), func(t *testing.T) {
+			env := newTestEnv(t, 48, Config{Algorithm: alg, Seed: 2})
+			q := env.subscribe(t, 0, `SELECT S.D FROM R, S WHERE R.B = S.E`)
+			// Fan rewrites out to several evaluators.
+			for i := 0; i < 10; i++ {
+				env.publish(t, i, rTuple(env, 0, float64(i), 0))
+			}
+			queryStorage := sum(env.eng.RoleLoads(metrics.Rewriter, true))
+			rewriteStorage := sum(env.eng.RoleLoads(metrics.Evaluator, true))
+			if queryStorage == 0 || rewriteStorage == 0 {
+				t.Fatalf("set-up stored nothing: q=%d rw=%d", queryStorage, rewriteStorage)
+			}
+			if err := env.eng.Unsubscribe(env.node(0), q); err != nil {
+				t.Fatalf("Unsubscribe: %v", err)
+			}
+			if got := sum(env.eng.RoleLoads(metrics.Rewriter, true)); got != 0 {
+				t.Fatalf("rewriter storage after retraction = %d, want 0", got)
+			}
+			// The 10 distinct rewrites are purged; tuples stored at the
+			// value level are shared state and survive.
+			if got := sum(env.eng.RoleLoads(metrics.Evaluator, true)); got != rewriteStorage-10 {
+				t.Fatalf("evaluator storage after retraction = %d, want %d (10 rewrites purged)",
+					got, rewriteStorage-10)
+			}
+		})
+	}
+}
+
+func TestUnsubscribeLeavesGroupPeersIntact(t *testing.T) {
+	env := newTestEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft, Seed: 3})
+	q1 := env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	env.subscribe(t, 1, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	if err := env.eng.Unsubscribe(env.node(0), q1); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	env.publish(t, 2, rTuple(env, 1, 7, 0))
+	env.publish(t, 3, sTuple(env, 2, 7, 0))
+	got := env.eng.Notifications()
+	if len(got) != 1 {
+		t.Fatalf("%d notifications, want 1 (for the surviving peer)", len(got))
+	}
+	if got[0].Subscriber != env.node(1).Key() {
+		t.Fatalf("notified %s, want the surviving subscriber", got[0].Subscriber)
+	}
+}
+
+func TestUnsubscribeWithReplication(t *testing.T) {
+	env := newTestEnv(t, 64, Config{Algorithm: SAI, ReplicationFactor: 3, Seed: 4})
+	q := env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	if got := sum(env.eng.RoleLoads(metrics.Rewriter, true)); got != 3 {
+		t.Fatalf("replicated query storage = %d, want 3", got)
+	}
+	if err := env.eng.Unsubscribe(env.node(0), q); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	if got := sum(env.eng.RoleLoads(metrics.Rewriter, true)); got != 0 {
+		t.Fatalf("storage after replicated retraction = %d, want 0", got)
+	}
+	env.publish(t, 1, rTuple(env, 1, 7, 0))
+	env.publish(t, 2, sTuple(env, 2, 7, 0))
+	if got := len(env.eng.Notifications()); got != 0 {
+		t.Fatalf("retracted replicated query still notified: %d", got)
+	}
+}
+
+func TestUnsubscribeErrors(t *testing.T) {
+	env := newTestEnv(t, 16, Config{Algorithm: SAI})
+	q := env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	if err := env.eng.Unsubscribe(env.node(0), q); err != nil {
+		t.Fatalf("first Unsubscribe: %v", err)
+	}
+	if err := env.eng.Unsubscribe(env.node(0), q); err == nil {
+		t.Fatal("double retraction accepted")
+	}
+
+	base := newTestEnv(t, 16, Config{Algorithm: BaselineRelation})
+	bq := base.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	if err := base.eng.Unsubscribe(base.node(0), bq); err == nil {
+		t.Fatal("baseline retraction accepted")
+	}
+}
+
+func TestResubscribeAfterUnsubscribe(t *testing.T) {
+	// DAI-T's reindex-once markers must be cleared by retraction so an
+	// identical re-subscription behaves like a fresh query.
+	env := newTestEnv(t, 48, Config{Algorithm: DAIT, Seed: 5})
+	q := env.subscribe(t, 0, `SELECT S.D FROM R, S WHERE R.B = S.E`)
+	env.publish(t, 1, rTuple(env, 0, 7, 0))
+	if err := env.eng.Unsubscribe(env.node(0), q); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	env.subscribe(t, 0, `SELECT S.D FROM R, S WHERE R.B = S.E`)
+	env.publish(t, 2, rTuple(env, 0, 7, 0))
+	env.publish(t, 3, sTuple(env, 9, 7, 0))
+	if got := len(env.eng.Notifications()); got != 1 {
+		t.Fatalf("re-subscription delivered %d notifications, want 1", got)
+	}
+}

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the shape-assertion tests fast.
+func tinyScale() Scale { return Scale{Nodes: 96, Queries: 120, Tuples: 150, Seed: 1} }
+
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d); rows=%d", tab.ID, row, col, len(tab.Rows))
+	}
+	return tab.Rows[row][col]
+}
+
+func numCell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(cell(t, tab, row, col), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d)=%q not numeric", tab.ID, row, col, s)
+	}
+	return v
+}
+
+func TestAllExperimentsRunAndPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are expensive")
+	}
+	sc := tinyScale()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(sc)
+			if tab.ID != e.ID {
+				t.Fatalf("table id %q != registry id %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("row width %d != header width %d: %v", len(row), len(tab.Header), row)
+				}
+			}
+			var buf bytes.Buffer
+			tab.Print(&buf)
+			if !strings.Contains(buf.String(), tab.Title) {
+				t.Fatal("Print lost the title")
+			}
+		})
+	}
+}
+
+func TestPrintCSV(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "demo", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "x,y"}, {"2", `quo"te`}},
+	}
+	var buf bytes.Buffer
+	if err := tab.PrintCSV(&buf); err != nil {
+		t.Fatalf("PrintCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# X — demo\n") {
+		t.Fatalf("missing comment header: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"quo""te"`) {
+		t.Fatalf("CSV quoting wrong: %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Fatalf("line count = %d, want 4", lines)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("F5.2")
+	if err != nil || e.ID != "F5.2" {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if _, err := Lookup("F9.9"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// Shape assertions: the qualitative claims of the paper must hold in the
+// regenerated tables (EXPERIMENTS.md records the quantitative outputs).
+
+func TestFig48Shape(t *testing.T) {
+	tab := Fig48(tinyScale())
+	// For every k >= 16, the recursive design must beat the iterative one.
+	for i, row := range tab.Rows {
+		k := numCell(t, tab, i, 1)
+		if k < 16 {
+			continue
+		}
+		iter, rec := numCell(t, tab, i, 2), numCell(t, tab, i, 3)
+		if rec >= iter {
+			t.Fatalf("k=%v: recursive %v >= iterative %v\n%v", k, rec, iter, row)
+		}
+	}
+}
+
+func TestFig52Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	tab := Fig52(tinyScale())
+	// Rows come in (JFRT off, JFRT on) pairs per algorithm: on must not
+	// exceed off in join hops.
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		off := numCell(t, tab, i, 4)
+		on := numCell(t, tab, i+1, 4)
+		if on > off {
+			t.Fatalf("%s: JFRT increased join hops %v -> %v", cell(t, tab, i, 0), off, on)
+		}
+	}
+}
+
+func TestFig55Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	tab := Fig55(tinyScale())
+	last := len(tab.Rows) - 1
+	// At heavy imbalance min-rate must save traffic over random.
+	random := numCell(t, tab, last, 1)
+	minRate := numCell(t, tab, last, 2)
+	if minRate >= random {
+		t.Fatalf("bos=%s: min-rate %v >= random %v", cell(t, tab, last, 0), minRate, random)
+	}
+}
+
+func TestFig56Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	tab := Fig56(tinyScale())
+	// Max rewriter filtering load must fall from k=1 to k=8.
+	first := numCell(t, tab, 0, 3)
+	lastRow := len(tab.Rows) - 1
+	lastMax := numCell(t, tab, lastRow, 3)
+	if lastMax >= first {
+		t.Fatalf("replication k=8 max %v >= k=1 max %v", lastMax, first)
+	}
+}
+
+func TestFig514Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	tab := Fig514(tinyScale())
+	// Within each algorithm's three rows, mean load must fall as N grows.
+	for i := 0; i+2 < len(tab.Rows); i += 3 {
+		small := numCell(t, tab, i, 3)   // mean at N/4
+		large := numCell(t, tab, i+2, 3) // mean at 4N
+		if large >= small {
+			t.Fatalf("%s: mean TF did not fall with N: %v -> %v", cell(t, tab, i, 0), small, large)
+		}
+	}
+}

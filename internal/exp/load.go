@@ -1,0 +1,326 @@
+package exp
+
+import (
+	"cqjoin/internal/engine"
+	"cqjoin/internal/metrics"
+	"cqjoin/internal/workload"
+)
+
+// distCells renders the distribution columns shared by the load figures.
+func distCells(dist metrics.Distribution) []string {
+	return []string{
+		d(int64(dist.NonZero)), f1(dist.Mean), f1(dist.Max), f3(dist.Gini), f2(dist.Top1Share),
+	}
+}
+
+var distHeader = []string{"nodes used", "mean", "max", "gini", "top1% share"}
+
+// Fig56 regenerates Figure 5.6: the effect of the attribute-level
+// replication scheme on the filtering-load distribution. Replicating the
+// rewriter role over k nodes splits each hot attribute's triggering work k
+// ways, lowering the maximum and the skew.
+func Fig56(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.6",
+		Title:  "Effect of the replication scheme in filtering load distribution",
+		Note:   "rewriter-role TF only; expected shape: max and gini fall, used nodes rise with k",
+		Header: append([]string{"replication k"}, distHeader...),
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		r := replicationRun(sc, k)
+		dist := metrics.SummarizeInt(r.Eng.RoleLoads(metrics.Rewriter, false))
+		t.AddRow(append([]string{d(int64(k))}, distCells(dist)...)...)
+	}
+	return t
+}
+
+// Fig57 regenerates Figure 5.7: the replication scheme's effect on the
+// storage-load distribution. Queries are stored at all k replicas, so
+// total rewriter storage grows k-fold while spreading across k-times as
+// many nodes.
+func Fig57(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.7",
+		Title:  "Effect of the replication scheme in storage load distribution",
+		Note:   "rewriter-role TS only; expected shape: total grows k-fold, spread over k-times the nodes",
+		Header: append([]string{"replication k", "total"}, distHeader...),
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		r := replicationRun(sc, k)
+		dist := metrics.SummarizeInt(r.Eng.RoleLoads(metrics.Rewriter, true))
+		t.AddRow(append([]string{d(int64(k)), f1(dist.Total)}, distCells(dist)...)...)
+	}
+	return t
+}
+
+func replicationRun(sc Scale, k int) *Run {
+	// A narrow schema (one pair, two attributes) keeps the number of
+	// rewriter identifiers far below the node count, the regime replication
+	// targets: few hot attribute-level nodes in a large network.
+	r := Setup(engine.Config{Algorithm: engine.SAI, ReplicationFactor: k}, sc, workload.Params{Pairs: 1, Attrs: 2})
+	r.SubscribeT1(sc.Queries)
+	r.PublishTuples(sc.Tuples)
+	return r
+}
+
+// Fig58 regenerates Figure 5.8: the effect of window size and installed
+// queries on the total evaluator filtering load. A longer window keeps more
+// tuples resident, so every rewritten query scans more candidates; more
+// queries trigger more rewrites.
+func Fig58(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.8",
+		Title:  "Effect of window size and installed queries in total evaluator filtering load",
+		Note:   "expected shape: total TF grows with both window length and query count",
+		Header: []string{"window", "queries", "total evaluator TF"},
+	}
+	forWindowSweep(sc, func(window int64, queries int, r *Run) {
+		var total int64
+		for _, l := range r.Eng.RoleLoads(metrics.Evaluator, false) {
+			total += l
+		}
+		t.AddRow(d(window), d(int64(queries)), d(total))
+	})
+	return t
+}
+
+// Fig59 regenerates Figure 5.9: window size and installed queries against
+// total evaluator storage load. Stored tuples are bounded by the window;
+// stored rewritten queries grow with the query count.
+func Fig59(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.9",
+		Title:  "Effect of window size and installed queries in total evaluator storage load",
+		Note:   "expected shape: total TS grows with window length (resident tuples) and query count (stored rewrites)",
+		Header: []string{"window", "queries", "total evaluator TS"},
+	}
+	forWindowSweep(sc, func(window int64, queries int, r *Run) {
+		var total int64
+		for _, l := range r.Eng.RoleLoads(metrics.Evaluator, true) {
+			total += l
+		}
+		t.AddRow(d(window), d(int64(queries)), d(total))
+	})
+	return t
+}
+
+// forWindowSweep runs the window × queries grid shared by Figures 5.8/5.9.
+// The clock ticks once per insertion, so a window of w keeps roughly the
+// last w insertions' tuples resident.
+func forWindowSweep(sc Scale, visit func(window int64, queries int, r *Run)) {
+	batches := 8
+	perWindow := sc.Tuples / batches
+	if perWindow == 0 {
+		perWindow = 1
+	}
+	for _, window := range []int64{int64(perWindow), int64(4 * perWindow)} {
+		for _, queries := range []int{sc.Queries / 4, sc.Queries} {
+			if queries == 0 {
+				continue
+			}
+			r := Setup(engine.Config{Algorithm: engine.SAI, Window: window}, sc, workload.Params{})
+			r.SubscribeT1(queries)
+			r.ResetMeters()
+			r.PublishWindows(batches, perWindow)
+			visit(window, queries, r)
+		}
+	}
+}
+
+// Fig510 regenerates Figure 5.10: the TF and TS load-distribution
+// comparison for all four algorithms on the same workload.
+func Fig510(sc Scale) *Table {
+	t := &Table{
+		ID:    "F5.10",
+		Title: "TF and TS load distribution comparison for all algorithms",
+		Note:  "expected shape: DAI better spread than SAI; DAI-V the most concentrated DAI (unprefixed values) but lowest traffic",
+		Header: []string{"algorithm",
+			"TF used", "TF max", "TF gini",
+			"TS used", "TS max", "TS gini"},
+	}
+	for _, alg := range mainAlgorithms() {
+		r := standardRun(sc, alg)
+		m := r.Measure(sc.Tuples)
+		t.AddRow(alg.String(),
+			d(int64(m.TF.NonZero)), f1(m.TF.Max), f3(m.TF.Gini),
+			d(int64(m.TS.NonZero)), f1(m.TS.Max), f3(m.TS.Gini))
+	}
+	return t
+}
+
+// Fig511 regenerates Figure 5.11: total filtering and storage load split
+// between the two indexing levels (rewriters vs evaluators) for the
+// two-level algorithms.
+func Fig511(sc Scale) *Table {
+	t := &Table{
+		ID:    "F5.11",
+		Title: "Total filtering and storage load distribution for the two-level indexing algorithms",
+		Note:  "expected shape: DAI-T shifts storage to evaluators (stored rewrites) and minimizes evaluator filtering on reindex",
+		Header: []string{"algorithm",
+			"rewriter TF", "evaluator TF", "rewriter TS", "evaluator TS"},
+	}
+	for _, alg := range mainAlgorithms() {
+		r := standardRun(sc, alg)
+		row := []string{alg.String()}
+		for _, c := range []struct {
+			role    metrics.Role
+			storage bool
+		}{
+			{metrics.Rewriter, false}, {metrics.Evaluator, false},
+			{metrics.Rewriter, true}, {metrics.Evaluator, true},
+		} {
+			var total int64
+			for _, l := range r.Eng.RoleLoads(c.role, c.storage) {
+				total += l
+			}
+			row = append(row, d(total))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// standardRun is the shared workload for the load-distribution figures:
+// subscribe, reset, publish.
+func standardRun(sc Scale, alg engine.Algorithm) *Run {
+	r := Setup(engine.Config{Algorithm: alg}, sc, workload.Params{})
+	r.SubscribeT1(sc.Queries)
+	r.ResetMeters()
+	r.PublishTuples(sc.Tuples)
+	return r
+}
+
+// Fig512 regenerates Figure 5.12: the filtering-load distribution as the
+// frequency of incoming tuples grows. Load totals scale with the stream
+// rate while the distribution shape stays stable — the scalability claim of
+// Chapter 1.
+func Fig512(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.12",
+		Title:  "Effect in filtering load distribution of increasing the frequency of incoming tuples",
+		Note:   "expected shape: mean/max scale with tuple count, gini roughly stable",
+		Header: append([]string{"algorithm", "tuples"}, distHeader...),
+	}
+	for _, alg := range mainAlgorithms() {
+		for _, tuples := range []int{sc.Tuples / 4, sc.Tuples, 2 * sc.Tuples} {
+			if tuples == 0 {
+				continue
+			}
+			r := Setup(engine.Config{Algorithm: alg}, sc, workload.Params{})
+			r.SubscribeT1(sc.Queries)
+			r.ResetMeters()
+			r.PublishTuples(tuples)
+			m := r.Measure(tuples)
+			t.AddRow(append([]string{alg.String(), d(int64(tuples))}, distCells(m.TF)...)...)
+		}
+	}
+	return t
+}
+
+// Fig513 regenerates Figure 5.13: the filtering-load distribution as the
+// number of indexed queries grows.
+func Fig513(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.13",
+		Title:  "Effect in filtering load distribution of increasing the number of indexed queries",
+		Note:   "expected shape: load grows with queries, spread over more evaluators",
+		Header: append([]string{"algorithm", "queries"}, distHeader...),
+	}
+	for _, alg := range mainAlgorithms() {
+		for _, queries := range []int{sc.Queries / 4, sc.Queries, 2 * sc.Queries} {
+			if queries == 0 {
+				continue
+			}
+			r := Setup(engine.Config{Algorithm: alg}, sc, workload.Params{})
+			r.SubscribeT1(queries)
+			r.ResetMeters()
+			r.PublishTuples(sc.Tuples)
+			m := r.Measure(sc.Tuples)
+			t.AddRow(append([]string{alg.String(), d(int64(queries))}, distCells(m.TF)...)...)
+		}
+	}
+	return t
+}
+
+// Fig514 regenerates Figure 5.14: the filtering-load distribution as the
+// network grows under a fixed workload. New nodes take over identifier
+// arcs and relieve existing rewriters and evaluators.
+func Fig514(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.14",
+		Title:  "Effect in filtering load distribution of increasing the network size",
+		Note:   "expected shape: mean and max per-node load fall as N grows (scalability)",
+		Header: append([]string{"algorithm", "N"}, distHeader...),
+	}
+	forNetworkSweep(sc, func(alg engine.Algorithm, n int, m Measurements) {
+		t.AddRow(append([]string{alg.String(), d(int64(n))}, distCells(m.TF)...)...)
+	})
+	return t
+}
+
+// Fig515 regenerates Figure 5.15: the same network-size sweep restricted to
+// the most loaded nodes — the share of total filtering work carried by the
+// top 1% and 10%.
+func Fig515(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.15",
+		Title:  "Effect in filtering load distribution of increasing the network size for the most loaded nodes",
+		Note:   "expected shape: the hottest node's absolute load falls as N grows",
+		Header: []string{"algorithm", "N", "max TF", "top1% share", "top10% share"},
+	}
+	forNetworkSweep(sc, func(alg engine.Algorithm, n int, m Measurements) {
+		t.AddRow(alg.String(), d(int64(n)), f1(m.TF.Max), f2(m.TF.Top1Share), f2(m.TF.Top10Share))
+	})
+	return t
+}
+
+func forNetworkSweep(sc Scale, visit func(alg engine.Algorithm, n int, m Measurements)) {
+	for _, alg := range mainAlgorithms() {
+		for _, n := range []int{sc.Nodes / 4, sc.Nodes, 4 * sc.Nodes} {
+			if n == 0 {
+				continue
+			}
+			sz := sc
+			sz.Nodes = n
+			r := Setup(engine.Config{Algorithm: alg}, sz, workload.Params{})
+			r.SubscribeT1(sc.Queries)
+			r.ResetMeters()
+			r.PublishTuples(sc.Tuples)
+			visit(alg, n, r.Measure(sc.Tuples))
+		}
+	}
+}
+
+// Fig516 regenerates Figure 5.16: DAI-V's filtering-load distribution under
+// each of the three growth dimensions — network size, queries and tuples —
+// exercised with type-T2 queries, the workload only DAI-V supports.
+func Fig516(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.16",
+		Title:  "Effect in filtering load distribution of DAI-V of increasing the network size, queries or tuples",
+		Note:   "type-T2 workload; expected shape: graceful scaling on every dimension",
+		Header: append([]string{"sweep", "value"}, distHeader...),
+	}
+	run := func(nodes, queries, tuples int) Measurements {
+		sz := sc
+		sz.Nodes = nodes
+		r := Setup(engine.Config{Algorithm: engine.DAIV}, sz, workload.Params{})
+		r.SubscribeT2(queries)
+		r.ResetMeters()
+		r.PublishTuples(tuples)
+		return r.Measure(tuples)
+	}
+	for _, n := range []int{sc.Nodes / 4, sc.Nodes, 4 * sc.Nodes} {
+		m := run(n, sc.Queries, sc.Tuples)
+		t.AddRow(append([]string{"network", d(int64(n))}, distCells(m.TF)...)...)
+	}
+	for _, q := range []int{sc.Queries / 4, sc.Queries, 2 * sc.Queries} {
+		m := run(sc.Nodes, q, sc.Tuples)
+		t.AddRow(append([]string{"queries", d(int64(q))}, distCells(m.TF)...)...)
+	}
+	for _, tu := range []int{sc.Tuples / 4, sc.Tuples, 2 * sc.Tuples} {
+		m := run(sc.Nodes, sc.Queries, tu)
+		t.AddRow(append([]string{"tuples", d(int64(tu))}, distCells(m.TF)...)...)
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"cqjoin/internal/engine"
+	"cqjoin/internal/workload"
+)
+
+// X71 measures the multi-way chain extension (the future work of
+// Chapter 7): traffic and load as the chain arity k grows under a fixed
+// node count, query count and tuple budget. Longer chains cost more
+// reindexing per completed combination — every matched stage is another
+// value-level hop — while per-node load keeps spreading over the value
+// space.
+func X71(sc Scale) *Table {
+	t := &Table{
+		ID:     "X7.1",
+		Title:  "Multi-way chain joins: traffic and load vs chain arity",
+		Note:   "SAI pipeline generalization; expected shape: hops/tuple grows with k, completions need k matching stages",
+		Header: []string{"k", "hops/tuple", "mjoin msgs", "TF gini", "TF used", "notifications"},
+	}
+	for _, k := range []int{2, 3, 4} {
+		// A moderately sparse value domain keeps the number of completed
+		// combinations from exploding combinatorially with k while still
+		// exercising every pipeline stage.
+		r := Setup(engine.Config{Algorithm: engine.SAI}, sc, workload.Params{Pairs: 2, Attrs: 2, Domain: 200, Theta: 0.5})
+		queries := sc.Queries / 8
+		if queries == 0 {
+			queries = 1
+		}
+		for i := 0; i < queries; i++ {
+			if _, err := r.Eng.SubscribeMulti(r.randomNode(), r.Gen.QueryChain(k)); err != nil {
+				panic(err)
+			}
+		}
+		r.ResetMeters()
+		for i := 0; i < sc.Tuples; i++ {
+			if _, err := r.Eng.Publish(r.randomNode(), r.Gen.ChainTuple(k)); err != nil {
+				panic(err)
+			}
+		}
+		m := r.Measure(sc.Tuples)
+		t.AddRow(d(int64(k)), f1(m.HopsPerTuple),
+			d(r.Net.Traffic().Messages("mjoin")),
+			f3(m.TF.Gini), d(int64(m.TF.NonZero)), d(int64(m.Notifications)))
+	}
+	return t
+}

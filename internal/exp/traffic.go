@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+
+	"cqjoin/internal/engine"
+	"cqjoin/internal/workload"
+)
+
+// Fig52 regenerates Figure 5.2: network traffic per inserted tuple for all
+// four algorithms, with and without the Join Fingers Routing Table. The
+// JFRT removes the O(log N) lookup from repeat reindexing, so the hops per
+// tuple drop by roughly the routing factor once recurring join values warm
+// the cache.
+func Fig52(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.2",
+		Title:  "Traffic cost and JFRT effect",
+		Note:   "expected shape: JFRT cuts join-message hops toward 1 per reindex; DAI-T lowest steady-state traffic",
+		Header: []string{"algorithm", "JFRT", "hops/tuple", "msgs/tuple", "join hops", "notifications"},
+	}
+	for _, alg := range mainAlgorithms() {
+		for _, jfrt := range []bool{false, true} {
+			// A moderate value domain makes join values recur — the regime
+			// the JFRT targets (recurring rewrites to the same evaluator).
+			r := Setup(engine.Config{Algorithm: alg, UseJFRT: jfrt}, sc, workload.Params{Domain: 100})
+			r.SubscribeT1(sc.Queries)
+			// Warm up so the JFRT effect is measured in steady state: the
+			// cache fills during the first half of the stream.
+			r.PublishTuples(sc.Tuples / 2)
+			r.ResetMeters()
+			r.PublishTuples(sc.Tuples)
+			m := r.Measure(sc.Tuples)
+			t.AddRow(alg.String(), fmt.Sprintf("%v", jfrt),
+				f1(m.HopsPerTuple), f1(m.MsgsPerTuple),
+				d(r.Net.Traffic().Hops("join")), d(int64(m.Notifications)))
+		}
+	}
+	return t
+}
+
+// Fig53 regenerates Figure 5.3: the effect of the number of indexed queries
+// on network traffic. More installed queries mean more triggered groups per
+// tuple and so more rewritten-query traffic; DAI-T flattens because stored
+// rewritten queries are never reindexed twice.
+func Fig53(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.3",
+		Title:  "Effect of the number of indexed queries in network traffic",
+		Note:   "expected shape: hops/tuple grows with queries for SAI/DAI-Q; DAI-T flattens after warm-up",
+		Header: []string{"algorithm", "queries", "hops/tuple", "join msgs/tuple"},
+	}
+	for _, alg := range mainAlgorithms() {
+		for _, q := range []int{sc.Queries / 8, sc.Queries / 2, sc.Queries, 2 * sc.Queries} {
+			if q == 0 {
+				continue
+			}
+			r := Setup(engine.Config{Algorithm: alg}, sc, workload.Params{})
+			r.SubscribeT1(q)
+			// Warm up so DAI-T's reindex-once effect shows in steady state.
+			r.PublishTuples(sc.Tuples / 2)
+			r.ResetMeters()
+			r.PublishTuples(sc.Tuples)
+			m := r.Measure(sc.Tuples)
+			joinMsgs := float64(r.Net.Traffic().Messages("join")) / float64(sc.Tuples)
+			t.AddRow(alg.String(), d(int64(q)), f1(m.HopsPerTuple), f2(joinMsgs))
+		}
+	}
+	return t
+}
+
+// Fig54 regenerates Figure 5.4: comparison of the index attribute selection
+// strategies in SAI. Streams are asymmetric (bos ratio 4): the min-rate
+// strategy indexes queries under the quiet relation, so far fewer tuple
+// insertions trigger rewriting than under the random choice.
+func Fig54(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.4",
+		Title:  "Comparison of the index attribute selection strategies in SAI",
+		Note:   "bos ratio 4 (left stream 4x hotter); expected shape: min-rate cheapest; random pays a grouping penalty (same-condition queries split across rewriters)",
+		Header: []string{"strategy", "hops/tuple", "join msgs/tuple", "evaluators used"},
+	}
+	for _, strat := range []engine.Strategy{engine.StrategyRandom, engine.StrategyMinRate, engine.StrategyMinDomain, engine.StrategyLeft} {
+		r := Setup(engine.Config{Algorithm: engine.SAI, Strategy: strat}, sc, workload.Params{BosRatio: 4})
+		// Arrival statistics must exist before the strategies can probe
+		// them (Section 4.3.6): warm up with tuples first.
+		r.PublishTuples(sc.Tuples / 2)
+		r.SubscribeT1(sc.Queries)
+		r.ResetMeters()
+		r.PublishTuples(sc.Tuples)
+		m := r.Measure(sc.Tuples)
+		joinMsgs := float64(r.Net.Traffic().Messages("join")) / float64(sc.Tuples)
+		t.AddRow(strat.String(), f1(m.HopsPerTuple), f2(joinMsgs), d(int64(m.TF.NonZero)))
+	}
+	return t
+}
+
+// Fig55 regenerates Figure 5.5: the effect of the bos ratio — the rate
+// imbalance between the two joined streams — on SAI's traffic, for the
+// min-rate strategy against the random baseline. As the imbalance grows,
+// min-rate's advantage grows: it parks queries on the quiet side.
+func Fig55(sc Scale) *Table {
+	t := &Table{
+		ID:     "F5.5",
+		Title:  "Effect of the bos ratio",
+		Note:   "bos = left:right stream ratio (DESIGN.md §2); expected shape: min-rate advantage grows with imbalance",
+		Header: []string{"bos", "random hops/tuple", "min-rate hops/tuple", "savings"},
+	}
+	for _, bos := range []float64{1, 2, 4, 8, 16} {
+		res := make(map[engine.Strategy]float64)
+		for _, strat := range []engine.Strategy{engine.StrategyRandom, engine.StrategyMinRate} {
+			r := Setup(engine.Config{Algorithm: engine.SAI, Strategy: strat}, sc, workload.Params{BosRatio: bos})
+			r.PublishTuples(sc.Tuples / 2)
+			r.SubscribeT1(sc.Queries)
+			r.ResetMeters()
+			r.PublishTuples(sc.Tuples)
+			res[strat] = r.Measure(sc.Tuples).HopsPerTuple
+		}
+		saving := 0.0
+		if res[engine.StrategyRandom] > 0 {
+			saving = 1 - res[engine.StrategyMinRate]/res[engine.StrategyRandom]
+		}
+		t.AddRow(f1(bos), f1(res[engine.StrategyRandom]), f1(res[engine.StrategyMinRate]),
+			fmt.Sprintf("%.0f%%", 100*saving))
+	}
+	return t
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import "sync"
+
+// Load accumulates the two per-node load metrics the paper introduces as a
+// technical contribution (Chapter 1): the filtering load TF — how many
+// filtering operations (tuple-against-query or query-against-tuple match
+// attempts triggered by received messages) a node performed — and the
+// storage load TS — how many items (queries, rewritten queries, tuples,
+// stored notifications) the node currently holds.
+//
+// Loads are tracked per role, so figures can split "rewriter" (attribute
+// level) from "evaluator" (value level) load as Figure 5.11 requires.
+//
+// The zero Load is ready to use. All methods are safe for concurrent use.
+type Load struct {
+	mu        sync.Mutex
+	filtering map[Role]int64
+	storage   map[Role]int64
+}
+
+// Role identifies which of the two-level-indexing roles charged a load unit.
+type Role int
+
+const (
+	// Rewriter load is incurred at the attribute level (ALQT processing).
+	Rewriter Role = iota
+	// Evaluator load is incurred at the value level (VLQT/VLTT processing).
+	Evaluator
+	numRoles
+)
+
+// String names the role for reports.
+func (r Role) String() string {
+	switch r {
+	case Rewriter:
+		return "rewriter"
+	case Evaluator:
+		return "evaluator"
+	default:
+		return "unknown"
+	}
+}
+
+// AddFiltering charges n filtering operations to the given role.
+func (l *Load) AddFiltering(r Role, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filtering == nil {
+		l.filtering = make(map[Role]int64, numRoles)
+	}
+	l.filtering[r] += int64(n)
+}
+
+// AddStorage charges n stored items to the given role. Negative n releases
+// storage (e.g. when a tuple slides out of the time window).
+func (l *Load) AddStorage(r Role, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.storage == nil {
+		l.storage = make(map[Role]int64, numRoles)
+	}
+	l.storage[r] += int64(n)
+}
+
+// Filtering returns the filtering load charged to role r.
+func (l *Load) Filtering(r Role) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.filtering[r]
+}
+
+// Storage returns the storage load charged to role r.
+func (l *Load) Storage(r Role) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.storage[r]
+}
+
+// TotalFiltering returns the node's TF over all roles.
+func (l *Load) TotalFiltering() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, v := range l.filtering {
+		n += v
+	}
+	return n
+}
+
+// TotalStorage returns the node's TS over all roles.
+func (l *Load) TotalStorage() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, v := range l.storage {
+		n += v
+	}
+	return n
+}
+
+// Reset clears all counters.
+func (l *Load) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.filtering = nil
+	l.storage = nil
+}

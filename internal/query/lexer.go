@@ -1,0 +1,99 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens for the SQL subset.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators: , . ( ) + - * / = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex splits a query string into tokens. Identifiers are case-preserving;
+// keyword matching happens case-insensitively in the parser. String
+// literals accept single or double quotes.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'' || c == '"':
+			quote := input[i]
+			j := i + 1
+			for j < len(input) && input[j] != quote {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("query: unterminated string literal at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			text := input[i:j]
+			n, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad number %q at offset %d", text, i)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: n, pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+		case strings.ContainsRune("!<>", c):
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+				i += 2
+			} else if c == '!' {
+				return nil, fmt.Errorf("query: stray '!' at offset %d", i)
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			}
+		case strings.ContainsRune(",.()+-*/=", c):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

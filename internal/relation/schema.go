@@ -1,0 +1,132 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema describes a relation: its name and the ordered attribute names.
+// Example from Section 3.2: Document(Id, Title, Conference, AuthorId).
+type Schema struct {
+	name  string
+	attrs []string
+	index map[string]int
+}
+
+// NewSchema builds a schema. Attribute names must be unique and non-empty.
+func NewSchema(name string, attrs ...string) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: schema with empty name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: schema %s has no attributes", name)
+	}
+	s := &Schema{name: name, attrs: append([]string(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation: schema %s has an empty attribute name", name)
+		}
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("relation: schema %s repeats attribute %s", name, a)
+		}
+		s.index[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for literals in tests and
+// examples.
+func MustSchema(name string, attrs ...string) *Schema {
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the relation name.
+func (s *Schema) Name() string { return s.name }
+
+// Attrs returns the attribute names in declaration order.
+func (s *Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasAttr reports whether the schema declares the attribute.
+func (s *Schema) HasAttr(name string) bool { return s.AttrIndex(name) >= 0 }
+
+// String renders the schema as Name(A1, A2, ...).
+func (s *Schema) String() string {
+	return fmt.Sprintf("%s(%s)", s.name, strings.Join(s.attrs, ", "))
+}
+
+// Catalog is a set of schemas addressable by relation name, the co-existing
+// schemas of Section 3.2. The zero Catalog is empty and ready to use via
+// Add.
+type Catalog struct {
+	schemas map[string]*Schema
+}
+
+// NewCatalog builds a catalog over the given schemas.
+func NewCatalog(schemas ...*Schema) (*Catalog, error) {
+	c := &Catalog{schemas: make(map[string]*Schema, len(schemas))}
+	for _, s := range schemas {
+		if err := c.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// MustCatalog is NewCatalog that panics on error.
+func MustCatalog(schemas ...*Schema) *Catalog {
+	c, err := NewCatalog(schemas...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Add registers a schema; relation names must be unique.
+func (c *Catalog) Add(s *Schema) error {
+	if c.schemas == nil {
+		c.schemas = make(map[string]*Schema)
+	}
+	if _, dup := c.schemas[s.name]; dup {
+		return fmt.Errorf("relation: catalog already has relation %s", s.name)
+	}
+	c.schemas[s.name] = s
+	return nil
+}
+
+// Lookup returns the schema for a relation name, or nil.
+func (c *Catalog) Lookup(name string) *Schema {
+	if c.schemas == nil {
+		return nil
+	}
+	return c.schemas[name]
+}
+
+// Schemas returns every registered schema in relation-name order.
+func (c *Catalog) Schemas() []*Schema {
+	names := make([]string, 0, len(c.schemas))
+	for n := range c.schemas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Schema, len(names))
+	for i, n := range names {
+		out[i] = c.schemas[n]
+	}
+	return out
+}

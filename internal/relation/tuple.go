@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one row of a relation, carrying the publication time pubT(t) set
+// when the tuple is inserted into the network (Section 3.2). A tuple can
+// trigger a query q iff pubT(t) >= insT(q).
+type Tuple struct {
+	schema *Schema
+	values []Value
+	pubT   int64
+}
+
+// NewTuple builds a tuple of the given schema. The number of values must
+// match the schema's arity.
+func NewTuple(schema *Schema, values ...Value) (*Tuple, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("relation: tuple with nil schema")
+	}
+	if len(values) != schema.Arity() {
+		return nil, fmt.Errorf("relation: tuple of %s needs %d values, got %d",
+			schema.Name(), schema.Arity(), len(values))
+	}
+	return &Tuple{schema: schema, values: append([]Value(nil), values...)}, nil
+}
+
+// MustTuple is NewTuple that panics on error, for literals in tests and
+// examples.
+func MustTuple(schema *Schema, values ...Value) *Tuple {
+	t, err := NewTuple(schema, values...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the tuple's relation schema.
+func (t *Tuple) Schema() *Schema { return t.schema }
+
+// Relation returns the relation name.
+func (t *Tuple) Relation() string { return t.schema.Name() }
+
+// Values returns the attribute values in schema order.
+func (t *Tuple) Values() []Value { return append([]Value(nil), t.values...) }
+
+// Value returns the value of the named attribute.
+func (t *Tuple) Value(attr string) (Value, error) {
+	i := t.schema.AttrIndex(attr)
+	if i < 0 {
+		return Value{}, fmt.Errorf("relation: %s has no attribute %s", t.schema.Name(), attr)
+	}
+	return t.values[i], nil
+}
+
+// MustValue is Value that panics on an unknown attribute.
+func (t *Tuple) MustValue(attr string) Value {
+	v, err := t.Value(attr)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// PubT returns the tuple's publication time (0 until inserted).
+func (t *Tuple) PubT() int64 { return t.pubT }
+
+// WithPubT returns a copy of the tuple stamped with publication time ts.
+// The engine stamps tuples at insertion; the original is not modified.
+func (t *Tuple) WithPubT(ts int64) *Tuple {
+	cp := *t
+	cp.values = append([]Value(nil), t.values...)
+	cp.pubT = ts
+	return &cp
+}
+
+// Project returns a new single-use tuple restricted to the named attributes
+// in the given order, used by DAI-V which ships "the projection of t on the
+// attributes needed for the evaluation of the join" (Section 4.5).
+func (t *Tuple) Project(attrs []string) (*Tuple, error) {
+	sub, err := NewSchema(t.schema.Name(), attrs...)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]Value, len(attrs))
+	for i, a := range attrs {
+		v, err := t.Value(a)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	p, err := NewTuple(sub, vals...)
+	if err != nil {
+		return nil, err
+	}
+	p.pubT = t.pubT
+	return p, nil
+}
+
+// String renders the tuple as Relation(v1, v2, ...).
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.values))
+	for i, v := range t.values {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s(%s)", t.schema.Name(), strings.Join(parts, ", "))
+}

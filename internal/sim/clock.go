@@ -1,0 +1,58 @@
+// Package sim supplies the simulation substrate shared by all experiments:
+// a logical clock standing in for the NTP-synchronized clocks of Section 3.1,
+// and deterministic random sources for reproducible workloads.
+package sim
+
+import "sync"
+
+// Clock is the single logical clock of a simulated network. The paper
+// assumes nodes synchronize real clocks within a few milliseconds via NTP;
+// the algorithms only ever compare a tuple's publication time against a
+// query's insertion time (pubT(t) >= insT(q)), so any shared monotone
+// counter preserves the time semantics of Section 3.2.
+//
+// The zero Clock is ready to use and starts at time 1 so that time value 0
+// can mean "unset".
+type Clock struct {
+	mu  sync.Mutex
+	now int64
+}
+
+// Now returns the current logical time without advancing it.
+func (c *Clock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.now == 0 {
+		c.now = 1
+	}
+	return c.now
+}
+
+// Tick advances the clock by one unit and returns the new time. Experiments
+// call Tick once per simulated event (query submission or tuple insertion)
+// so every event has a distinct timestamp.
+func (c *Clock) Tick() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.now == 0 {
+		c.now = 1
+	}
+	c.now++
+	return c.now
+}
+
+// Advance moves the clock forward by d units (d >= 0) and returns the new
+// time. Window-based experiments advance the clock by a full window between
+// batches.
+func (c *Clock) Advance(d int64) int64 {
+	if d < 0 {
+		panic("sim: Advance with negative duration")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.now == 0 {
+		c.now = 1
+	}
+	c.now += d
+	return c.now
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockStartsAtOne(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 1 {
+		t.Fatalf("zero clock Now() = %d, want 1", got)
+	}
+}
+
+func TestClockTickMonotone(t *testing.T) {
+	var c Clock
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		next := c.Tick()
+		if next <= prev {
+			t.Fatalf("Tick not monotone: %d after %d", next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	start := c.Now()
+	if got := c.Advance(10); got != start+10 {
+		t.Fatalf("Advance(10) = %d, want %d", got, start+10)
+	}
+	if got := c.Advance(0); got != start+10 {
+		t.Fatalf("Advance(0) moved the clock to %d", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockConcurrentTicks(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	const workers, ticks = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < ticks; j++ {
+				c.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), int64(1+workers*ticks); got != want {
+		t.Fatalf("after %d concurrent ticks Now() = %d, want %d", workers*ticks, got, want)
+	}
+}

@@ -1,0 +1,268 @@
+// Package wire defines the binary on-the-wire encoding of the system's
+// payloads: attribute values, tuples, queries and notifications. The
+// simulator passes Go values between nodes for speed, but every message
+// type reports its encoded size through this package so the traffic ledger
+// can account bytes as well as hops — and a deployment replacing the
+// in-process transport with real sockets can reuse these encodings as-is.
+//
+// The format is length-prefixed and self-describing at the value level:
+//
+//	value   := kind:uint8 (0=string, 1=number) payload
+//	string  := len:uvarint bytes
+//	number  := 8 bytes IEEE-754 big endian
+//	tuple   := relation:string arity:uvarint attr:string... value... pubT:varint
+//	query   := key:string subscriber:string ip:string insT:varint sql:string
+//	notif   := querykey:string subscriber:string n:uvarint value...
+//	          leftPubT:varint rightPubT:varint deliveredAt:varint
+//
+// Queries travel as their SQL text and are re-parsed against the catalog on
+// arrival; the parser is the single source of truth for query semantics.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+const (
+	kindString byte = 0
+	kindNumber byte = 1
+)
+
+// Buffer accumulates an encoding. The zero Buffer is ready to use.
+type Buffer struct {
+	b []byte
+}
+
+// Bytes returns the encoded contents.
+func (w *Buffer) Bytes() []byte { return w.b }
+
+// Len returns the encoded size so far.
+func (w *Buffer) Len() int { return len(w.b) }
+
+// PutUvarint appends an unsigned varint.
+func (w *Buffer) PutUvarint(v uint64) {
+	w.b = binary.AppendUvarint(w.b, v)
+}
+
+// PutVarint appends a signed varint.
+func (w *Buffer) PutVarint(v int64) {
+	w.b = binary.AppendVarint(w.b, v)
+}
+
+// PutString appends a length-prefixed string.
+func (w *Buffer) PutString(s string) {
+	w.PutUvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// PutValue appends one attribute value.
+func (w *Buffer) PutValue(v relation.Value) {
+	if v.Kind() == relation.String {
+		w.b = append(w.b, kindString)
+		w.PutString(v.Str())
+		return
+	}
+	w.b = append(w.b, kindNumber)
+	w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(v.Num()))
+}
+
+// Reader decodes an encoding produced by Buffer.
+type Reader struct {
+	b   []byte
+	off int
+}
+
+// NewReader wraps an encoded byte slice.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Remaining()) {
+		return "", fmt.Errorf("wire: string of %d bytes exceeds remaining %d", n, r.Remaining())
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// Value reads one attribute value.
+func (r *Reader) Value() (relation.Value, error) {
+	if r.Remaining() < 1 {
+		return relation.Value{}, fmt.Errorf("wire: truncated value kind")
+	}
+	kind := r.b[r.off]
+	r.off++
+	switch kind {
+	case kindString:
+		s, err := r.String()
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return relation.S(s), nil
+	case kindNumber:
+		if r.Remaining() < 8 {
+			return relation.Value{}, fmt.Errorf("wire: truncated number")
+		}
+		bits := binary.BigEndian.Uint64(r.b[r.off:])
+		r.off += 8
+		return relation.N(math.Float64frombits(bits)), nil
+	default:
+		return relation.Value{}, fmt.Errorf("wire: unknown value kind %d", kind)
+	}
+}
+
+// EncodeTuple appends a tuple, including its (possibly projected) schema so
+// the receiver can evaluate expressions against it without catalog access.
+func EncodeTuple(w *Buffer, t *relation.Tuple) {
+	w.PutString(t.Relation())
+	attrs := t.Schema().Attrs()
+	w.PutUvarint(uint64(len(attrs)))
+	for _, a := range attrs {
+		w.PutString(a)
+	}
+	for _, a := range attrs {
+		w.PutValue(t.MustValue(a))
+	}
+	w.PutVarint(t.PubT())
+}
+
+// DecodeTuple reads a tuple encoded by EncodeTuple.
+func DecodeTuple(r *Reader) (*relation.Tuple, error) {
+	rel, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > 1<<16 {
+		return nil, fmt.Errorf("wire: implausible tuple arity %d", n)
+	}
+	attrs := make([]string, n)
+	for i := range attrs {
+		if attrs[i], err = r.String(); err != nil {
+			return nil, err
+		}
+	}
+	schema, err := relation.NewSchema(rel, attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	vals := make([]relation.Value, n)
+	for i := range vals {
+		if vals[i], err = r.Value(); err != nil {
+			return nil, err
+		}
+	}
+	t, err := relation.NewTuple(schema, vals...)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	pubT, err := r.Varint()
+	if err != nil {
+		return nil, err
+	}
+	return t.WithPubT(pubT), nil
+}
+
+// EncodeQuery appends a query: identity and times plus the SQL text, which
+// the receiver re-parses.
+func EncodeQuery(w *Buffer, q *query.Query) {
+	w.PutString(q.Key())
+	w.PutString(q.Subscriber())
+	w.PutString(q.SubscriberIP())
+	w.PutVarint(q.InsT())
+	w.PutString(q.Text())
+}
+
+// DecodeQuery reads a query encoded by EncodeQuery, re-parsing its SQL
+// against the catalog and restoring its identity and insertion time.
+func DecodeQuery(r *Reader, catalog *relation.Catalog) (*query.Query, error) {
+	key, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	sub, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	ip, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	insT, err := r.Varint()
+	if err != nil {
+		return nil, err
+	}
+	sql, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.Parse(catalog, sql)
+	if err != nil {
+		return nil, fmt.Errorf("wire: re-parse: %w", err)
+	}
+	q = q.WithInsT(insT)
+	return q.WithRestoredIdentity(key, sub, ip), nil
+}
+
+// SizeTuple returns a tuple's encoded size without materializing it.
+func SizeTuple(t *relation.Tuple) int {
+	var w Buffer
+	EncodeTuple(&w, t)
+	return w.Len()
+}
+
+// SizeQuery returns a query's encoded size.
+func SizeQuery(q *query.Query) int {
+	var w Buffer
+	EncodeQuery(&w, q)
+	return w.Len()
+}
+
+// SizeString returns a length-prefixed string's encoded size.
+func SizeString(s string) int {
+	var w Buffer
+	w.PutString(s)
+	return w.Len()
+}
+
+// SizeValue returns a value's encoded size.
+func SizeValue(v relation.Value) int {
+	var w Buffer
+	w.PutValue(v)
+	return w.Len()
+}

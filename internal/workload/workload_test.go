@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqjoin/internal/query"
+)
+
+func TestDefaults(t *testing.T) {
+	g := New(Params{})
+	p := g.Params()
+	if p.Pairs != 4 || p.Attrs != 4 || p.Domain != 1000 || p.Theta != 0.9 || p.BosRatio != 1 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if len(g.Catalog().Schemas()) != 8 {
+		t.Fatalf("catalog has %d schemas, want 8", len(g.Catalog().Schemas()))
+	}
+}
+
+func TestQueryGeneration(t *testing.T) {
+	g := New(Params{Seed: 1, FilterProb: 0.5})
+	for i := 0; i < 100; i++ {
+		q := g.Query()
+		if q.Type() != query.T1 {
+			t.Fatalf("Query() produced %s", q.Type())
+		}
+		lr, rr := q.Rel(query.SideLeft).Name(), q.Rel(query.SideRight).Name()
+		if lr[0] != 'R' || rr[0] != 'S' || lr[1:] != rr[1:] {
+			t.Fatalf("query joins unrelated relations %s, %s", lr, rr)
+		}
+	}
+}
+
+func TestQueryConditionsRecur(t *testing.T) {
+	g := New(Params{Seed: 2, Pairs: 1, Attrs: 2})
+	conds := make(map[string]int)
+	for i := 0; i < 50; i++ {
+		conds[g.Query().ConditionKey()]++
+	}
+	// Only 4 possible conditions exist: groups must form.
+	if len(conds) > 4 {
+		t.Fatalf("%d distinct conditions, want <= 4", len(conds))
+	}
+	for c, n := range conds {
+		if n < 2 {
+			t.Fatalf("condition %s appeared only once in 50 queries", c)
+		}
+	}
+}
+
+func TestQueryT2(t *testing.T) {
+	g := New(Params{Seed: 3})
+	for i := 0; i < 20; i++ {
+		if got := g.QueryT2().Type(); got != query.T2 {
+			t.Fatalf("QueryT2 produced %s", got)
+		}
+	}
+}
+
+func TestTupleSidesFollowBosRatio(t *testing.T) {
+	g := New(Params{Seed: 4, BosRatio: 4})
+	left, right := 0, 0
+	for i := 0; i < 4000; i++ {
+		tu := g.Tuple()
+		if tu.Relation()[0] == 'R' {
+			left++
+		} else {
+			right++
+		}
+	}
+	ratio := float64(left) / float64(right)
+	if ratio < 3.2 || ratio > 4.8 {
+		t.Fatalf("observed bos ratio %.2f, want ~4", ratio)
+	}
+}
+
+func TestTupleOfSchema(t *testing.T) {
+	g := New(Params{Seed: 5})
+	s := g.LeftSchema(0)
+	tu := g.TupleOf(s)
+	if tu.Schema() != s || tu.Schema().Arity() != 4 {
+		t.Fatal("TupleOf wrong schema")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := newZipf(100, 0.9)
+	rng := rand.New(rand.NewSource(6))
+	counts := make([]int, 101)
+	for i := 0; i < 20000; i++ {
+		v := z.sample(rng)
+		if v < 1 || v > 100 {
+			t.Fatalf("sample %d out of domain", v)
+		}
+		counts[v]++
+	}
+	// Rank 1 must dominate rank 50 heavily under theta = 0.9.
+	if counts[1] < 5*counts[50] {
+		t.Fatalf("skew too weak: counts[1]=%d counts[50]=%d", counts[1], counts[50])
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := newZipf(10, 0)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 11)
+	for i := 0; i < 50000; i++ {
+		counts[z.sample(rng)]++
+	}
+	for v := 1; v <= 10; v++ {
+		frac := float64(counts[v]) / 50000
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Fatalf("uniform sampling off at %d: %.3f", v, frac)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := New(Params{Seed: 9})
+	g2 := New(Params{Seed: 9})
+	for i := 0; i < 20; i++ {
+		if g1.Query().ConditionKey() != g2.Query().ConditionKey() {
+			t.Fatal("query streams diverge under same seed")
+		}
+		if g1.Tuple().String() != g2.Tuple().String() {
+			t.Fatal("tuple streams diverge under same seed")
+		}
+	}
+}
+
+func TestQueryChain(t *testing.T) {
+	g := New(Params{Seed: 11, Pairs: 2, Attrs: 2})
+	for _, k := range []int{2, 3, 4} {
+		mq := g.QueryChain(k)
+		if mq.Arity() != k {
+			t.Fatalf("chain arity = %d, want %d", mq.Arity(), k)
+		}
+		seen := make(map[string]bool)
+		for _, r := range mq.Rels() {
+			if seen[r.Name()] {
+				t.Fatalf("chain repeats relation %s", r.Name())
+			}
+			seen[r.Name()] = true
+		}
+	}
+	mustPanicW(t, func() { g.QueryChain(1) })
+	mustPanicW(t, func() { g.QueryChain(5) })
+}
+
+func TestChainTuple(t *testing.T) {
+	g := New(Params{Seed: 12, Pairs: 2})
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		seen[g.ChainTuple(4).Relation()] = true
+	}
+	for _, rel := range []string{"R0", "S0", "R1", "S1"} {
+		if !seen[rel] {
+			t.Fatalf("ChainTuple never produced %s", rel)
+		}
+	}
+}
+
+func TestPairSchemas(t *testing.T) {
+	g := New(Params{Seed: 13, Pairs: 2})
+	if g.LeftSchema(0).Name() != "R0" || g.RightSchema(1).Name() != "S1" {
+		t.Fatal("pair schema accessors wrong")
+	}
+	// Indexes wrap.
+	if g.LeftSchema(2).Name() != "R0" || g.RightSchema(3).Name() != "S1" {
+		t.Fatal("pair schema wrap wrong")
+	}
+}
+
+func mustPanicW(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestSelectAttrsClamped(t *testing.T) {
+	g := New(Params{Seed: 10, Attrs: 2, SelectAttrs: 99})
+	if g.Params().SelectAttrs != 2 {
+		t.Fatalf("SelectAttrs = %d, want clamped to 2", g.Params().SelectAttrs)
+	}
+	// Still parses.
+	_ = g.Query()
+}
