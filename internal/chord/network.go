@@ -36,6 +36,26 @@ type Network struct {
 	succListLen int
 	traffic     *metrics.Traffic
 	clock       *sim.Clock
+
+	icMu        sync.RWMutex
+	interceptor Interceptor
+}
+
+// SetInterceptor installs (or, with nil, removes) the delivery interceptor.
+// Every subsequent message delivery — routed, direct or relayed inside a
+// multisend — passes through it. There is exactly one slot: fault layers
+// that compose should wrap each other before installing.
+func (net *Network) SetInterceptor(ic Interceptor) {
+	net.icMu.Lock()
+	defer net.icMu.Unlock()
+	net.interceptor = ic
+}
+
+// Interceptor returns the installed delivery interceptor, or nil.
+func (net *Network) Interceptor() Interceptor {
+	net.icMu.RLock()
+	defer net.icMu.RUnlock()
+	return net.interceptor
 }
 
 // New creates an empty overlay.
@@ -143,6 +163,8 @@ func (net *Network) JoinAt(key string, nid id.ID) (*Node, error) {
 		_, hops, err := bootstrap.route(nid)
 		if err == nil {
 			net.traffic.Record("chord-join", hops)
+		} else {
+			net.traffic.RecordHopsOnly("chord-join", hops)
 		}
 	}
 

@@ -54,12 +54,13 @@ type Node struct {
 
 	alive atomic.Bool
 
-	mu      sync.Mutex
-	ip      string
-	pred    *Node
-	succs   []*Node // successor list; succs[0] is the immediate successor
-	fingers [id.Bits]*Node
-	handler Handler
+	mu         sync.Mutex
+	ip         string
+	pred       *Node
+	succs      []*Node // successor list; succs[0] is the immediate successor
+	fingers    [id.Bits]*Node
+	nextFinger int // round-robin cursor for amortized fix-fingers
+	handler    Handler
 }
 
 // Key returns the node's unique key (Section 2.2: e.g. derived from its

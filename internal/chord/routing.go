@@ -11,6 +11,25 @@ import (
 // empty overlay or after exhausting the hop budget during heavy churn.
 var ErrRoutingFailed = fmt.Errorf("chord: routing failed to converge")
 
+// ErrDropped is returned when a message was routed to its destination but
+// the final delivery did not complete synchronously — the network dropped
+// or delayed it, or the destination was no longer alive. Routing-layer
+// costs up to that point are still charged; the sender may retry.
+var ErrDropped = fmt.Errorf("chord: message dropped in transit")
+
+// Interceptor sits on the single choke point where the simulated network
+// hands a message to its destination node, and may drop, duplicate or
+// delay the delivery. forward performs one synchronous delivery attempt
+// and reports whether the destination was alive to receive it; the
+// interceptor may call it zero times (drop / defer for later), once
+// (normal), or several times (duplication). Deliver returns how many
+// synchronous deliveries completed — the sender treats zero as a missing
+// ack and may retry. Implementations must not hold locks across forward:
+// handlers re-enter the network from inside it.
+type Interceptor interface {
+	Deliver(from, dst *Node, msg Message, forward func() bool) int
+}
+
 // Sizer is implemented by messages that know their wire-encoded size. The
 // routing layer then also charges bytes to the traffic ledger: a message of
 // size s delivered after h hops is retransmitted h times, moving s*h bytes
@@ -72,6 +91,10 @@ func (n *Node) route(target id.ID) (*Node, int, error) {
 func (n *Node) Lookup(target id.ID) (*Node, int, error) {
 	dst, hops, err := n.route(target)
 	if err != nil {
+		// A failed lookup still moved `hops` messages over the overlay
+		// before giving up; charge them so churn experiments account for
+		// wasted routing work.
+		n.net.traffic.RecordHopsOnly("lookup", hops)
 		return nil, hops, err
 	}
 	n.net.traffic.Record("lookup", hops)
@@ -81,25 +104,33 @@ func (n *Node) Lookup(target id.ID) (*Node, int, error) {
 // Send implements the send(msg, I) extension of Section 2.3: it routes msg
 // from n to Successor(I) and invokes that node's handler. The cost —
 // O(log N) overlay hops — is charged to the message's kind. It returns the
-// recipient and the hop count.
+// recipient and the hop count. When the final delivery does not complete
+// synchronously (dropped, delayed or dead destination) the recipient and
+// hops are still returned alongside ErrDropped so the sender can retry.
 func (n *Node) Send(msg Message, target id.ID) (*Node, int, error) {
 	dst, hops, err := n.route(target)
 	if err != nil {
+		n.net.traffic.RecordHopsOnly(msg.Kind(), hops)
 		return nil, hops, err
 	}
 	n.net.traffic.Record(msg.Kind(), hops)
 	n.chargeBytes(msg, hops)
-	deliver(dst, msg)
+	if !n.deliverTo(dst, msg) {
+		return dst, hops, ErrDropped
+	}
 	return dst, hops, nil
 }
 
 // DirectSend delivers msg from n straight to node dst over one simulated
 // point-to-point hop, modelling delivery to a known IP address (the
-// one-hop notification path of Section 4.6).
-func (n *Node) DirectSend(msg Message, dst *Node) {
+// one-hop notification path of Section 4.6). It reports whether the
+// delivery completed synchronously; false means the packet was lost or
+// the address no longer answers, and the sender should fall back to DHT
+// routing or retry.
+func (n *Node) DirectSend(msg Message, dst *Node) bool {
 	n.net.traffic.Record(msg.Kind(), 1)
 	n.chargeBytes(msg, 1)
-	deliver(dst, msg)
+	return n.deliverTo(dst, msg)
 }
 
 // Deliverable pairs one message with the ring identifier it must reach, for
@@ -157,10 +188,14 @@ func (n *Node) Multisend(batch []Deliverable) ([]*Node, int, error) {
 		// id(x), starting from head(L), since node x is responsible for
 		// them").
 		for len(sorted) > 0 && cur.OwnsKey(sorted[0].d.Target) {
-			recipients[sorted[0].idx] = cur
+			it := sorted[0]
 			// The message rode the shared walk for totalHops legs so far.
-			n.chargeBytes(sorted[0].d.Msg, totalHops)
-			deliver(cur, sorted[0].d.Msg)
+			n.chargeBytes(it.d.Msg, totalHops)
+			if n.deliverTo(cur, it.d.Msg) {
+				recipients[it.idx] = cur
+			}
+			// A failed delivery leaves recipients[it.idx] nil; the batch
+			// keeps moving so one lost packet doesn't strand the rest.
 			sorted = sorted[1:]
 		}
 		if len(sorted) == 0 {
@@ -199,21 +234,40 @@ func (n *Node) Multisend(batch []Deliverable) ([]*Node, int, error) {
 // recursive Multisend.
 func (n *Node) MultisendIterative(batch []Deliverable) ([]*Node, int, error) {
 	total := 0
+	var firstErr error
 	recipients := make([]*Node, len(batch))
 	for i, d := range batch {
 		dst, hops, err := n.Send(d.Msg, d.Target)
 		total += hops
 		if err != nil {
-			return recipients, total, err
+			// Leave recipients[i] nil so the caller can retry just this
+			// deliverable; keep going for the rest of the batch.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
 		recipients[i] = dst
 	}
-	return recipients, total, nil
+	return recipients, total, firstErr
 }
 
-// deliver hands msg to the node's application handler, if any.
-func deliver(dst *Node, msg Message) {
-	if h := dst.Handler(); h != nil {
-		h.HandleMessage(dst, msg)
+// deliverTo hands msg to dst's application handler — through the network's
+// interceptor when one is installed — and reports whether at least one
+// synchronous delivery completed. A false return is the missing ack the
+// reliability layer retries on.
+func (n *Node) deliverTo(dst *Node, msg Message) bool {
+	forward := func() bool {
+		if !dst.Alive() {
+			return false
+		}
+		if h := dst.Handler(); h != nil {
+			h.HandleMessage(dst, msg)
+		}
+		return true
 	}
+	if ic := n.net.Interceptor(); ic != nil {
+		return ic.Deliver(n, dst, msg, forward) > 0
+	}
+	return forward()
 }

@@ -1,0 +1,210 @@
+package chord
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cqjoin/internal/id"
+)
+
+// Regression: routing must keep agreeing with the oracle on a ring that is
+// mid-stabilization — nodes have crashed, only partial maintenance rounds
+// have run, finger tables are stale — by falling back on successor chains.
+// Running enough cheap rounds must then converge to the exact ring without
+// any oracle repair.
+func TestRoutingMidStabilization(t *testing.T) {
+	net := New(Config{SuccessorListLen: 8})
+	net.AddNodes("mid", 64)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 8; i++ {
+		nodes := net.Nodes()
+		net.Fail(nodes[rng.Intn(len(nodes))])
+	}
+
+	// One partial round: predecessors and successors heal, but only 4 of
+	// the 160 finger entries per node are refreshed.
+	net.StabilizeOnce(4)
+	assertRoutingMatchesOracle(t, net, rng, 200)
+
+	// Keep running cheap rounds; 40 rounds of 4 fingers cycle every entry.
+	for r := 0; r < 40; r++ {
+		net.StabilizeOnce(4)
+	}
+	assertRingExact(t, net)
+	for _, n := range net.Nodes() {
+		for j := 1; j <= id.Bits; j++ {
+			start := n.ID().AddPow2(uint(j - 1))
+			if got, want := n.Finger(j), net.OracleSuccessor(start); got != want {
+				t.Fatalf("finger %d of %s = %v, want %v", j, n, got, want)
+			}
+		}
+	}
+}
+
+// Regression: a multisend that gets stuck mid-ring must still charge the
+// hops it travelled and report the deliveries it completed, leaving nil
+// recipient slots for the rest, so callers can retry exactly the failures.
+func TestMultisendPartialHopAccounting(t *testing.T) {
+	net := New(Config{})
+	net.AddNodes("acct", 8)
+
+	// Poison one node: its whole successor list is dead, but its
+	// predecessor is alive so it does not believe it owns the full ring. A
+	// batch relayed through it for keys it does not own can make no
+	// progress.
+	ring := net.Nodes()
+	poisoned := ring[0]
+	deadID := id.Hash("acct-dead")
+	dead := &Node{net: net, key: "acct-dead", id: deadID}
+	poisoned.mu.Lock()
+	poisoned.succs = []*Node{dead}
+	for j := range poisoned.fingers {
+		poisoned.fingers[j] = dead
+	}
+	poisoned.mu.Unlock()
+
+	// Target a key owned by the poisoned node's true successor, so the
+	// batch has to route through/over it.
+	target := ring[1].ID()
+	before := net.Traffic().Hops("probe")
+	recipients, hops, err := poisoned.Multisend([]Deliverable{
+		{Target: poisoned.ID(), Msg: testMsg{kind: "probe"}}, // deliverable locally
+		{Target: target, Msg: testMsg{kind: "probe"}},        // cannot make progress
+	})
+	if !errors.Is(err, ErrRoutingFailed) {
+		t.Fatalf("err = %v, want ErrRoutingFailed", err)
+	}
+	if recipients[0] != poisoned {
+		t.Fatalf("local deliverable not delivered: recipients = %v", recipients)
+	}
+	if recipients[1] != nil {
+		t.Fatalf("stuck deliverable reported a recipient: %v", recipients[1])
+	}
+	if got := net.Traffic().Hops("probe") - before; got != int64(hops) {
+		t.Fatalf("ledger charged %d hops, Multisend reported %d", got, hops)
+	}
+}
+
+// A failed lookup must charge the hops it consumed without counting a
+// message, so wasted routing work during churn is visible in the ledger.
+func TestDeadOriginLookupAccounting(t *testing.T) {
+	net := New(Config{})
+	net.AddNodes("dl", 4)
+	n := net.Nodes()[0]
+	net.Fail(n)
+	msgsBefore := net.Traffic().Messages("lookup")
+	if _, _, err := n.Lookup(id.Hash("anything")); !errors.Is(err, ErrRoutingFailed) {
+		t.Fatalf("lookup from dead origin: err = %v, want ErrRoutingFailed", err)
+	}
+	if got := net.Traffic().Messages("lookup") - msgsBefore; got != 0 {
+		t.Fatalf("failed lookup counted %d messages, want 0", got)
+	}
+}
+
+// dropAll is an Interceptor that suppresses every delivery.
+type dropAll struct{ dropped int }
+
+func (d *dropAll) Deliver(from, dst *Node, msg Message, forward func() bool) int {
+	d.dropped++
+	return 0
+}
+
+// dupAll delivers every message twice.
+type dupAll struct{}
+
+func (dupAll) Deliver(from, dst *Node, msg Message, forward func() bool) int {
+	n := 0
+	if forward() {
+		n++
+	}
+	if forward() {
+		n++
+	}
+	return n
+}
+
+type countHandler struct{ got int }
+
+func (h *countHandler) HandleMessage(on *Node, msg Message) { h.got++ }
+
+// Send must surface a missing synchronous ack as ErrDropped while still
+// returning the routed recipient and charging the hops, so the sender can
+// retry the exact same destination.
+func TestInterceptorAckSemantics(t *testing.T) {
+	net := New(Config{})
+	net.AddNodes("ic", 16)
+	nodes := net.Nodes()
+	src, dst := nodes[0], nodes[5]
+	h := &countHandler{}
+	dst.SetHandler(h)
+
+	drop := &dropAll{}
+	net.SetInterceptor(drop)
+	got, hops, err := src.Send(testMsg{kind: "probe"}, dst.ID())
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("dropped send: err = %v, want ErrDropped", err)
+	}
+	if got != dst {
+		t.Fatalf("dropped send must still name the recipient: got %v", got)
+	}
+	if h.got != 0 {
+		t.Fatalf("handler ran %d times despite drop", h.got)
+	}
+	if hops == 0 {
+		t.Fatalf("expected routed hops to be reported")
+	}
+
+	net.SetInterceptor(dupAll{})
+	if _, _, err := src.Send(testMsg{kind: "probe"}, dst.ID()); err != nil {
+		t.Fatalf("duplicated send: %v", err)
+	}
+	if h.got != 2 {
+		t.Fatalf("duplication delivered %d copies, want 2", h.got)
+	}
+
+	net.SetInterceptor(nil)
+	if !src.DirectSend(testMsg{kind: "probe"}, dst) {
+		t.Fatalf("direct send to alive node must ack")
+	}
+	if h.got != 3 {
+		t.Fatalf("direct send delivered %d total, want 3", h.got)
+	}
+	net.Fail(dst)
+	if src.DirectSend(testMsg{kind: "probe"}, dst) {
+		t.Fatalf("direct send to dead node must not ack")
+	}
+}
+
+// Interceptors see every delivery path: routed sends, direct sends and
+// multisend relaying.
+func TestInterceptorCoversAllPaths(t *testing.T) {
+	net := New(Config{})
+	net.AddNodes("cover", 12)
+	nodes := net.Nodes()
+	drop := &dropAll{}
+	net.SetInterceptor(drop)
+
+	src := nodes[0]
+	if _, _, err := src.Send(testMsg{kind: "probe"}, nodes[4].ID()); !errors.Is(err, ErrDropped) {
+		t.Fatalf("send: err = %v, want ErrDropped", err)
+	}
+	if src.DirectSend(testMsg{kind: "probe"}, nodes[5]) {
+		t.Fatalf("direct send must miss its ack under dropAll")
+	}
+	recipients, _, err := src.Multisend([]Deliverable{
+		{Target: nodes[2].ID(), Msg: testMsg{kind: "probe"}},
+		{Target: nodes[7].ID(), Msg: testMsg{kind: "probe"}},
+	})
+	if err != nil {
+		t.Fatalf("multisend: %v", err)
+	}
+	for i, r := range recipients {
+		if r != nil {
+			t.Fatalf("recipients[%d] = %v, want nil under dropAll", i, r)
+		}
+	}
+	if drop.dropped != 4 {
+		t.Fatalf("interceptor saw %d deliveries, want 4", drop.dropped)
+	}
+}

@@ -82,12 +82,48 @@ func (n *Node) FixFinger(j int) {
 	start := n.ID().AddPow2(uint(j - 1))
 	dst, hops, err := n.route(start)
 	if err != nil {
+		// The failed lookup still consumed hops.
+		n.net.traffic.RecordHopsOnly("chord-maintain", hops)
 		return
 	}
 	n.net.traffic.Record("chord-maintain", hops)
 	n.mu.Lock()
 	n.fingers[j-1] = dst
 	n.mu.Unlock()
+}
+
+// FixNextFingers refreshes the node's next k finger-table entries
+// round-robin, the amortized fix_fingers schedule real Chord deployments
+// use instead of refreshing all 160 entries at once.
+func (n *Node) FixNextFingers(k int) {
+	if !n.Alive() {
+		return
+	}
+	for i := 0; i < k; i++ {
+		n.mu.Lock()
+		j := n.nextFinger + 1 // FixFinger is 1-based
+		n.nextFinger = (n.nextFinger + 1) % id.Bits
+		n.mu.Unlock()
+		n.FixFinger(j)
+	}
+}
+
+// StabilizeOnce runs one cheap maintenance round over every alive node:
+// check-predecessor, stabilize, and fingersPerNode round-robin finger
+// refreshes per node. Chaos runs interleave this with workload events to
+// model the periodic background protocol without the cost of a full
+// StabilizeAll.
+func (net *Network) StabilizeOnce(fingersPerNode int) {
+	if fingersPerNode < 1 {
+		fingersPerNode = 1
+	}
+	for _, n := range net.Nodes() {
+		n.CheckPredecessor()
+		n.Stabilize()
+	}
+	for _, n := range net.Nodes() {
+		n.FixNextFingers(fingersPerNode)
+	}
 }
 
 // StabilizeAll runs the full maintenance protocol for the given number of

@@ -190,10 +190,13 @@ func (st *nodeState) handleBaselineTuple(m baselineTupleMsg) {
 	// Store the tuple so probes from the opposite site can match it.
 	tb := st.vltt[m.Input]
 	if tb == nil {
-		tb = &vlttBucket{input: m.Input}
+		tb = newVLTTBucket(m.Input)
 		st.vltt[m.Input] = tb
 	}
-	tb.tuples = append(tb.tuples, t)
+	if ck := tupleContentKey(t); !tb.seen[ck] {
+		tb.seen[ck] = true
+		tb.tuples = append(tb.tuples, t)
+	}
 
 	if b := st.alqt[m.Input]; b != nil {
 		for _, g := range b.byCond {

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"cqjoin/internal/chord"
+)
+
+// Engine-level churn: crash and rejoin with the state semantics the thesis
+// assumes (Section 4.6). chord.Network.Fail models the overlay side of a
+// crash — routing recovers through successor lists — but says nothing about
+// the crashed node's stored queries, tuples and notifications. In a real
+// deployment those survive on the successor-list replicas and the successor
+// takes ownership of the dead node's arc. The simulation keeps one copy of
+// every item, so FailNode models "replicas take over" by handing the whole
+// state to the node that inherits the arc.
+
+// FailNode crashes n: it leaves the overlay abruptly (no goodbye protocol,
+// pointers recover via successor lists and stabilization) and the stored
+// state of its arc re-homes to the new arc owner, as replication would
+// ensure. Stored notifications whose subscriber is the heir itself are
+// replayed. No-op for a node that is already down.
+func (e *Engine) FailNode(n *chord.Node) {
+	if !n.Alive() {
+		return
+	}
+	st := e.state(n)
+	e.net.Fail(n)
+	// The alive owner of n's former arc, post-crash.
+	if heir := e.net.OracleSuccessor(n.ID()); heir != nil && heir != n {
+		st.TransferKeys(n, heir, n.ID(), n.ID())
+	}
+	e.Detach(n)
+}
+
+// RejoinNode brings a previously crashed subscriber back under the same
+// key, hence the same ring position Hash(key). The join's key hand-off
+// returns the arc's state to it, and TransferKeys replays the
+// notifications that were stored for it while it was offline
+// (Section 4.6). The rejoined incarnation is a distinct *chord.Node with a
+// fresh engine state and, in general, a new IP address — exactly the
+// situation the stale-IP notification ladder of notify.go must survive.
+func (e *Engine) RejoinNode(key string) (*chord.Node, error) {
+	n, err := e.net.Join(key)
+	if err != nil {
+		return nil, err
+	}
+	// Join's TransferKeys already attached the state lazily; Attach is
+	// idempotent and guarantees the handler is bound even on an empty ring.
+	e.Attach(n)
+	return n, nil
+}

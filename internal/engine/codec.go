@@ -176,6 +176,18 @@ func encodeMRewritten(w *wire.Buffer, rw *mRewritten) {
 	w.PutValue(rw.WantValue)
 }
 
+// sliceCount validates an element count read off the wire against the
+// bytes actually remaining: every element occupies at least one byte, so a
+// larger count is a malformed (or hostile) message — rejecting it here
+// keeps a forged length prefix from driving a giant allocation before the
+// per-element reads would fail anyway.
+func sliceCount(r *wire.Reader, n uint64) (int, error) {
+	if n > uint64(r.Remaining()) {
+		return 0, fmt.Errorf("engine: element count %d exceeds %d remaining bytes", n, r.Remaining())
+	}
+	return int(n), nil
+}
+
 // DecodeMessage reads one message encoded by EncodeMessage, resolving
 // queries against the catalog.
 func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, error) {
@@ -253,7 +265,11 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 		if err != nil {
 			return nil, err
 		}
-		n, err := r.Uvarint()
+		count, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n, err := sliceCount(r, count)
 		if err != nil {
 			return nil, err
 		}
@@ -265,7 +281,11 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 		}
 		return joinVMsg{Input: input, Cond: cond, Side: query.Side(side), Value: val, Trigger: trig, Queries: qs}, nil
 	case tagJoinBatch:
-		n, err := r.Uvarint()
+		count, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n, err := sliceCount(r, count)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +301,11 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 		if err != nil {
 			return nil, err
 		}
-		n, err := r.Uvarint()
+		count, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n, err := sliceCount(r, count)
 		if err != nil {
 			return nil, err
 		}
@@ -375,7 +399,11 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 		}
 		return mQueryMsg{MQ: mq, Attr: attr, Replica: int(replica)}, nil
 	case tagMJoin:
-		n, err := r.Uvarint()
+		count, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n, err := sliceCount(r, count)
 		if err != nil {
 			return nil, err
 		}
@@ -392,7 +420,11 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 }
 
 func decodeRewrittens(r *wire.Reader, catalog *relation.Catalog) ([]*rewritten, error) {
-	n, err := r.Uvarint()
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n, err := sliceCount(r, count)
 	if err != nil {
 		return nil, err
 	}
@@ -452,7 +484,11 @@ func decodeNotification(r *wire.Reader) (Notification, error) {
 	if n.subscriberIP, err = r.String(); err != nil {
 		return n, err
 	}
-	count, err := r.Uvarint()
+	rawCount, err := r.Uvarint()
+	if err != nil {
+		return n, err
+	}
+	count, err := sliceCount(r, rawCount)
 	if err != nil {
 		return n, err
 	}
@@ -525,7 +561,11 @@ func decodeMRewritten(r *wire.Reader, catalog *relation.Catalog) (*mRewritten, e
 	if err != nil {
 		return nil, err
 	}
-	count, err := r.Uvarint()
+	rawCount, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := sliceCount(r, rawCount)
 	if err != nil {
 		return nil, err
 	}

@@ -11,7 +11,7 @@ import (
 )
 
 // codecFixtures builds one instance of every engine message.
-func codecFixtures(t *testing.T) (*relation.Catalog, []chord.Message) {
+func codecFixtures(t testing.TB) (*relation.Catalog, []chord.Message) {
 	t.Helper()
 	env := newTestEnv(t, 16, Config{Algorithm: SAI})
 	q := env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND S.F >= 1`)

@@ -108,6 +108,18 @@ type Config struct {
 	// Seed drives the engine's private randomness (random index-attribute
 	// choices). The same seed reproduces the same run.
 	Seed int64
+	// MaxRetries bounds how many times a sender re-sends a message whose
+	// synchronous delivery ack is missing (dropped, delayed, or dead
+	// destination). Zero disables retries — the paper's best-effort
+	// semantics (Section 3.2), and the right setting for fault-free runs.
+	// Chaos runs set it high enough that loss of all attempts is
+	// statistically negligible (p_drop^(1+MaxRetries)).
+	MaxRetries int
+	// RetryBackoff is the logical-time advance between retry attempts.
+	// Advancing the clock lets delayed in-flight copies land (the chaos
+	// layer drains its delay queue on clock listeners), so a retry races
+	// its own delayed original only briefly. Zero means 1.
+	RetryBackoff int64
 }
 
 // Engine coordinates query processing over one overlay.
@@ -116,14 +128,15 @@ type Engine struct {
 	net     *chord.Network
 	catalog *relation.Catalog
 
-	mu       sync.Mutex
-	states   map[*chord.Node]*nodeState
-	byKey    map[string]*nodeState // subscriber key -> state (for delivery)
-	seq      map[string]int        // per-subscriber query sequence numbers
-	subs     map[string][]string   // query key -> attribute-level index inputs
-	rng      *rand.Rand
-	sink     []Notification
-	onNotify func(Notification)
+	mu        sync.Mutex
+	states    map[*chord.Node]*nodeState
+	byKey     map[string]*nodeState // subscriber key -> state (for delivery)
+	seq       map[string]int        // per-subscriber query sequence numbers
+	subs      map[string][]string   // query key -> attribute-level index inputs
+	rng       *rand.Rand
+	sink      []Notification
+	delivered map[string]bool // full match identities already delivered
+	onNotify  func(Notification)
 }
 
 // New creates an engine over the given overlay and schema catalog and
@@ -134,14 +147,15 @@ func New(net *chord.Network, catalog *relation.Catalog, cfg Config) *Engine {
 		cfg.ReplicationFactor = 1
 	}
 	e := &Engine{
-		cfg:     cfg,
-		net:     net,
-		catalog: catalog,
-		states:  make(map[*chord.Node]*nodeState),
-		byKey:   make(map[string]*nodeState),
-		seq:     make(map[string]int),
-		subs:    make(map[string][]string),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		net:       net,
+		catalog:   catalog,
+		states:    make(map[*chord.Node]*nodeState),
+		byKey:     make(map[string]*nodeState),
+		seq:       make(map[string]int),
+		subs:      make(map[string][]string),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		delivered: make(map[string]bool),
 	}
 	for _, n := range net.Nodes() {
 		e.Attach(n)
@@ -237,14 +251,46 @@ func (e *Engine) ResetNotifications() {
 	e.sink = nil
 }
 
+// deliveryKey is the full match identity of a notification: subscriber,
+// projected content, and the publication times of the matched pair. Two
+// distinct tuple pairs can project to equal values, so the content key
+// alone is NOT an identity; publication times are (the logical clock gives
+// every published tuple a unique timestamp).
+func deliveryKey(n Notification) string {
+	return fmt.Sprintf("%s|%s|%d|%d", n.Subscriber, n.ContentKey(), n.LeftPubT, n.RightPubT)
+}
+
 func (e *Engine) record(n Notification) {
+	key := deliveryKey(n)
 	e.mu.Lock()
+	if e.delivered[key] {
+		// A duplicated or replayed delivery of a match the subscriber has
+		// already consumed: suppress it. This is the receiver-side half of
+		// at-least-once delivery.
+		e.mu.Unlock()
+		e.net.Traffic().RecordDuplicate("notification")
+		return
+	}
+	e.delivered[key] = true
 	e.sink = append(e.sink, n)
 	fn := e.onNotify
 	e.mu.Unlock()
 	if fn != nil {
 		fn(n)
 	}
+}
+
+// DeliveredContentKeys returns the content key of every delivered
+// notification, in delivery order — the identity under which runs are
+// compared against the centralized oracle.
+func (e *Engine) DeliveredContentKeys() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.sink))
+	for i, n := range e.sink {
+		out[i] = n.ContentKey()
+	}
+	return out
 }
 
 // Subscribe indexes a continuous query on behalf of node from, assigning it

@@ -109,11 +109,18 @@ func (st *nodeState) handleVLIndex(m vlIndexMsg) {
 	if alg == SAI || alg == DAIQ {
 		tb := st.vltt[input]
 		if tb == nil {
-			tb = &vlttBucket{input: input}
+			tb = newVLTTBucket(input)
 			st.vltt[input] = tb
 		}
-		tb.tuples = append(tb.tuples, t)
-		stored++
+		// Absorb duplicated deliveries: storing the tuple twice would
+		// double every future rewritten-query match.
+		if ck := tupleContentKey(t); !tb.seen[ck] {
+			tb.seen[ck] = true
+			tb.tuples = append(tb.tuples, t)
+			stored++
+		} else {
+			st.engine.net.Traffic().RecordDuplicate(m.Kind())
+		}
 	}
 	st.mu.Unlock()
 

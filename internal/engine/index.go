@@ -152,20 +152,30 @@ func (e *Engine) indexTuple(from *chord.Node, t *relation.Tuple) error {
 	return e.dispatch(from, batch)
 }
 
-// dispatch sends a batch through the configured multisend flavor.
+// dispatch sends a batch through the configured multisend flavor. With
+// retries enabled, unacked deliverables are re-sent up to the budget and
+// dispatch reports success — residual losses are charged to the ledger
+// instead of failing the whole operation.
 func (e *Engine) dispatch(from *chord.Node, batch []chord.Deliverable) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	if len(batch) == 1 {
-		_, _, err := from.Send(batch[0].Msg, batch[0].Target)
-		return err
-	}
+	var recipients []*chord.Node
 	var err error
-	if e.cfg.IterativeMultisend {
-		_, _, err = from.MultisendIterative(batch)
+	if len(batch) == 1 {
+		var dst *chord.Node
+		dst, _, err = from.Send(batch[0].Msg, batch[0].Target)
+		if err == nil {
+			recipients = []*chord.Node{dst}
+		}
+	} else if e.cfg.IterativeMultisend {
+		recipients, _, err = from.MultisendIterative(batch)
 	} else {
-		_, _, err = from.Multisend(batch)
+		recipients, _, err = from.Multisend(batch)
+	}
+	if e.cfg.MaxRetries > 0 {
+		e.retryFailed(from, batch, recipients)
+		return nil
 	}
 	return err
 }

@@ -52,6 +52,14 @@ func (c *jfrtCache) store(input string, n *chord.Node) {
 	c.entries[input] = n
 }
 
+// invalidate drops a cached evaluator that failed to answer a direct send,
+// forcing the next reindexing of the input through a DHT lookup.
+func (c *jfrtCache) invalidate(input string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, input)
+}
+
 // stats reports hit/miss counts, used by the JFRT effectiveness bench.
 func (c *jfrtCache) stats() (hits, misses int64, size int) {
 	c.mu.Lock()

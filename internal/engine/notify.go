@@ -104,28 +104,59 @@ func (st *nodeState) sendNotifications(batch []Notification) {
 		bySub[n.Subscriber] = append(bySub[n.Subscriber], n)
 	}
 	for _, sub := range order {
-		msg := notifyMsg{Subscriber: sub, Batch: bySub[sub]}
-		dst := st.engine.net.NodeByKey(sub)
+		st.deliverNotify(sub, bySub[sub])
+	}
+}
+
+// deliverNotify runs the delivery ladder for one subscriber's batch. Each
+// attempt re-resolves the subscriber — it may have crashed, rejoined or
+// changed address between attempts — and picks the appropriate path:
+// offline storage through the DHT, one-hop direct delivery at a known
+// address, or DHT delivery with address learning when the known address is
+// stale. A missing ack consumes one retry from Config.MaxRetries; a batch
+// still unacked after the budget is charged as lost.
+func (st *nodeState) deliverNotify(sub string, batch []Notification) {
+	e := st.engine
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > e.cfg.MaxRetries || !st.node.Alive() {
+				e.net.Traffic().RecordLost(kindNotify)
+				return
+			}
+			e.net.Traffic().RecordRetry(kindNotify)
+			e.net.Clock().Advance(e.retryBackoff())
+		}
+		msg := notifyMsg{Subscriber: sub, Batch: batch}
+		dst := e.net.NodeByKey(sub)
 		if dst == nil {
-			// Subscriber offline: route to Successor(Id(n)) for storage.
-			// Best-effort semantics (Section 3.2) leave routing failures
-			// to the underlying DHT.
-			_, _, _ = st.node.Send(msg, id.Hash(sub))
+			// Subscriber offline: route to Successor(Id(n)) for storage
+			// until it reconnects (Section 4.6).
+			if _, _, err := st.node.Send(msg, id.Hash(sub)); err == nil {
+				return
+			}
 			continue
 		}
-		if st.knownIP(sub, msg.Batch) == dst.IP() {
+		if st.knownIP(sub, batch) == dst.IP() {
 			// Online at the known address: one hop.
-			st.node.DirectSend(msg, dst)
+			if st.node.DirectSend(msg, dst) {
+				return
+			}
+			// The address stopped answering; forget the learned entry so
+			// the next attempt goes through the DHT.
+			st.mu.Lock()
+			delete(st.subIPs, sub)
+			st.mu.Unlock()
 			continue
 		}
 		// Online, but the known address is stale: deliver through the DHT
 		// and learn the new address from the subscriber's reply (one extra
 		// direct hop, charged as ip-update).
 		if _, _, err := st.node.Send(msg, id.Hash(sub)); err == nil {
-			st.engine.net.Traffic().Record("ip-update", 1)
+			e.net.Traffic().Record("ip-update", 1)
 			st.mu.Lock()
 			st.subIPs[sub] = dst.IP()
 			st.mu.Unlock()
+			return
 		}
 	}
 }
@@ -167,7 +198,10 @@ func (st *nodeState) handleNotify(msg notifyMsg) {
 }
 
 // replayStoredNotifications hands stored notifications for subscriber key
-// over to the reconnected subscriber node.
+// over to the reconnected subscriber node. If every delivery attempt is
+// lost in transit, the batch is re-stored so a later reconnect (or hand-
+// off) can replay it again — stored notifications must survive unreliable
+// delivery.
 func (st *nodeState) replayStoredNotifications(sub string, dst *chord.Node) {
 	st.mu.Lock()
 	batch := st.storedNotifs[sub]
@@ -176,6 +210,29 @@ func (st *nodeState) replayStoredNotifications(sub string, dst *chord.Node) {
 	if len(batch) == 0 {
 		return
 	}
+	e := st.engine
 	st.load.AddStorage(metrics.Evaluator, -len(batch))
-	st.node.DirectSend(notifyMsg{Subscriber: sub, Batch: batch}, dst)
+	msg := notifyMsg{Subscriber: sub, Batch: batch}
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > e.cfg.MaxRetries {
+				break
+			}
+			e.net.Traffic().RecordRetry(kindNotify)
+			e.net.Clock().Advance(e.retryBackoff())
+		}
+		if st.node.DirectSend(msg, dst) {
+			return
+		}
+		if !dst.Alive() {
+			// The subscriber vanished again mid-replay; stop retrying and
+			// keep the batch for its next reconnect.
+			break
+		}
+	}
+	e.net.Traffic().RecordLost(kindNotify)
+	st.mu.Lock()
+	st.storedNotifs[sub] = append(st.storedNotifs[sub], batch...)
+	st.mu.Unlock()
+	st.load.AddStorage(metrics.Evaluator, len(batch))
 }

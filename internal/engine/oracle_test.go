@@ -23,43 +23,17 @@ type oracleRun struct {
 
 func (o *oracleRun) expected(t *testing.T) map[string]bool {
 	t.Helper()
-	want := make(map[string]bool)
+	or := NewOracle()
 	for _, q := range o.queries {
-		for _, lt := range o.left {
-			if lt.PubT() < q.InsT() {
-				continue
-			}
-			if ok, err := q.FiltersPass(lt); err != nil || !ok {
-				continue
-			}
-			lv, err := q.EvalSide(query.SideLeft, lt)
-			if err != nil {
-				continue
-			}
-			for _, rt := range o.right {
-				if rt.PubT() < q.InsT() {
-					continue
-				}
-				if ok, err := q.FiltersPass(rt); err != nil || !ok {
-					continue
-				}
-				rv, err := q.EvalSide(query.SideRight, rt)
-				if err != nil || !rv.Equal(lv) {
-					continue
-				}
-				vals, err := q.ProjectNotification(lt, rt)
-				if err != nil {
-					t.Fatalf("oracle projection: %v", err)
-				}
-				key := q.Key()
-				for _, v := range vals {
-					key += "|" + v.Canon()
-				}
-				want[key] = true
-			}
-		}
+		or.AddQuery(q)
 	}
-	return want
+	for _, lt := range o.left {
+		or.AddTuple(lt)
+	}
+	for _, rt := range o.right {
+		or.AddTuple(rt)
+	}
+	return or.ExpectedContentKeys()
 }
 
 // replay drives one algorithm through a scripted random interleaving and

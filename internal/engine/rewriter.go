@@ -30,6 +30,17 @@ func (st *nodeState) handleQueryIndex(m queryMsg) {
 	if g == nil {
 		g = &queryGroup{cond: cond, side: m.Side}
 		b.byCond[cond] = g
+		b.condOrder = append(b.condOrder, cond)
+	}
+	// A duplicated query() delivery must not register the query twice —
+	// it would inflate the group and double every future rewrite.
+	for _, q := range g.queries {
+		if q.Key() == m.Q.Key() {
+			st.mu.Unlock()
+			st.load.AddFiltering(metrics.Rewriter, 1)
+			st.engine.net.Traffic().RecordDuplicate(m.Kind())
+			return
+		}
 	}
 	g.queries = append(g.queries, m.Q)
 	st.mu.Unlock()
@@ -71,7 +82,15 @@ func (st *nodeState) handleALIndex(m alIndexMsg) {
 	b.arrivals = append(b.arrivals, t.PubT())
 	b.distinct[v.Canon()] = struct{}{}
 
-	for _, g := range b.byCond {
+	// Iterate groups in registration order, not map order: the sequence of
+	// outgoing join messages must be deterministic for a chaos run to be
+	// reproducible from its seed.
+	for _, cond := range b.condOrder {
+		g := b.byCond[cond]
+		if g == nil {
+			// Retraction removed the group; its order slot stays behind.
+			continue
+		}
 		var triggered []*query.Query
 		for _, q := range g.queries {
 			examined++
@@ -240,7 +259,7 @@ func (st *nodeState) sendJoins(outs []outbound) {
 		// groups it carries.
 		var misses []outbound
 		var hitOrder []*chord.Node
-		hits := make(map[*chord.Node][]chord.Message)
+		hits := make(map[*chord.Node][]outbound)
 		for _, o := range outs {
 			dst, ok := st.jfrt.lookup(o.input)
 			if !ok {
@@ -250,14 +269,29 @@ func (st *nodeState) sendJoins(outs []outbound) {
 			if _, seen := hits[dst]; !seen {
 				hitOrder = append(hitOrder, dst)
 			}
-			hits[dst] = append(hits[dst], o.msg)
+			hits[dst] = append(hits[dst], o)
 		}
 		for _, dst := range hitOrder {
-			msgs := hits[dst]
-			if len(msgs) == 1 {
-				st.node.DirectSend(msgs[0], dst)
+			group := hits[dst]
+			var msg chord.Message
+			if len(group) == 1 {
+				msg = group[0].msg
 			} else {
-				st.node.DirectSend(joinBatch{Msgs: msgs}, dst)
+				msgs := make([]chord.Message, len(group))
+				for i, o := range group {
+					msgs[i] = o.msg
+				}
+				msg = joinBatch{Msgs: msgs}
+			}
+			if !st.node.DirectSend(msg, dst) {
+				// The cached "join finger" no longer answers — dead node,
+				// dropped packet or moved identifier. Invalidate the
+				// entries and fall back to DHT routing for the whole
+				// group, which re-learns the evaluators on the way.
+				for _, o := range group {
+					st.jfrt.invalidate(o.input)
+				}
+				misses = append(misses, group...)
 			}
 		}
 		// Misses travel in the normal recursive multisend; each previously
@@ -269,7 +303,8 @@ func (st *nodeState) sendJoins(outs []outbound) {
 				batch[i] = chord.Deliverable{Target: id.Hash(o.input), Msg: o.msg}
 			}
 			recipients, _, err := st.node.Multisend(batch)
-			if err == nil {
+			recipients = e.retryFailed(st.node, batch, recipients)
+			if err == nil || e.cfg.MaxRetries > 0 {
 				acked := make(map[*chord.Node]bool)
 				for i, dst := range recipients {
 					if dst == nil {
@@ -290,9 +325,12 @@ func (st *nodeState) sendJoins(outs []outbound) {
 		batch[i] = chord.Deliverable{Target: id.Hash(o.input), Msg: o.msg}
 	}
 	// Best-effort (Section 3.2): an unroutable overlay drops the batch.
+	// With retries configured, unacked deliverables are re-sent.
+	var recipients []*chord.Node
 	if e.cfg.IterativeMultisend {
-		_, _, _ = st.node.MultisendIterative(batch)
+		recipients, _, _ = st.node.MultisendIterative(batch)
 	} else {
-		_, _, _ = st.node.Multisend(batch)
+		recipients, _, _ = st.node.Multisend(batch)
 	}
+	e.retryFailed(st.node, batch, recipients)
 }

@@ -64,11 +64,12 @@ func newNodeState(e *Engine, n *chord.Node) *nodeState {
 // index-attribute strategies of Section 4.3.6 probe: arrival timestamps
 // (rate) and distinct values seen (domain size).
 type alBucket struct {
-	input    string // the hashed string, e.g. "R+B" or "R+B#r2"
-	byCond   map[string]*queryGroup
-	multi    map[string]*mGroup // multi-way chain queries, by chain condition
-	arrivals []int64
-	distinct map[string]struct{}
+	input     string // the hashed string, e.g. "R+B" or "R+B#r2"
+	byCond    map[string]*queryGroup
+	condOrder []string           // byCond keys in registration order (deterministic iteration)
+	multi     map[string]*mGroup // multi-way chain queries, by chain condition
+	arrivals  []int64
+	distinct  map[string]struct{}
 	// sentRewrites records the rewritten-query keys this rewriter has
 	// already reindexed; DAI-T consults it so a rewritten query is never
 	// reindexed twice (Section 4.4.3). Keeping it in the bucket makes it
@@ -120,10 +121,17 @@ func newVLQTBucket(input string) *vlqtBucket {
 
 // vlttBucket is the slice of the value-level tuple table reached through
 // one value-level identifier: the tuples stored under attribute A = v,
-// awaiting future rewritten queries (Section 4.3.4).
+// awaiting future rewritten queries (Section 4.3.4). The seen set keys
+// stored tuples by content so a duplicated vl-index delivery is absorbed
+// instead of stored twice.
 type vlttBucket struct {
 	input  string
 	tuples []*relation.Tuple
+	seen   map[string]bool
+}
+
+func newVLTTBucket(input string) *vlttBucket {
+	return &vlttBucket{input: input, seen: make(map[string]bool)}
 }
 
 // daivBucket is DAI-V's value store reached through Hash(valJC): projected
@@ -265,47 +273,52 @@ func (st *nodeState) TransferKeys(from, to *chord.Node, lo, hi id.ID) {
 	}
 	st.mu.Unlock()
 
-	// Re-home the buckets and rebalance the storage-load metric.
-	var rewriterItems, evaluatorItems int
+	// Re-home the buckets and rebalance the storage-load metric. Buckets
+	// are MERGED into the destination, never overwritten: stale deliveries
+	// during churn can have created a bucket for the same input at the
+	// destination already, and replacing it would silently discard state.
+	var removedRewriter, removedEvaluator int
+	var addedRewriter, addedEvaluator int
 	dst.mu.Lock()
 	for _, b := range moved.al {
-		dst.alqt[b.input] = b
-		rewriterItems += b.storedItems()
+		removedRewriter += b.storedItems()
+		addedRewriter += dst.mergeAL(b)
 	}
 	for _, b := range moved.vq {
-		dst.vlqt[b.input] = b
-		evaluatorItems += len(b.byKey)
+		removedEvaluator += len(b.byKey)
+		addedEvaluator += dst.mergeVLQT(b)
 	}
 	for _, b := range moved.mq {
-		dst.mvlqt[b.input] = b
-		evaluatorItems += len(b.rewrites)
+		removedEvaluator += len(b.rewrites)
+		addedEvaluator += dst.mergeMVLQT(b)
 	}
 	for _, b := range moved.vt {
-		dst.vltt[b.input] = b
-		evaluatorItems += len(b.tuples)
+		removedEvaluator += len(b.tuples)
+		addedEvaluator += dst.mergeVLTT(b)
 	}
 	for _, b := range moved.dv {
-		dst.vstore[b.input] = b
-		evaluatorItems += b.storedItems()
+		removedEvaluator += b.storedItems()
+		addedEvaluator += dst.mergeDAIV(b)
 	}
 	for _, b := range moved.pair {
-		dst.pairStore[b.input] = b
-		evaluatorItems += len(b.tuples[0]) + len(b.tuples[1]) + b.storedQueries()
+		removedEvaluator += len(b.tuples[0]) + len(b.tuples[1]) + b.storedQueries()
+		addedEvaluator += dst.mergePair(b)
 	}
 	var replay []string
 	for sub, batch := range moved.notifs {
 		dst.storedNotifs[sub] = append(dst.storedNotifs[sub], batch...)
-		evaluatorItems += len(batch)
+		removedEvaluator += len(batch)
+		addedEvaluator += len(batch)
 		if sub == to.Key() {
 			replay = append(replay, sub)
 		}
 	}
 	dst.mu.Unlock()
 
-	st.load.AddStorage(metrics.Rewriter, -rewriterItems)
-	st.load.AddStorage(metrics.Evaluator, -evaluatorItems)
-	dst.load.AddStorage(metrics.Rewriter, rewriterItems)
-	dst.load.AddStorage(metrics.Evaluator, evaluatorItems)
+	st.load.AddStorage(metrics.Rewriter, -removedRewriter)
+	st.load.AddStorage(metrics.Evaluator, -removedEvaluator)
+	dst.load.AddStorage(metrics.Rewriter, addedRewriter)
+	dst.load.AddStorage(metrics.Evaluator, addedEvaluator)
 
 	for _, sub := range replay {
 		dst.replayStoredNotifications(sub, to)
@@ -356,6 +369,7 @@ func (st *nodeState) evictBefore(cutoff int64) {
 				kept = append(kept, t)
 			} else {
 				evicted++
+				delete(b.seen, tupleContentKey(t))
 			}
 		}
 		b.tuples = kept

@@ -24,6 +24,15 @@ type Traffic struct {
 	messages map[string]int64
 	hops     map[string]int64
 	bytes    map[string]int64
+	// Fault accounting (chaos runs): deliveries dropped in transit,
+	// duplicate deliveries (injected or suppressed at the receiver),
+	// deliveries held back by a delay fault, sender-side retries, and
+	// messages lost for good after the retry budget ran out.
+	drops   map[string]int64
+	dups    map[string]int64
+	delays  map[string]int64
+	retries map[string]int64
+	lost    map[string]int64
 }
 
 // Record charges one message of the given kind that travelled the given
@@ -43,7 +52,79 @@ func (t *Traffic) init() {
 		t.messages = make(map[string]int64)
 		t.hops = make(map[string]int64)
 		t.bytes = make(map[string]int64)
+		t.drops = make(map[string]int64)
+		t.dups = make(map[string]int64)
+		t.delays = make(map[string]int64)
+		t.retries = make(map[string]int64)
+		t.lost = make(map[string]int64)
 	}
+}
+
+// RecordDrop charges one delivery of the given kind lost in transit.
+func (t *Traffic) RecordDrop(kind string) { t.bump(&t.drops, kind) }
+
+// RecordDuplicate charges one duplicated delivery of the given kind.
+func (t *Traffic) RecordDuplicate(kind string) { t.bump(&t.dups, kind) }
+
+// RecordDelayed charges one delivery of the given kind held back in
+// transit.
+func (t *Traffic) RecordDelayed(kind string) { t.bump(&t.delays, kind) }
+
+// RecordRetry charges one sender-side re-send of the given kind.
+func (t *Traffic) RecordRetry(kind string) { t.bump(&t.retries, kind) }
+
+// RecordLost charges one message of the given kind abandoned after the
+// sender's retry budget was exhausted.
+func (t *Traffic) RecordLost(kind string) { t.bump(&t.lost, kind) }
+
+func (t *Traffic) bump(m *map[string]int64, kind string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.init()
+	(*m)[kind]++
+}
+
+// Drops returns the in-transit losses recorded for kind.
+func (t *Traffic) Drops(kind string) int64 { return t.get(t.drops, kind) }
+
+// Duplicates returns the duplicated deliveries recorded for kind.
+func (t *Traffic) Duplicates(kind string) int64 { return t.get(t.dups, kind) }
+
+// Delayed returns the held-back deliveries recorded for kind.
+func (t *Traffic) Delayed(kind string) int64 { return t.get(t.delays, kind) }
+
+// Retries returns the sender-side re-sends recorded for kind.
+func (t *Traffic) Retries(kind string) int64 { return t.get(t.retries, kind) }
+
+// Lost returns the messages of the given kind abandoned after retries.
+func (t *Traffic) Lost(kind string) int64 { return t.get(t.lost, kind) }
+
+func (t *Traffic) get(m map[string]int64, kind string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return m[kind]
+}
+
+// TotalLost returns the abandoned messages across all kinds.
+func (t *Traffic) TotalLost() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, v := range t.lost {
+		n += v
+	}
+	return n
+}
+
+// TotalRetries returns the sender-side re-sends across all kinds.
+func (t *Traffic) TotalRetries() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, v := range t.retries {
+		n += v
+	}
+	return n
 }
 
 // AddBytes charges n wire bytes to the kind. The convention is bytes
@@ -128,6 +209,11 @@ func (t *Traffic) Reset() {
 	t.messages = nil
 	t.hops = nil
 	t.bytes = nil
+	t.drops = nil
+	t.dups = nil
+	t.delays = nil
+	t.retries = nil
+	t.lost = nil
 }
 
 // Snapshot returns a copy of the per-kind counters, for reporting.
@@ -165,5 +251,27 @@ func (t *Traffic) String() string {
 	}
 	fmt.Fprintf(&b, "%-14s msgs=%-8d hops=%-8d bytes=%d", "TOTAL",
 		t.TotalMessages(), t.TotalHops(), t.TotalBytes())
+	t.mu.Lock()
+	var drops, dups, delays, retries, lost int64
+	for _, v := range t.drops {
+		drops += v
+	}
+	for _, v := range t.dups {
+		dups += v
+	}
+	for _, v := range t.delays {
+		delays += v
+	}
+	for _, v := range t.retries {
+		retries += v
+	}
+	for _, v := range t.lost {
+		lost += v
+	}
+	t.mu.Unlock()
+	if drops+dups+delays+retries+lost > 0 {
+		fmt.Fprintf(&b, "\n%-14s drops=%d dups=%d delays=%d retries=%d lost=%d",
+			"FAULTS", drops, dups, delays, retries, lost)
+	}
 	return b.String()
 }

@@ -14,8 +14,28 @@ import "sync"
 // The zero Clock is ready to use and starts at time 1 so that time value 0
 // can mean "unset".
 type Clock struct {
-	mu  sync.Mutex
-	now int64
+	mu        sync.Mutex
+	now       int64
+	listeners []func(now int64)
+}
+
+// AddListener registers fn to run after every Tick or Advance, outside the
+// clock's lock, with the new time. The chaos layer hangs its delay queue
+// here so that held-back messages are released the moment logical time
+// passes their due instant — whoever advances the clock (a publish, a
+// retry backoff) transparently drives delivery.
+func (c *Clock) AddListener(fn func(now int64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, fn)
+}
+
+// notify invokes the registered listeners outside the lock. Listeners may
+// advance the clock again; re-entrancy is their concern.
+func (c *Clock) notify(now int64, fns []func(int64)) {
+	for _, fn := range fns {
+		fn(now)
+	}
 }
 
 // Now returns the current logical time without advancing it.
@@ -33,12 +53,14 @@ func (c *Clock) Now() int64 {
 // so every event has a distinct timestamp.
 func (c *Clock) Tick() int64 {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.now == 0 {
 		c.now = 1
 	}
 	c.now++
-	return c.now
+	now, fns := c.now, c.listeners
+	c.mu.Unlock()
+	c.notify(now, fns)
+	return now
 }
 
 // Advance moves the clock forward by d units (d >= 0) and returns the new
@@ -49,10 +71,12 @@ func (c *Clock) Advance(d int64) int64 {
 		panic("sim: Advance with negative duration")
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.now == 0 {
 		c.now = 1
 	}
 	c.now += d
-	return c.now
+	now, fns := c.now, c.listeners
+	c.mu.Unlock()
+	c.notify(now, fns)
+	return now
 }

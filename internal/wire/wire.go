@@ -168,7 +168,9 @@ func DecodeTuple(r *Reader) (*relation.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n == 0 || n > 1<<16 {
+	if n == 0 || n > 1<<16 || n > uint64(r.Remaining()) {
+		// Every attribute occupies at least one byte; a larger arity is a
+		// forged length prefix, not a short read.
 		return nil, fmt.Errorf("wire: implausible tuple arity %d", n)
 	}
 	attrs := make([]string, n)
