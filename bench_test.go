@@ -5,17 +5,59 @@
 //
 //	go test -bench=. -benchmem
 //
-// both exercises the full pipeline and prints machine-readable rows. Use
-// cmd/joinsim for the formatted tables and for thesis-scale runs.
+// both exercises the full pipeline and prints machine-readable rows.
+//
+// Every benchmark additionally records a manifest entry (wall time,
+// allocations, headline paper metrics); when at least one benchmark ran,
+// TestMain writes the collected entries to BENCH_<label>.json (label from
+// $BENCH_LABEL, default "local") in the current directory. CI uploads that
+// file as an artifact and gates it against the committed BENCH_baseline.json
+// with cmd/benchdiff; see DESIGN.md §7 and the README for the workflow.
+// A plain `go test` run without -bench writes nothing.
+//
+// Use cmd/joinsim for the formatted tables and for thesis-scale runs.
 package cqjoin_test
 
 import (
+	"fmt"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
 
+	"cqjoin/internal/chord"
 	"cqjoin/internal/exp"
+	"cqjoin/internal/id"
+	"cqjoin/internal/obs"
 )
+
+// benchManifest collects one entry per benchmark that ran in this process.
+var benchManifest = obs.NewCollector()
+
+// TestMain writes the benchmark manifest after the run. Test-only
+// invocations collect no entries and write nothing, so `go test ./...`
+// stays side-effect free.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchManifest.Len() > 0 {
+		label := os.Getenv("BENCH_LABEL")
+		if label == "" {
+			label = "local"
+		}
+		path := "BENCH_" + label + ".json"
+		man := benchManifest.Manifest(label)
+		if err := man.WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "bench manifest: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "bench: wrote %d manifest entries to %s\n", len(man.Entries), path)
+		}
+	}
+	os.Exit(code)
+}
 
 // benchScale keeps every experiment under a few hundred milliseconds so
 // the full -bench=. sweep stays laptop-friendly.
@@ -23,27 +65,77 @@ func benchScale() exp.Scale {
 	return exp.Scale{Nodes: 192, Queries: 250, Tuples: 250, Seed: 1}
 }
 
-// runExperiment wraps one experiment as a benchmark and reports the value
-// of the chosen numeric column of the chosen row as a custom metric.
+func scaleInfo(sc exp.Scale) obs.ScaleInfo {
+	return obs.ScaleInfo{Nodes: sc.Nodes, Queries: sc.Queries, Tuples: sc.Tuples, Seed: sc.Seed}
+}
+
+// memDelta samples allocation counters around a benchmark body.
+type memDelta struct{ before runtime.MemStats }
+
+func startMem() *memDelta {
+	d := &memDelta{}
+	runtime.ReadMemStats(&d.before)
+	return d
+}
+
+// perOp returns (allocs/op, bytes/op) since startMem, for n iterations.
+func (d *memDelta) perOp(n int) (int64, int64) {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if n <= 0 {
+		n = 1
+	}
+	return int64(after.Mallocs-d.before.Mallocs) / int64(n),
+		int64(after.TotalAlloc-d.before.TotalAlloc) / int64(n)
+}
+
+// runExperiment wraps one experiment as a benchmark, reports the value of
+// the chosen numeric column of the chosen row as a custom metric, and
+// records a manifest entry. A metric cell that is missing or unparsable is
+// a benchmark failure: a silently skipped metric would make the manifest
+// diff read "no regression" when the experiment in fact stopped reporting.
 func runExperiment(b *testing.B, id string, metricRow, metricCol int, metricName string) {
 	b.Helper()
 	e, err := exp.Lookup(id)
 	if err != nil {
 		b.Fatal(err)
 	}
+	sc := benchScale()
+	mem := startMem()
+	b.ResetTimer()
 	var tab *exp.Table
 	for i := 0; i < b.N; i++ {
-		tab = e.Run(benchScale())
+		tab = e.Run(sc)
 	}
+	b.StopTimer()
+	allocs, bytes := mem.perOp(b.N)
 	if tab == nil || len(tab.Rows) == 0 {
 		b.Fatal("experiment produced no rows")
 	}
-	if metricRow < len(tab.Rows) && metricCol < len(tab.Rows[metricRow]) {
-		cell := strings.TrimSuffix(tab.Rows[metricRow][metricCol], "%")
-		if v, err := strconv.ParseFloat(cell, 64); err == nil {
-			b.ReportMetric(v, metricName)
-		}
+	if metricRow >= len(tab.Rows) {
+		b.Fatalf("%s: metric row %d out of range (table has %d rows)", id, metricRow, len(tab.Rows))
 	}
+	if metricCol >= len(tab.Rows[metricRow]) {
+		b.Fatalf("%s: metric col %d out of range (row %d has %d cells)",
+			id, metricCol, metricRow, len(tab.Rows[metricRow]))
+	}
+	cell := strings.TrimSuffix(tab.Rows[metricRow][metricCol], "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		b.Fatalf("%s: metric cell (%d,%d) %q is not numeric: %v", id, metricRow, metricCol, cell, err)
+	}
+	b.ReportMetric(v, metricName)
+	benchManifest.Add(obs.Entry{
+		Name:        b.Name(),
+		Scale:       scaleInfo(sc),
+		Iterations:  int64(b.N),
+		WallNS:      b.Elapsed().Nanoseconds() / int64(b.N),
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		// Experiment outputs are pure functions of code + seed in the
+		// simulator, so the table metric gates hard.
+		Metrics: map[string]obs.Metric{metricName: obs.Det(v, "")},
+	})
 }
 
 func BenchmarkTable41(b *testing.B)          { runExperiment(b, "T4.1", 0, 7, "SAI-join-msgs") }
@@ -70,17 +162,78 @@ func BenchmarkFig516DAIV(b *testing.B)         { runExperiment(b, "F5.16", 0, 3,
 func BenchmarkX45DAIVKeyed(b *testing.B)       { runExperiment(b, "X4.5", 2, 3, "keyed/grouped-factor") }
 func BenchmarkX71MultiWay(b *testing.B)        { runExperiment(b, "X7.1", 1, 1, "hops/tuple-k3") }
 
+// BenchmarkHeadlineSAI runs the canonical SAI workload once per iteration
+// and records the paper's headline metrics — hops/tuple, msgs/tuple, the
+// TF/TS Gini coefficients and delivered notifications — as hard manifest
+// metrics. This is the single entry the regression gate leans on most.
+func BenchmarkHeadlineSAI(b *testing.B) {
+	sc := benchScale()
+	mem := startMem()
+	b.ResetTimer()
+	var m exp.Measurements
+	for i := 0; i < b.N; i++ {
+		m, _ = exp.Headline(sc)
+	}
+	b.StopTimer()
+	allocs, bytes := mem.perOp(b.N)
+	b.ReportMetric(m.HopsPerTuple, "hops/tuple")
+	b.ReportMetric(m.TF.Gini, "TF-gini")
+	benchManifest.Add(obs.Entry{
+		Name:        b.Name(),
+		Scale:       scaleInfo(sc),
+		Iterations:  int64(b.N),
+		WallNS:      b.Elapsed().Nanoseconds() / int64(b.N),
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Metrics: map[string]obs.Metric{
+			"hops_per_tuple": obs.Det(m.HopsPerTuple, "hops"),
+			"msgs_per_tuple": obs.Det(m.MsgsPerTuple, "msgs"),
+			"tf_gini":        obs.Det(m.TF.Gini, ""),
+			"ts_gini":        obs.Det(m.TS.Gini, ""),
+			"tf_total":       obs.Det(m.TF.Total, "ops"),
+			"ts_total":       obs.Det(m.TS.Total, "items"),
+			"notifications":  {Value: float64(m.Notifications), Deterministic: true, LowerIsBetter: false},
+		},
+	})
+}
+
 // Micro-benchmarks of the substrate operations the experiments lean on.
 
+// BenchmarkSubstrateLookup measures one Chord lookup per iteration on a
+// fixed overlay and reports the mean hop count — a real per-lookup metric,
+// not a whole-experiment rerun.
 func BenchmarkSubstrateLookup(b *testing.B) {
 	sc := benchScale()
-	tab := exp.Fig48(exp.Scale{Nodes: sc.Nodes, Seed: sc.Seed})
-	if len(tab.Rows) == 0 {
-		b.Fatal("no rows")
+	net := chord.New(chord.Config{})
+	net.AddNodes("peer", sc.Nodes)
+	nodes := net.Nodes()
+	if len(nodes) == 0 {
+		b.Fatal("empty overlay")
 	}
-	// Fig48 at k=1 measures single-lookup cost; reuse it as the metric.
+	mem := startMem()
 	b.ResetTimer()
+	var totalHops int64
 	for i := 0; i < b.N; i++ {
-		_ = exp.Fig48(exp.Scale{Nodes: sc.Nodes, Seed: int64(i + 1)})
+		origin := nodes[i%len(nodes)]
+		target := id.Hash("bench-lookup-" + strconv.Itoa(i))
+		_, hops, err := origin.Lookup(target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalHops += int64(hops)
 	}
+	b.StopTimer()
+	allocs, bytes := mem.perOp(b.N)
+	meanHops := float64(totalHops) / float64(b.N)
+	b.ReportMetric(meanHops, "hops/lookup")
+	benchManifest.Add(obs.Entry{
+		Name:        b.Name(),
+		Scale:       obs.ScaleInfo{Nodes: sc.Nodes, Seed: sc.Seed},
+		Iterations:  int64(b.N),
+		WallNS:      b.Elapsed().Nanoseconds() / int64(b.N),
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		// Mean hops depends on b.N (which lookups ran), so it gates soft.
+		Metrics: map[string]obs.Metric{"hops_per_lookup": obs.Noisy(meanHops, "hops")},
+	})
 }

@@ -1,0 +1,89 @@
+// Command benchdiff compares two benchmark run manifests (the
+// BENCH_<label>.json files written by `go test -bench=.`) and gates on
+// regressions:
+//
+//	benchdiff [-threshold 0.15] [-strict] [-github] baseline.json current.json
+//
+// Metrics marked deterministic in the manifest (message counts, hops, load
+// totals, allocations — pure functions of code + seed in the simulator)
+// hard-fail the gate when they regress beyond the threshold. Noisy metrics
+// (wall time, bytes/op) only annotate, unless -strict promotes them to
+// failures. Improvements and membership drift are printed as notes — a cue
+// to refresh the committed baseline, never a failure.
+//
+// Exit codes: 0 no gating regression, 1 gate failed, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cqjoin/internal/obs"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", obs.DefaultThreshold,
+		"relative change treated as a regression (0.15 = 15%)")
+	strict := flag.Bool("strict", false,
+		"fail on noisy-metric regressions too, not only deterministic ones")
+	github := flag.Bool("github", false,
+		"emit GitHub Actions ::error/::warning annotations alongside the report")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] baseline.json current.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := obs.ReadManifest(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := obs.ReadManifest(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	res := obs.Compare(base, cur, obs.DiffOptions{Threshold: *threshold})
+
+	fmt.Printf("benchdiff: %s (%s) vs %s (%s), threshold %.0f%%\n",
+		flag.Arg(0), base.Label, flag.Arg(1), cur.Label, 100**threshold)
+
+	fail := false
+	for _, f := range res.Regressions {
+		fmt.Println("  " + f.String())
+		gates := f.Hard || *strict
+		if gates {
+			fail = true
+		}
+		if *github {
+			level := "warning"
+			if gates {
+				level = "error"
+			}
+			fmt.Printf("::%s title=benchdiff::%s\n", level, f.String())
+		}
+	}
+	for _, f := range res.Improvements {
+		fmt.Println("  " + f.String())
+	}
+	for _, f := range res.Notes {
+		fmt.Println("  note: " + f.String())
+	}
+	if len(res.Regressions)+len(res.Improvements)+len(res.Notes) == 0 {
+		fmt.Println("  no findings: all shared metrics within threshold")
+	}
+
+	if fail {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}

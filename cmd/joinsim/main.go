@@ -17,21 +17,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"cqjoin/internal/exp"
+	"cqjoin/internal/obs"
 )
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id (e.g. F5.2, T4.1) or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		scale   = flag.String("scale", "ci", "scale preset: ci or paper")
-		nodes   = flag.Int("nodes", 0, "override: overlay size")
-		queries = flag.Int("queries", 0, "override: indexed queries")
-		tuples  = flag.Int("tuples", 0, "override: inserted tuples")
-		seed    = flag.Int64("seed", 0, "override: random seed")
-		format  = flag.String("format", "table", "output format: table or csv")
+		expID    = flag.String("exp", "", "experiment id (e.g. F5.2, T4.1) or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.String("scale", "ci", "scale preset: ci or paper")
+		nodes    = flag.Int("nodes", 0, "override: overlay size")
+		queries  = flag.Int("queries", 0, "override: indexed queries")
+		tuples   = flag.Int("tuples", 0, "override: inserted tuples")
+		seed     = flag.Int64("seed", 0, "override: random seed")
+		format   = flag.String("format", "table", "output format: table or csv")
+		manifest = flag.String("manifest", "", "write a machine-readable run manifest (schema-versioned JSON) to this path")
 	)
 	flag.Parse()
 
@@ -82,9 +86,12 @@ func main() {
 	if *format == "table" {
 		fmt.Printf("scale: nodes=%d queries=%d tuples=%d seed=%d\n\n", sc.Nodes, sc.Queries, sc.Tuples, sc.Seed)
 	}
+	collector := obs.NewCollector()
 	for _, e := range todo {
 		start := time.Now()
 		tab := e.Run(sc)
+		elapsed := time.Since(start)
+		collector.Add(manifestEntry(e.ID, tab, sc, elapsed))
 		switch *format {
 		case "csv":
 			if err := tab.PrintCSV(os.Stdout); err != nil {
@@ -94,10 +101,54 @@ func main() {
 			fmt.Println()
 		case "table":
 			tab.Print(os.Stdout)
-			fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+			fmt.Printf("  (%.1fs)\n\n", elapsed.Seconds())
 		default:
 			fmt.Fprintf(os.Stderr, "joinsim: unknown format %q\n", *format)
 			os.Exit(2)
 		}
+	}
+	if *manifest != "" {
+		m := collector.Manifest("joinsim-" + *scale)
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "joinsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "joinsim: wrote %d manifest entries to %s\n", len(m.Entries), *manifest)
+	}
+}
+
+// manifestEntry flattens one experiment table into a manifest entry: every
+// numeric cell becomes a metric named "<row label>/<column header>". The
+// simulator is deterministic for a fixed seed, so every table metric is a
+// hard (deterministic) one; wall time is carried in the entry itself and
+// always compared as noisy.
+func manifestEntry(id string, tab *exp.Table, sc exp.Scale, elapsed time.Duration) obs.Entry {
+	metrics := make(map[string]obs.Metric)
+	for _, row := range tab.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		label := row[0]
+		for col := 1; col < len(row); col++ {
+			cell := strings.TrimSuffix(row[col], "%")
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				continue
+			}
+			name := label
+			if col < len(tab.Header) {
+				name += "/" + tab.Header[col]
+			} else {
+				name += "/col" + strconv.Itoa(col)
+			}
+			metrics[name] = obs.Det(v, "")
+		}
+	}
+	return obs.Entry{
+		Name:       id,
+		Scale:      obs.ScaleInfo{Nodes: sc.Nodes, Queries: sc.Queries, Tuples: sc.Tuples, Seed: sc.Seed},
+		Iterations: 1,
+		WallNS:     elapsed.Nanoseconds(),
+		Metrics:    metrics,
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"cqjoin/internal/id"
 	"cqjoin/internal/metrics"
+	"cqjoin/internal/obs"
 	"cqjoin/internal/sim"
 )
 
@@ -20,6 +21,58 @@ type Config struct {
 	Traffic *metrics.Traffic
 	// Clock is the logical clock shared by the network. Nil allocates one.
 	Clock *sim.Clock
+	// Obs is the observability registry. When set, the traffic ledger's
+	// families are registered on it, the routing layer records per-kind
+	// send counters and hop histograms ("chord.*"), and the clock reports
+	// its tick metrics ("sim.clock.*"). Nil (the default) disables the
+	// layer at zero cost — same-seed runs are bit-identical either way,
+	// because recording never feeds back into routing decisions.
+	Obs *obs.Registry
+}
+
+// netObs holds the overlay's pre-created metric handles. All fields are
+// nil when observability is disabled; every recording site tolerates that
+// via the obs package's nil-receiver no-ops.
+type netObs struct {
+	lookups       *obs.Counter
+	lookupHops    *obs.Histogram
+	sends         *obs.CounterVec // per message kind
+	sendHops      *obs.Histogram
+	directSends   *obs.Counter
+	multisends    *obs.Counter
+	multisendSize *obs.Histogram
+	multisendHops *obs.Histogram
+	routeFailures *obs.Counter
+	deliveries    *obs.CounterVec // per message kind, at the delivery choke point
+	deliveryMiss  *obs.Counter    // dropped / dead-destination deliveries
+	wireBytes     *obs.Histogram  // per-message encoded size (the codec path)
+	joins, exits  *obs.Counter    // membership churn
+}
+
+// hopBuckets covers O(log N) lookups up to thesis scale plus a tail for
+// churn-stressed successor walks.
+var hopBuckets = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+
+func newNetObs(reg *obs.Registry) netObs {
+	if reg == nil {
+		return netObs{}
+	}
+	return netObs{
+		lookups:       reg.Counter("chord.lookups"),
+		lookupHops:    reg.Histogram("chord.lookup.hops", hopBuckets...),
+		sends:         reg.CounterVec("chord.sends"),
+		sendHops:      reg.Histogram("chord.send.hops", hopBuckets...),
+		directSends:   reg.Counter("chord.direct_sends"),
+		multisends:    reg.Counter("chord.multisends"),
+		multisendSize: reg.Histogram("chord.multisend.batch", 1, 4, 16, 64, 256, 1024),
+		multisendHops: reg.Histogram("chord.multisend.hops", hopBuckets...),
+		routeFailures: reg.Counter("chord.route_failures"),
+		deliveries:    reg.CounterVec("chord.deliveries"),
+		deliveryMiss:  reg.Counter("chord.delivery_misses"),
+		wireBytes:     reg.Histogram("chord.wire_bytes", 16, 64, 256, 1024, 4096, 16384),
+		joins:         reg.Counter("chord.joins"),
+		exits:         reg.Counter("chord.exits"),
+	}
 }
 
 const defaultSuccessorListLen = 8
@@ -36,6 +89,8 @@ type Network struct {
 	succListLen int
 	traffic     *metrics.Traffic
 	clock       *sim.Clock
+	obsReg      *obs.Registry
+	obs         netObs
 
 	icMu        sync.RWMutex
 	interceptor Interceptor
@@ -64,21 +119,30 @@ func New(cfg Config) *Network {
 		cfg.SuccessorListLen = defaultSuccessorListLen
 	}
 	if cfg.Traffic == nil {
-		cfg.Traffic = &metrics.Traffic{}
+		// Hang the ledger's families on the shared registry so one
+		// snapshot covers the paper's metrics and the substrate's.
+		cfg.Traffic = metrics.NewTraffic(cfg.Obs)
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = &sim.Clock{}
 	}
+	cfg.Clock.Instrument(cfg.Obs)
 	return &Network{
 		byKey:       make(map[string]*Node),
 		succListLen: cfg.SuccessorListLen,
 		traffic:     cfg.Traffic,
 		clock:       cfg.Clock,
+		obsReg:      cfg.Obs,
+		obs:         newNetObs(cfg.Obs),
 	}
 }
 
 // Traffic returns the network's traffic ledger.
 func (net *Network) Traffic() *metrics.Traffic { return net.traffic }
+
+// Obs returns the observability registry the overlay records into, or nil
+// when the layer is disabled.
+func (net *Network) Obs() *obs.Registry { return net.obsReg }
 
 // Clock returns the network's logical clock.
 func (net *Network) Clock() *sim.Clock { return net.clock }
@@ -168,6 +232,7 @@ func (net *Network) JoinAt(key string, nid id.ID) (*Node, error) {
 		}
 	}
 
+	net.obs.joins.Inc()
 	net.repairAround(n)
 	net.buildFingers(n)
 
@@ -248,6 +313,7 @@ func (net *Network) Fail(n *Node) {
 }
 
 func (net *Network) remove(n *Node) {
+	net.obs.exits.Inc()
 	net.mu.Lock()
 	defer net.mu.Unlock()
 	n.alive.Store(false)

@@ -39,13 +39,17 @@ type Sizer interface {
 }
 
 // chargeBytes records the wire bytes a delivery moved, when the message
-// reports its size.
+// reports its size. This is the codec choke point of the simulator: each
+// Size() call performs a full wire encoding, and the per-message size is
+// observed into the "chord.wire_bytes" histogram when observability is on.
 func (n *Node) chargeBytes(msg Message, hops int) {
 	if hops <= 0 {
 		return
 	}
 	if s, ok := msg.(Sizer); ok {
-		n.net.traffic.AddBytes(msg.Kind(), s.Size()*hops)
+		size := s.Size()
+		n.net.traffic.AddBytes(msg.Kind(), size*hops)
+		n.net.obs.wireBytes.Observe(int64(size))
 	}
 }
 
@@ -95,9 +99,12 @@ func (n *Node) Lookup(target id.ID) (*Node, int, error) {
 		// before giving up; charge them so churn experiments account for
 		// wasted routing work.
 		n.net.traffic.RecordHopsOnly("lookup", hops)
+		n.net.obs.routeFailures.Inc()
 		return nil, hops, err
 	}
 	n.net.traffic.Record("lookup", hops)
+	n.net.obs.lookups.Inc()
+	n.net.obs.lookupHops.Observe(int64(hops))
 	return dst, hops, nil
 }
 
@@ -111,10 +118,13 @@ func (n *Node) Send(msg Message, target id.ID) (*Node, int, error) {
 	dst, hops, err := n.route(target)
 	if err != nil {
 		n.net.traffic.RecordHopsOnly(msg.Kind(), hops)
+		n.net.obs.routeFailures.Inc()
 		return nil, hops, err
 	}
 	n.net.traffic.Record(msg.Kind(), hops)
 	n.chargeBytes(msg, hops)
+	n.net.obs.sends.Add(msg.Kind(), 1)
+	n.net.obs.sendHops.Observe(int64(hops))
 	if !n.deliverTo(dst, msg) {
 		return dst, hops, ErrDropped
 	}
@@ -130,6 +140,7 @@ func (n *Node) Send(msg Message, target id.ID) (*Node, int, error) {
 func (n *Node) DirectSend(msg Message, dst *Node) bool {
 	n.net.traffic.Record(msg.Kind(), 1)
 	n.chargeBytes(msg, 1)
+	n.net.obs.directSends.Inc()
 	return n.deliverTo(dst, msg)
 }
 
@@ -177,6 +188,8 @@ func (n *Node) Multisend(batch []Deliverable) ([]*Node, int, error) {
 	for _, it := range sorted {
 		n.net.traffic.Record(it.d.Msg.Kind(), 0)
 	}
+	n.net.obs.multisends.Inc()
+	n.net.obs.multisendSize.Observe(int64(len(sorted)))
 
 	recipients := make([]*Node, len(batch))
 	cur := n
@@ -203,6 +216,8 @@ func (n *Node) Multisend(batch []Deliverable) ([]*Node, int, error) {
 		}
 		if totalHops >= budget {
 			n.net.traffic.RecordHopsOnly(kind, totalHops)
+			n.net.obs.multisendHops.Observe(int64(totalHops))
+			n.net.obs.routeFailures.Inc()
 			return recipients, totalHops, fmt.Errorf("%w: multisend exceeded hop budget", ErrRoutingFailed)
 		}
 		// One forwarding step toward head(L).
@@ -219,12 +234,15 @@ func (n *Node) Multisend(batch []Deliverable) ([]*Node, int, error) {
 		}
 		if next == cur {
 			n.net.traffic.RecordHopsOnly(kind, totalHops)
+			n.net.obs.multisendHops.Observe(int64(totalHops))
+			n.net.obs.routeFailures.Inc()
 			return recipients, totalHops, fmt.Errorf("%w: multisend stuck at %s", ErrRoutingFailed, cur)
 		}
 		cur = next
 		totalHops++
 	}
 	n.net.traffic.RecordHopsOnly(kind, totalHops)
+	n.net.obs.multisendHops.Observe(int64(totalHops))
 	return recipients, totalHops, nil
 }
 
@@ -266,8 +284,16 @@ func (n *Node) deliverTo(dst *Node, msg Message) bool {
 		}
 		return true
 	}
+	var ok bool
 	if ic := n.net.Interceptor(); ic != nil {
-		return ic.Deliver(n, dst, msg, forward) > 0
+		ok = ic.Deliver(n, dst, msg, forward) > 0
+	} else {
+		ok = forward()
 	}
-	return forward()
+	if ok {
+		n.net.obs.deliveries.Add(msg.Kind(), 1)
+	} else {
+		n.net.obs.deliveryMiss.Inc()
+	}
+	return ok
 }

@@ -22,6 +22,7 @@ import (
 	"cqjoin/internal/chord"
 	"cqjoin/internal/id"
 	"cqjoin/internal/metrics"
+	"cqjoin/internal/obs"
 	"cqjoin/internal/query"
 	"cqjoin/internal/relation"
 )
@@ -120,6 +121,11 @@ type Config struct {
 	// layer drains its delay queue on clock listeners), so a retry races
 	// its own delayed original only briefly. Zero means 1.
 	RetryBackoff int64
+	// Obs receives the engine's metrics (message dispatch, notification
+	// outcomes, retry/loss counts). Nil — the default — disables recording
+	// at zero cost; because recording never influences protocol decisions,
+	// a run is bit-identical with or without a registry.
+	Obs *obs.Registry
 }
 
 // Engine coordinates query processing over one overlay.
@@ -127,6 +133,7 @@ type Engine struct {
 	cfg     Config
 	net     *chord.Network
 	catalog *relation.Catalog
+	obs     engObs
 
 	mu        sync.Mutex
 	states    map[*chord.Node]*nodeState
@@ -150,6 +157,7 @@ func New(net *chord.Network, catalog *relation.Catalog, cfg Config) *Engine {
 		cfg:       cfg,
 		net:       net,
 		catalog:   catalog,
+		obs:       newEngObs(cfg.Obs),
 		states:    make(map[*chord.Node]*nodeState),
 		byKey:     make(map[string]*nodeState),
 		seq:       make(map[string]int),

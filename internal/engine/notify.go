@@ -121,9 +121,11 @@ func (st *nodeState) deliverNotify(sub string, batch []Notification) {
 		if attempt > 0 {
 			if attempt > e.cfg.MaxRetries || !st.node.Alive() {
 				e.net.Traffic().RecordLost(kindNotify)
+				e.obs.lost.Add(kindNotify, 1)
 				return
 			}
 			e.net.Traffic().RecordRetry(kindNotify)
+			e.obs.retries.Add(kindNotify, 1)
 			e.net.Clock().Advance(e.retryBackoff())
 		}
 		msg := notifyMsg{Subscriber: sub, Batch: batch}
@@ -189,12 +191,14 @@ func (st *nodeState) handleNotify(msg notifyMsg) {
 			n.DeliveredAt = now
 			st.engine.record(n)
 		}
+		st.engine.obs.notifyDelivered.Add(int64(len(msg.Batch)))
 		return
 	}
 	st.mu.Lock()
 	st.storedNotifs[msg.Subscriber] = append(st.storedNotifs[msg.Subscriber], msg.Batch...)
 	st.mu.Unlock()
 	st.load.AddStorage(metrics.Evaluator, len(msg.Batch))
+	st.engine.obs.notifyStored.Add(int64(len(msg.Batch)))
 }
 
 // replayStoredNotifications hands stored notifications for subscriber key
@@ -219,9 +223,11 @@ func (st *nodeState) replayStoredNotifications(sub string, dst *chord.Node) {
 				break
 			}
 			e.net.Traffic().RecordRetry(kindNotify)
+			e.obs.retries.Add(kindNotify, 1)
 			e.net.Clock().Advance(e.retryBackoff())
 		}
 		if st.node.DirectSend(msg, dst) {
+			e.obs.notifyReplayed.Add(int64(len(batch)))
 			return
 		}
 		if !dst.Alive() {

@@ -1,0 +1,42 @@
+package engine
+
+import "cqjoin/internal/obs"
+
+// engObs bundles the engine's pre-created metric handles. The handles are
+// interned once at engine construction so the hot paths (message dispatch,
+// notification delivery, retries) record with a single atomic add and no
+// map lookups. With no registry configured every handle is nil and each
+// record call is one predicate on a nil receiver — recording never feeds
+// back into protocol decisions, so runs are bit-identical either way.
+type engObs struct {
+	// handled counts messages dispatched by nodeState.HandleMessage, by
+	// wire kind — the engine-side mirror of the overlay's delivery counts.
+	handled *obs.CounterVec
+	// notifyDelivered counts notifications consumed by their subscriber;
+	// notifyStored counts notifications parked at Successor(Id(n)) for an
+	// offline subscriber; notifyReplayed counts stored notifications handed
+	// over on reconnect (Section 4.6 of the paper).
+	notifyDelivered *obs.Counter
+	notifyStored    *obs.Counter
+	notifyReplayed  *obs.Counter
+	// retries and lost count the reliability layer's re-sends and
+	// exhausted-budget losses, by message kind.
+	retries *obs.CounterVec
+	lost    *obs.CounterVec
+}
+
+// newEngObs registers the engine's metric families on reg; a nil registry
+// yields the all-nil zero handle set.
+func newEngObs(reg *obs.Registry) engObs {
+	if reg == nil {
+		return engObs{}
+	}
+	return engObs{
+		handled:         reg.CounterVec("engine.handled"),
+		notifyDelivered: reg.Counter("engine.notify.delivered"),
+		notifyStored:    reg.Counter("engine.notify.stored"),
+		notifyReplayed:  reg.Counter("engine.notify.replayed"),
+		retries:         reg.CounterVec("engine.retries"),
+		lost:            reg.CounterVec("engine.lost"),
+	}
+}

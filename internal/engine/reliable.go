@@ -50,6 +50,7 @@ func (e *Engine) retryFailed(from *chord.Node, batch []chord.Deliverable, recipi
 		still := pending[:0]
 		for _, i := range pending {
 			e.net.Traffic().RecordRetry(batch[i].Msg.Kind())
+			e.obs.retries.Add(batch[i].Msg.Kind(), 1)
 			dst, _, err := from.Send(batch[i].Msg, batch[i].Target)
 			if err != nil {
 				still = append(still, i)
@@ -61,6 +62,7 @@ func (e *Engine) retryFailed(from *chord.Node, batch []chord.Deliverable, recipi
 	}
 	for _, i := range pending {
 		e.net.Traffic().RecordLost(batch[i].Msg.Kind())
+		e.obs.lost.Add(batch[i].Msg.Kind(), 1)
 	}
 	return recipients
 }

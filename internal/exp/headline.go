@@ -1,0 +1,22 @@
+package exp
+
+import (
+	"cqjoin/internal/engine"
+	"cqjoin/internal/obs"
+	"cqjoin/internal/workload"
+)
+
+// Headline runs the canonical SAI workload at scale sc with observability
+// enabled and returns the paper's headline metrics together with the run
+// (whose overlay carries the populated obs registry, reachable via
+// run.Net.Obs()). It is the anchor workload behind the benchmark manifest:
+// every number it produces is a pure function of sc, so manifest diffs on
+// its metrics are deterministic regressions, not noise.
+func Headline(sc Scale) (Measurements, *Run) {
+	reg := obs.NewRegistry()
+	r := Setup(engine.Config{Algorithm: engine.SAI, Obs: reg}, sc, workload.Params{})
+	r.SubscribeT1(sc.Queries)
+	r.ResetMeters()
+	r.PublishTuples(sc.Tuples)
+	return r.Measure(sc.Tuples), r
+}

@@ -44,7 +44,11 @@ func Setup(cfg engine.Config, sc Scale, wp workload.Params) *Run {
 		cfg.Seed = sc.Seed
 	}
 	gen := workload.New(wp)
-	net := chord.New(chord.Config{})
+	// One registry serves both layers: the overlay records routing-level
+	// metrics ("chord.*", "sim.*", traffic families) and the engine records
+	// protocol-level ones ("engine.*"). cfg.Obs is nil by default, which
+	// disables the whole layer at zero cost.
+	net := chord.New(chord.Config{Obs: cfg.Obs})
 	net.AddNodes("peer", sc.Nodes)
 	eng := engine.New(net, gen.Catalog(), cfg)
 	return &Run{

@@ -1,6 +1,6 @@
 package metrics
 
-import "sync"
+import "cqjoin/internal/obs"
 
 // Load accumulates the two per-node load metrics the paper introduces as a
 // technical contribution (Chapter 1): the filtering load TF — how many
@@ -12,11 +12,17 @@ import "sync"
 // Loads are tracked per role, so figures can split "rewriter" (attribute
 // level) from "evaluator" (value level) load as Figure 5.11 requires.
 //
+// The role set is small and fixed, so Load holds one obs.Counter per
+// (role, metric) pair inline: every update is a single atomic add with no
+// lock and no allocation — this is the hottest counter in the simulator
+// (one bump per filtering operation on every node).
+//
 // The zero Load is ready to use. All methods are safe for concurrent use.
+// Load must not be copied after first use (it embeds atomics); it is
+// always reached through its owning node state's pointer.
 type Load struct {
-	mu        sync.Mutex
-	filtering map[Role]int64
-	storage   map[Role]int64
+	filtering [numRoles]obs.Counter
+	storage   [numRoles]obs.Counter
 }
 
 // Role identifies which of the two-level-indexing roles charged a load unit.
@@ -42,67 +48,65 @@ func (r Role) String() string {
 	}
 }
 
+// valid reports whether r is a known role; unknown roles are ignored
+// rather than tripping an out-of-bounds panic on a metrics call.
+func (r Role) valid() bool { return r >= 0 && r < numRoles }
+
 // AddFiltering charges n filtering operations to the given role.
 func (l *Load) AddFiltering(r Role, n int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.filtering == nil {
-		l.filtering = make(map[Role]int64, numRoles)
+	if !r.valid() {
+		return
 	}
-	l.filtering[r] += int64(n)
+	l.filtering[r].Add(int64(n))
 }
 
 // AddStorage charges n stored items to the given role. Negative n releases
 // storage (e.g. when a tuple slides out of the time window).
 func (l *Load) AddStorage(r Role, n int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.storage == nil {
-		l.storage = make(map[Role]int64, numRoles)
+	if !r.valid() {
+		return
 	}
-	l.storage[r] += int64(n)
+	l.storage[r].Add(int64(n))
 }
 
 // Filtering returns the filtering load charged to role r.
 func (l *Load) Filtering(r Role) int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.filtering[r]
+	if !r.valid() {
+		return 0
+	}
+	return l.filtering[r].Value()
 }
 
 // Storage returns the storage load charged to role r.
 func (l *Load) Storage(r Role) int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.storage[r]
+	if !r.valid() {
+		return 0
+	}
+	return l.storage[r].Value()
 }
 
 // TotalFiltering returns the node's TF over all roles.
 func (l *Load) TotalFiltering() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var n int64
-	for _, v := range l.filtering {
-		n += v
+	for i := range l.filtering {
+		n += l.filtering[i].Value()
 	}
 	return n
 }
 
 // TotalStorage returns the node's TS over all roles.
 func (l *Load) TotalStorage() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var n int64
-	for _, v := range l.storage {
-		n += v
+	for i := range l.storage {
+		n += l.storage[i].Value()
 	}
 	return n
 }
 
 // Reset clears all counters.
 func (l *Load) Reset() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.filtering = nil
-	l.storage = nil
+	for i := range l.filtering {
+		l.filtering[i].Reset()
+		l.storage[i].Reset()
+	}
 }

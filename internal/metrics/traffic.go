@@ -4,6 +4,13 @@
 // counters, and distribution statistics (sorted load curves, Gini
 // coefficient, coefficient of variation, top-k shares) used to plot the
 // load-balance figures.
+//
+// Since the observability PR, the ledger and the load counters are thin
+// facades over internal/obs: every count lives in an obs.CounterVec /
+// obs.Counter, so an experiment that shares its obs.Registry with the
+// overlay sees the paper's metrics and the substrate's instrumentation in
+// one snapshot, and the hot-path cost is an interned map read plus an
+// atomic add instead of a mutex-guarded map write.
 package metrics
 
 import (
@@ -11,6 +18,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"cqjoin/internal/obs"
 )
 
 // Traffic is the network-traffic ledger. Every overlay hop performed by the
@@ -18,228 +27,176 @@ import (
 // (e.g. "al-index", "vl-index", "join", "notification"). The paper's traffic
 // figures report exactly these counts: total overlay hops per inserted tuple.
 //
-// The zero Traffic is ready to use. All methods are safe for concurrent use.
+// The zero Traffic is ready to use (it lazily allocates a private
+// obs.Registry); NewTraffic hangs the families on a shared registry
+// instead. All methods are safe for concurrent use.
 type Traffic struct {
-	mu       sync.Mutex
-	messages map[string]int64
-	hops     map[string]int64
-	bytes    map[string]int64
+	initOnce sync.Once
+	reg      *obs.Registry
+
+	messages *obs.CounterVec
+	hops     *obs.CounterVec
+	bytes    *obs.CounterVec
 	// Fault accounting (chaos runs): deliveries dropped in transit,
 	// duplicate deliveries (injected or suppressed at the receiver),
 	// deliveries held back by a delay fault, sender-side retries, and
 	// messages lost for good after the retry budget ran out.
-	drops   map[string]int64
-	dups    map[string]int64
-	delays  map[string]int64
-	retries map[string]int64
-	lost    map[string]int64
+	drops   *obs.CounterVec
+	dups    *obs.CounterVec
+	delays  *obs.CounterVec
+	retries *obs.CounterVec
+	lost    *obs.CounterVec
+}
+
+// NewTraffic builds a ledger whose counter families live in reg under the
+// "traffic.*" namespace, so one registry snapshot covers both the paper's
+// ledger and the rest of the instrumentation. A nil reg allocates a
+// private registry (equivalent to the zero Traffic).
+func NewTraffic(reg *obs.Registry) *Traffic {
+	t := &Traffic{reg: reg}
+	t.init()
+	return t
+}
+
+// init hangs the counter families on the registry, exactly once.
+func (t *Traffic) init() {
+	t.initOnce.Do(func() {
+		if t.reg == nil {
+			t.reg = obs.NewRegistry()
+		}
+		t.messages = t.reg.CounterVec("traffic.msgs")
+		t.hops = t.reg.CounterVec("traffic.hops")
+		t.bytes = t.reg.CounterVec("traffic.bytes")
+		t.drops = t.reg.CounterVec("traffic.drops")
+		t.dups = t.reg.CounterVec("traffic.dups")
+		t.delays = t.reg.CounterVec("traffic.delays")
+		t.retries = t.reg.CounterVec("traffic.retries")
+		t.lost = t.reg.CounterVec("traffic.lost")
+	})
+}
+
+// Registry returns the obs registry the ledger's families live in.
+func (t *Traffic) Registry() *obs.Registry {
+	t.init()
+	return t.reg
 }
 
 // Record charges one message of the given kind that travelled the given
 // number of overlay hops. A message delivered to the local node costs zero
 // hops but is still counted as a message.
 func (t *Traffic) Record(kind string, hops int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.init()
-	t.messages[kind]++
-	t.hops[kind] += int64(hops)
-}
-
-// init allocates the counter maps. Callers hold t.mu.
-func (t *Traffic) init() {
-	if t.messages == nil {
-		t.messages = make(map[string]int64)
-		t.hops = make(map[string]int64)
-		t.bytes = make(map[string]int64)
-		t.drops = make(map[string]int64)
-		t.dups = make(map[string]int64)
-		t.delays = make(map[string]int64)
-		t.retries = make(map[string]int64)
-		t.lost = make(map[string]int64)
-	}
+	t.messages.Add(kind, 1)
+	t.hops.Add(kind, int64(hops))
 }
 
 // RecordDrop charges one delivery of the given kind lost in transit.
-func (t *Traffic) RecordDrop(kind string) { t.bump(&t.drops, kind) }
+func (t *Traffic) RecordDrop(kind string) { t.init(); t.drops.Add(kind, 1) }
 
 // RecordDuplicate charges one duplicated delivery of the given kind.
-func (t *Traffic) RecordDuplicate(kind string) { t.bump(&t.dups, kind) }
+func (t *Traffic) RecordDuplicate(kind string) { t.init(); t.dups.Add(kind, 1) }
 
 // RecordDelayed charges one delivery of the given kind held back in
 // transit.
-func (t *Traffic) RecordDelayed(kind string) { t.bump(&t.delays, kind) }
+func (t *Traffic) RecordDelayed(kind string) { t.init(); t.delays.Add(kind, 1) }
 
 // RecordRetry charges one sender-side re-send of the given kind.
-func (t *Traffic) RecordRetry(kind string) { t.bump(&t.retries, kind) }
+func (t *Traffic) RecordRetry(kind string) { t.init(); t.retries.Add(kind, 1) }
 
 // RecordLost charges one message of the given kind abandoned after the
 // sender's retry budget was exhausted.
-func (t *Traffic) RecordLost(kind string) { t.bump(&t.lost, kind) }
-
-func (t *Traffic) bump(m *map[string]int64, kind string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.init()
-	(*m)[kind]++
-}
+func (t *Traffic) RecordLost(kind string) { t.init(); t.lost.Add(kind, 1) }
 
 // Drops returns the in-transit losses recorded for kind.
-func (t *Traffic) Drops(kind string) int64 { return t.get(t.drops, kind) }
+func (t *Traffic) Drops(kind string) int64 { t.init(); return t.drops.Value(kind) }
 
 // Duplicates returns the duplicated deliveries recorded for kind.
-func (t *Traffic) Duplicates(kind string) int64 { return t.get(t.dups, kind) }
+func (t *Traffic) Duplicates(kind string) int64 { t.init(); return t.dups.Value(kind) }
 
 // Delayed returns the held-back deliveries recorded for kind.
-func (t *Traffic) Delayed(kind string) int64 { return t.get(t.delays, kind) }
+func (t *Traffic) Delayed(kind string) int64 { t.init(); return t.delays.Value(kind) }
 
 // Retries returns the sender-side re-sends recorded for kind.
-func (t *Traffic) Retries(kind string) int64 { return t.get(t.retries, kind) }
+func (t *Traffic) Retries(kind string) int64 { t.init(); return t.retries.Value(kind) }
 
 // Lost returns the messages of the given kind abandoned after retries.
-func (t *Traffic) Lost(kind string) int64 { return t.get(t.lost, kind) }
-
-func (t *Traffic) get(m map[string]int64, kind string) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return m[kind]
-}
+func (t *Traffic) Lost(kind string) int64 { t.init(); return t.lost.Value(kind) }
 
 // TotalLost returns the abandoned messages across all kinds.
-func (t *Traffic) TotalLost() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var n int64
-	for _, v := range t.lost {
-		n += v
-	}
-	return n
-}
+func (t *Traffic) TotalLost() int64 { t.init(); return t.lost.Total() }
 
 // TotalRetries returns the sender-side re-sends across all kinds.
-func (t *Traffic) TotalRetries() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var n int64
-	for _, v := range t.retries {
-		n += v
-	}
-	return n
-}
+func (t *Traffic) TotalRetries() int64 { t.init(); return t.retries.Total() }
 
 // AddBytes charges n wire bytes to the kind. The convention is bytes
 // transferred over the physical network: a message of size s travelling h
 // overlay hops is retransmitted h times and charges s*h bytes.
 func (t *Traffic) AddBytes(kind string, n int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.init()
-	t.bytes[kind] += int64(n)
+	t.bytes.Add(kind, int64(n))
 }
 
 // Bytes returns the wire bytes recorded for kind.
-func (t *Traffic) Bytes(kind string) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.bytes[kind]
-}
+func (t *Traffic) Bytes(kind string) int64 { t.init(); return t.bytes.Value(kind) }
 
 // TotalBytes returns the wire bytes recorded across all kinds.
-func (t *Traffic) TotalBytes() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var n int64
-	for _, v := range t.bytes {
-		n += v
-	}
-	return n
-}
+func (t *Traffic) TotalBytes() int64 { t.init(); return t.bytes.Total() }
 
 // RecordHopsOnly charges extra hops to an existing kind without counting a
 // new message, used when a single logical message is forwarded further
 // (multisend relaying).
 func (t *Traffic) RecordHopsOnly(kind string, hops int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.init()
-	t.hops[kind] += int64(hops)
+	t.hops.Add(kind, int64(hops))
 }
 
 // Messages returns the number of messages recorded for kind.
-func (t *Traffic) Messages(kind string) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.messages[kind]
-}
+func (t *Traffic) Messages(kind string) int64 { t.init(); return t.messages.Value(kind) }
 
 // Hops returns the number of hops recorded for kind.
-func (t *Traffic) Hops(kind string) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.hops[kind]
-}
+func (t *Traffic) Hops(kind string) int64 { t.init(); return t.hops.Value(kind) }
 
 // TotalMessages returns the number of messages recorded across all kinds.
-func (t *Traffic) TotalMessages() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var n int64
-	for _, v := range t.messages {
-		n += v
-	}
-	return n
-}
+func (t *Traffic) TotalMessages() int64 { t.init(); return t.messages.Total() }
 
 // TotalHops returns the number of overlay hops recorded across all kinds.
-func (t *Traffic) TotalHops() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var n int64
-	for _, v := range t.hops {
-		n += v
-	}
-	return n
-}
+func (t *Traffic) TotalHops() int64 { t.init(); return t.hops.Total() }
 
-// Reset clears all counters. Experiments reset the ledger after the
-// warm-up phase so figures report steady-state traffic only.
+// Reset clears all of the ledger's counters (and only the ledger's — other
+// metrics on a shared registry are untouched). Experiments reset the
+// ledger after the warm-up phase so figures report steady-state traffic
+// only.
 func (t *Traffic) Reset() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.messages = nil
-	t.hops = nil
-	t.bytes = nil
-	t.drops = nil
-	t.dups = nil
-	t.delays = nil
-	t.retries = nil
-	t.lost = nil
+	t.init()
+	t.messages.Reset()
+	t.hops.Reset()
+	t.bytes.Reset()
+	t.drops.Reset()
+	t.dups.Reset()
+	t.delays.Reset()
+	t.retries.Reset()
+	t.lost.Reset()
 }
 
 // Snapshot returns a copy of the per-kind counters, for reporting.
 func (t *Traffic) Snapshot() (messages, hops map[string]int64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	messages = make(map[string]int64, len(t.messages))
-	hops = make(map[string]int64, len(t.hops))
-	for k, v := range t.messages {
-		messages[k] = v
+	t.init()
+	messages = t.messages.Snapshot()
+	if messages == nil {
+		messages = map[string]int64{}
 	}
-	for k, v := range t.hops {
-		hops[k] = v
+	hops = t.hops.Snapshot()
+	if hops == nil {
+		hops = map[string]int64{}
 	}
 	return messages, hops
 }
 
 // String renders a stable, human-readable summary ordered by kind.
 func (t *Traffic) String() string {
+	t.init()
 	messages, hops := t.Snapshot()
-	t.mu.Lock()
-	bytes := make(map[string]int64, len(t.bytes))
-	for k, v := range t.bytes {
-		bytes[k] = v
-	}
-	t.mu.Unlock()
+	bytes := t.bytes.Snapshot()
 	kinds := make([]string, 0, len(messages))
 	for k := range messages {
 		kinds = append(kinds, k)
@@ -251,24 +208,8 @@ func (t *Traffic) String() string {
 	}
 	fmt.Fprintf(&b, "%-14s msgs=%-8d hops=%-8d bytes=%d", "TOTAL",
 		t.TotalMessages(), t.TotalHops(), t.TotalBytes())
-	t.mu.Lock()
-	var drops, dups, delays, retries, lost int64
-	for _, v := range t.drops {
-		drops += v
-	}
-	for _, v := range t.dups {
-		dups += v
-	}
-	for _, v := range t.delays {
-		delays += v
-	}
-	for _, v := range t.retries {
-		retries += v
-	}
-	for _, v := range t.lost {
-		lost += v
-	}
-	t.mu.Unlock()
+	drops, dups := t.drops.Total(), t.dups.Total()
+	delays, retries, lost := t.delays.Total(), t.retries.Total(), t.lost.Total()
 	if drops+dups+delays+retries+lost > 0 {
 		fmt.Fprintf(&b, "\n%-14s drops=%d dups=%d delays=%d retries=%d lost=%d",
 			"FAULTS", drops, dups, delays, retries, lost)

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultThreshold is the relative change beyond which a metric counts as
+// regressed: the CI gate's ±15%.
+const DefaultThreshold = 0.15
+
+// DiffOptions parameterizes Compare.
+type DiffOptions struct {
+	// Threshold is the relative regression gate (0.15 = 15%). Zero means
+	// DefaultThreshold.
+	Threshold float64
+}
+
+// Finding is one metric comparison that crossed the threshold (either
+// direction) or could not be made at all.
+type Finding struct {
+	// Entry and Metric name the measurement; Metric is "" for entry-level
+	// fields such as allocations or wall time.
+	Entry  string
+	Metric string
+	Old    float64
+	New    float64
+	// Delta is the signed relative change (new-old)/old, +Inf when old is
+	// zero and new is not.
+	Delta float64
+	// Regressed marks a change in the metric's worse direction beyond the
+	// threshold; the opposite crossing is an improvement finding.
+	Regressed bool
+	// Hard marks findings on deterministic metrics: a hard regression
+	// fails the gate, a soft (noisy) one only annotates.
+	Hard bool
+	// Missing marks entries/metrics present in the baseline but absent
+	// from the new run (or vice versa); always soft.
+	Missing bool
+	Note    string
+}
+
+// String renders the finding for benchdiff output.
+func (f Finding) String() string {
+	name := f.Entry
+	if f.Metric != "" {
+		name += "/" + f.Metric
+	}
+	if f.Missing {
+		return fmt.Sprintf("%-45s %s", name, f.Note)
+	}
+	kind := "improved"
+	if f.Regressed {
+		kind = "REGRESSED"
+		if f.Hard {
+			kind = "REGRESSED(hard)"
+		}
+	}
+	return fmt.Sprintf("%-45s %s %+.1f%%  %.4g -> %.4g", name, kind, 100*f.Delta, f.Old, f.New)
+}
+
+// Result is the outcome of comparing two manifests.
+type Result struct {
+	// Regressions crossed the threshold in the worse direction; the gate
+	// fails when any of them is Hard.
+	Regressions []Finding
+	// Improvements crossed the threshold in the better direction — a cue
+	// to refresh the committed baseline.
+	Improvements []Finding
+	// Notes are soft findings that block nothing: missing entries,
+	// zero-baseline metrics, schema drift between labels.
+	Notes []Finding
+}
+
+// HardFailure reports whether any regression is on a deterministic metric.
+func (r *Result) HardFailure() bool {
+	for _, f := range r.Regressions {
+		if f.Hard {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare evaluates a new manifest against a baseline. Every entry of the
+// baseline is matched by name; each shared metric is compared under the
+// threshold, honouring the metric's direction and determinism class.
+// Entry-level fields are gated too: AllocsPerOp as a hard metric, WallNS
+// and BytesPerOp as noisy ones.
+func Compare(base, cur *Manifest, opt DiffOptions) *Result {
+	if opt.Threshold <= 0 {
+		opt.Threshold = DefaultThreshold
+	}
+	res := &Result{}
+	for _, be := range base.Entries {
+		ce, ok := cur.Entry(be.Name)
+		if !ok {
+			res.Notes = append(res.Notes, Finding{
+				Entry: be.Name, Missing: true,
+				Note: "entry present in baseline but missing from new run",
+			})
+			continue
+		}
+		compareEntry(res, be, ce, opt.Threshold)
+	}
+	for _, ce := range cur.Entries {
+		if _, ok := base.Entry(ce.Name); !ok {
+			res.Notes = append(res.Notes, Finding{
+				Entry: ce.Name, Missing: true,
+				Note: "entry new since baseline (add it by refreshing BENCH_baseline.json)",
+			})
+		}
+	}
+	sort.Slice(res.Regressions, func(i, j int) bool {
+		if res.Regressions[i].Hard != res.Regressions[j].Hard {
+			return res.Regressions[i].Hard
+		}
+		return math.Abs(res.Regressions[i].Delta) > math.Abs(res.Regressions[j].Delta)
+	})
+	return res
+}
+
+func compareEntry(res *Result, be, ce Entry, threshold float64) {
+	// Entry-level fields. Wall time and bytes/op depend on the machine and
+	// the allocator's size classes; allocation counts are a pure function
+	// of code path + seed and gate hard.
+	compareValue(res, be.Name, "allocs/op", float64(be.AllocsPerOp), float64(ce.AllocsPerOp),
+		threshold, true, true)
+	compareValue(res, be.Name, "wall", float64(be.WallNS), float64(ce.WallNS),
+		threshold, false, true)
+	compareValue(res, be.Name, "bytes/op", float64(be.BytesPerOp), float64(ce.BytesPerOp),
+		threshold, false, true)
+
+	names := make([]string, 0, len(be.Metrics))
+	for name := range be.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bm := be.Metrics[name]
+		cm, ok := ce.Metrics[name]
+		if !ok {
+			res.Notes = append(res.Notes, Finding{
+				Entry: be.Name, Metric: name, Missing: true,
+				Note: "metric present in baseline but missing from new run",
+			})
+			continue
+		}
+		compareValue(res, be.Name, name, bm.Value, cm.Value, threshold,
+			bm.Deterministic, bm.LowerIsBetter)
+	}
+}
+
+// compareValue files one finding if the relative change crosses the
+// threshold. A zero baseline with a nonzero new value cannot produce a
+// relative delta; it is filed as a note (hard metrics excepted: appearing
+// from zero is a real regression for counts).
+func compareValue(res *Result, entry, metric string, oldV, newV float64, threshold float64, hard, lowerBetter bool) {
+	if oldV == 0 && newV == 0 {
+		return
+	}
+	if oldV == 0 {
+		f := Finding{Entry: entry, Metric: metric, Old: oldV, New: newV,
+			Delta: math.Inf(1), Hard: hard,
+			Note: "baseline value is zero"}
+		if hard && lowerBetter {
+			f.Regressed = true
+			res.Regressions = append(res.Regressions, f)
+		} else {
+			res.Notes = append(res.Notes, f)
+		}
+		return
+	}
+	delta := (newV - oldV) / math.Abs(oldV)
+	if math.Abs(delta) <= threshold {
+		return
+	}
+	worse := delta > 0 == lowerBetter
+	f := Finding{Entry: entry, Metric: metric, Old: oldV, New: newV, Delta: delta,
+		Regressed: worse, Hard: hard && worse}
+	if worse {
+		res.Regressions = append(res.Regressions, f)
+	} else {
+		res.Improvements = append(res.Improvements, f)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoManifests builds a baseline and a copy with one deterministic metric
+// regressed by `factor` (1.20 = +20%).
+func twoManifests(factor float64) (*Manifest, *Manifest) {
+	mk := func(msgs float64) *Manifest {
+		c := NewCollector()
+		c.Add(Entry{
+			Name:        "BenchmarkTable41",
+			WallNS:      100,
+			AllocsPerOp: 1000,
+			Metrics: map[string]Metric{
+				"SAI-join-msgs": Det(msgs, "msgs"),
+				"wallish":       Noisy(50, "ns"),
+			},
+		})
+		return c.Manifest("t")
+	}
+	return mk(100), mk(100 * factor)
+}
+
+// The ISSUE acceptance criterion: an injected ≥15% regression on a
+// deterministic metric must be detected and classified as a hard failure.
+func TestCompareDetectsInjectedRegression(t *testing.T) {
+	base, cur := twoManifests(1.20)
+	res := Compare(base, cur, DiffOptions{Threshold: 0.15})
+	if len(res.Regressions) != 1 {
+		t.Fatalf("regressions = %d, want 1: %+v", len(res.Regressions), res.Regressions)
+	}
+	f := res.Regressions[0]
+	if f.Entry != "BenchmarkTable41" || f.Metric != "SAI-join-msgs" {
+		t.Fatalf("wrong finding: %+v", f)
+	}
+	if !f.Hard || !f.Regressed {
+		t.Fatalf("deterministic regression must be hard: %+v", f)
+	}
+	if !res.HardFailure() {
+		t.Fatal("HardFailure() must be true")
+	}
+	if !strings.Contains(f.String(), "REGRESSED(hard)") {
+		t.Fatalf("rendering: %s", f)
+	}
+}
+
+func TestCompareWithinThresholdIsClean(t *testing.T) {
+	base, cur := twoManifests(1.10) // +10% < 15% gate
+	res := Compare(base, cur, DiffOptions{Threshold: 0.15})
+	if len(res.Regressions) != 0 || res.HardFailure() {
+		t.Fatalf("within-threshold change must pass: %+v", res.Regressions)
+	}
+}
+
+func TestCompareImprovementIsNotARegression(t *testing.T) {
+	base, cur := twoManifests(0.70) // 30% fewer messages
+	res := Compare(base, cur, DiffOptions{})
+	if len(res.Regressions) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", res.Regressions)
+	}
+	if len(res.Improvements) != 1 {
+		t.Fatalf("improvements = %d, want 1", len(res.Improvements))
+	}
+}
+
+func TestCompareNoisyMetricIsSoft(t *testing.T) {
+	base, cur := twoManifests(1.0)
+	// Regress the noisy metric and the wall time by 3x.
+	e := cur.Entries[0]
+	m := e.Metrics["wallish"]
+	m.Value *= 3
+	e.Metrics["wallish"] = m
+	e.WallNS *= 3
+	cur.Entries[0] = e
+	res := Compare(base, cur, DiffOptions{})
+	if len(res.Regressions) != 2 {
+		t.Fatalf("regressions = %d, want 2 (wall + wallish): %+v", len(res.Regressions), res.Regressions)
+	}
+	if res.HardFailure() {
+		t.Fatal("noisy regressions must not be hard failures")
+	}
+}
+
+func TestCompareAllocsAreHard(t *testing.T) {
+	base, cur := twoManifests(1.0)
+	cur.Entries[0].AllocsPerOp = 2000 // +100%
+	res := Compare(base, cur, DiffOptions{})
+	if !res.HardFailure() {
+		t.Fatalf("alloc regression must hard-fail: %+v", res.Regressions)
+	}
+}
+
+func TestCompareMissingEntriesAreNotes(t *testing.T) {
+	base, cur := twoManifests(1.0)
+	cur.Entries = append(cur.Entries, Entry{Name: "BenchmarkNew"})
+	base.Entries = append(base.Entries, Entry{Name: "BenchmarkGone"})
+	res := Compare(base, cur, DiffOptions{})
+	if res.HardFailure() || len(res.Regressions) != 0 {
+		t.Fatalf("membership drift must not gate: %+v", res.Regressions)
+	}
+	var missingNew, missingOld bool
+	for _, n := range res.Notes {
+		if n.Entry == "BenchmarkGone" {
+			missingOld = true
+		}
+		if n.Entry == "BenchmarkNew" {
+			missingNew = true
+		}
+	}
+	if !missingOld || !missingNew {
+		t.Fatalf("missing-entry notes absent: %+v", res.Notes)
+	}
+}
+
+func TestCompareZeroBaselineHardMetric(t *testing.T) {
+	base, cur := twoManifests(1.0)
+	bm := base.Entries[0].Metrics["SAI-join-msgs"]
+	bm.Value = 0
+	base.Entries[0].Metrics["SAI-join-msgs"] = bm
+	res := Compare(base, cur, DiffOptions{})
+	// 0 -> 100 messages on a deterministic counter is a real regression.
+	if !res.HardFailure() {
+		t.Fatalf("zero-baseline hard metric appearing must hard-fail: %+v", res)
+	}
+}

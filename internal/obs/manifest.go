@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ManifestSchemaVersion identifies the manifest JSON layout. Readers reject
+// files written under a different major layout so a stale baseline cannot
+// be silently compared against a new schema.
+const ManifestSchemaVersion = 1
+
+// Manifest is one machine-readable benchmark/experiment run: the artifact
+// committed as BENCH_baseline.json, uploaded from CI, and diffed by
+// cmd/benchdiff. Entries are kept sorted by name so manifests are stable
+// under `git diff`.
+type Manifest struct {
+	Schema    int     `json:"schema"`
+	Label     string  `json:"label"`
+	CreatedAt string  `json:"created_at,omitempty"` // RFC3339; informational only
+	GoVersion string  `json:"go_version,omitempty"`
+	GOOS      string  `json:"goos,omitempty"`
+	GOARCH    string  `json:"goarch,omitempty"`
+	Entries   []Entry `json:"entries"`
+}
+
+// ScaleInfo records the experiment scale a manifest entry ran at.
+type ScaleInfo struct {
+	Nodes   int   `json:"nodes,omitempty"`
+	Queries int   `json:"queries,omitempty"`
+	Tuples  int   `json:"tuples,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+}
+
+// Entry is one benchmark or experiment inside a manifest.
+type Entry struct {
+	// Name identifies the benchmark/experiment (e.g. "BenchmarkTable41" or
+	// "F5.10"); entries are matched across manifests by this name.
+	Name string `json:"name"`
+	// Scale is the run's size and seed.
+	Scale ScaleInfo `json:"scale"`
+	// Iterations is b.N for benchmarks, 1 for one-shot experiment runs.
+	Iterations int64 `json:"iterations,omitempty"`
+	// WallNS is the measured wall time per iteration in nanoseconds. It is
+	// always treated as a noisy metric by Compare.
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// AllocsPerOp and BytesPerOp mirror -benchmem. Allocation counts are
+	// deterministic for a fixed toolchain and seed, so Compare treats
+	// AllocsPerOp as a hard metric; BytesPerOp is noisy (size classes).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	// Metrics holds the headline paper metrics (hops/tuple, TF, TS, Gini,
+	// message counts) and anything else worth gating on.
+	Metrics map[string]Metric `json:"metrics,omitempty"`
+}
+
+// Metric is one named measurement inside an entry.
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+	// Deterministic marks metrics that are a pure function of code + seed
+	// (message counts, hops, load totals in the simulator). Compare
+	// hard-fails on these and only annotates on noisy ones.
+	Deterministic bool `json:"deterministic,omitempty"`
+	// LowerIsBetter is the regression direction; true for almost every
+	// metric in this repo (hops, messages, loads, allocations). Metrics
+	// where higher is better (e.g. a speedup ratio) set it to false.
+	LowerIsBetter bool `json:"lower_is_better"`
+}
+
+// Det builds a deterministic, lower-is-better metric.
+func Det(v float64, unit string) Metric {
+	return Metric{Value: v, Unit: unit, Deterministic: true, LowerIsBetter: true}
+}
+
+// Noisy builds a nondeterministic, lower-is-better metric.
+func Noisy(v float64, unit string) Metric {
+	return Metric{Value: v, Unit: unit, LowerIsBetter: true}
+}
+
+// Collector accumulates entries from many benchmarks in one process and
+// writes them as a single manifest. Safe for concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	entries map[string]Entry // by name; a re-run of a benchmark replaces its entry
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{entries: make(map[string]Entry)}
+}
+
+// Add records (or replaces) one entry. No-op on a nil collector.
+func (c *Collector) Add(e Entry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[e.Name] = e
+}
+
+// Len returns the number of collected entries.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Manifest assembles the collected entries into a labelled manifest,
+// sorted by entry name.
+func (c *Collector) Manifest(label string) *Manifest {
+	m := &Manifest{
+		Schema:    ManifestSchemaVersion,
+		Label:     label,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	c.mu.Lock()
+	for _, e := range c.entries {
+		m.Entries = append(m.Entries, e)
+	}
+	c.mu.Unlock()
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Name < m.Entries[j].Name })
+	return m
+}
+
+// WriteFile marshals the manifest as indented JSON and writes it
+// atomically (write-to-temp + rename) so a crashed run never leaves a
+// half-written artifact behind.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads and schema-checks a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchemaVersion {
+		return nil, fmt.Errorf("obs: manifest %s has schema %d, this binary reads schema %d",
+			path, m.Schema, ManifestSchemaVersion)
+	}
+	return &m, nil
+}
+
+// Entry returns the named entry and whether it exists.
+func (m *Manifest) Entry(name string) (Entry, bool) {
+	for _, e := range m.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

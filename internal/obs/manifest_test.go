@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleManifest(label string) *Manifest {
+	c := NewCollector()
+	c.Add(Entry{
+		Name:        "BenchmarkTable41",
+		Scale:       ScaleInfo{Nodes: 192, Queries: 250, Tuples: 250, Seed: 1},
+		Iterations:  1,
+		WallNS:      120_000_000,
+		AllocsPerOp: 50_000,
+		BytesPerOp:  4_000_000,
+		Metrics: map[string]Metric{
+			"SAI-join-msgs": Det(14, "msgs"),
+		},
+	})
+	c.Add(Entry{
+		Name:  "Headline",
+		Scale: ScaleInfo{Nodes: 192, Queries: 250, Tuples: 250, Seed: 1},
+		Metrics: map[string]Metric{
+			"hops/tuple": Det(22.5, "hops"),
+			"TF-gini":    Det(0.61, "gini"),
+		},
+	})
+	return c.Manifest(label)
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	m := sampleManifest("test")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchemaVersion || got.Label != "test" {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(got.Entries))
+	}
+	// Entries must be sorted by name for diffable artifacts.
+	if got.Entries[0].Name != "BenchmarkTable41" || got.Entries[1].Name != "Headline" {
+		t.Fatalf("entries not sorted: %s, %s", got.Entries[0].Name, got.Entries[1].Name)
+	}
+	e, ok := got.Entry("Headline")
+	if !ok {
+		t.Fatal("Entry lookup failed")
+	}
+	if m := e.Metrics["hops/tuple"]; m.Value != 22.5 || !m.Deterministic || !m.LowerIsBetter {
+		t.Fatalf("metric lost in round trip: %+v", m)
+	}
+	// No stray temp files from the atomic write.
+	files, _ := os.ReadDir(dir)
+	if len(files) != 1 {
+		t.Fatalf("stray files after atomic write: %v", files)
+	}
+}
+
+func TestReadManifestRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "label": "x", "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+func TestReadManifestRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestCollectorReplacesByName(t *testing.T) {
+	c := NewCollector()
+	c.Add(Entry{Name: "B", WallNS: 1})
+	c.Add(Entry{Name: "B", WallNS: 2})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	m := c.Manifest("x")
+	if m.Entries[0].WallNS != 2 {
+		t.Fatal("re-added entry did not replace the old one")
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"sync"
+
+	"cqjoin/internal/obs"
 )
 
 // DelayQueue holds deferred actions ordered by logical due time. A fault
@@ -14,6 +16,27 @@ type DelayQueue struct {
 	mu    sync.Mutex
 	items delayHeap
 	seq   int64
+
+	// Queue-depth instrumentation (nil handles when observability is off).
+	// The depth gauge's high-water mark is the interesting number: how far
+	// behind logical time the in-flight message backlog ever got.
+	depth    *obs.Gauge
+	pushes   *obs.Counter
+	released *obs.Counter
+}
+
+// Instrument hangs the queue's metrics ("sim.delayqueue.*") on reg. A nil
+// registry leaves the queue un-instrumented. Instrument before concurrent
+// use.
+func (q *DelayQueue) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.depth = reg.Gauge("sim.delayqueue.depth")
+	q.pushes = reg.Counter("sim.delayqueue.pushes")
+	q.released = reg.Counter("sim.delayqueue.released")
 }
 
 type delayItem struct {
@@ -47,6 +70,8 @@ func (q *DelayQueue) PushAt(due int64, fn func()) {
 	defer q.mu.Unlock()
 	q.seq++
 	heap.Push(&q.items, delayItem{due: due, seq: q.seq, fn: fn})
+	q.pushes.Inc()
+	q.depth.Set(int64(len(q.items)))
 }
 
 // PopDue removes and returns every action whose due time is <= now, in
@@ -58,6 +83,10 @@ func (q *DelayQueue) PopDue(now int64) []func() {
 	var out []func()
 	for len(q.items) > 0 && q.items[0].due <= now {
 		out = append(out, heap.Pop(&q.items).(delayItem).fn)
+	}
+	if len(out) > 0 {
+		q.released.Add(int64(len(out)))
+		q.depth.Set(int64(len(q.items)))
 	}
 	return out
 }
