@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"cqjoin/internal/chord"
 	"cqjoin/internal/exp"
@@ -193,6 +194,68 @@ func BenchmarkHeadlineSAI(b *testing.B) {
 			"tf_total":       obs.Det(m.TF.Total, "ops"),
 			"ts_total":       obs.Det(m.TS.Total, "items"),
 			"notifications":  {Value: float64(m.Notifications), Deterministic: true, LowerIsBetter: false},
+		},
+	})
+}
+
+// BenchmarkParallelSpeedup runs one load-distribution experiment
+// sequentially and then on the full worker budget each iteration,
+// verifying the two tables agree cell for cell — the determinism contract
+// of DESIGN.md §8 exercised at bench scale — and reporting the wall-clock
+// ratio. The speedup tracks available CPUs, so it gates soft.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	defer exp.SetParallelism(0)
+	e, err := exp.Lookup("F5.10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := benchScale()
+	workers := runtime.GOMAXPROCS(0)
+	mem := startMem()
+	b.ResetTimer()
+	var seqNS, parNS int64
+	for i := 0; i < b.N; i++ {
+		exp.SetParallelism(1)
+		t0 := time.Now()
+		seq := e.Run(sc)
+		seqNS += time.Since(t0).Nanoseconds()
+
+		exp.SetParallelism(workers)
+		t0 = time.Now()
+		par := e.Run(sc)
+		parNS += time.Since(t0).Nanoseconds()
+
+		if len(seq.Rows) != len(par.Rows) {
+			b.Fatalf("row counts diverge: sequential %d, parallel %d", len(seq.Rows), len(par.Rows))
+		}
+		for r := range seq.Rows {
+			for c := range seq.Rows[r] {
+				if seq.Rows[r][c] != par.Rows[r][c] {
+					b.Fatalf("cell (%d,%d) diverges: sequential %q, parallel %q",
+						r, c, seq.Rows[r][c], par.Rows[r][c])
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	allocs, bytes := mem.perOp(2 * b.N)
+	speedup := 0.0
+	if parNS > 0 {
+		speedup = float64(seqNS) / float64(parNS)
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(workers), "workers")
+	benchManifest.Add(obs.Entry{
+		Name:        b.Name(),
+		Scale:       scaleInfo(sc),
+		Iterations:  int64(b.N),
+		WallNS:      b.Elapsed().Nanoseconds() / int64(b.N),
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Metrics: map[string]obs.Metric{
+			"speedup":     {Value: speedup, Deterministic: false, LowerIsBetter: false, Unit: "x"},
+			"seq_wall_ns": obs.Noisy(float64(seqNS)/float64(b.N), "ns"),
+			"par_wall_ns": obs.Noisy(float64(parNS)/float64(b.N), "ns"),
 		},
 	})
 }

@@ -7,16 +7,23 @@
 //	joinsim -exp F5.2                 # one experiment at CI scale
 //	joinsim -exp all -scale paper     # the full evaluation at thesis scale
 //	joinsim -exp F5.10 -nodes 4096 -queries 20000 -tuples 5000
+//	joinsim -exp all -parallel 1      # force sequential execution
 //
 // CI scale (the default) finishes in seconds per experiment; paper scale
 // reproduces the thesis set-up (10^4 nodes, 10^5 queries) and takes
 // minutes per experiment.
+//
+// Experiments run their independent cells — and the engine its publish
+// cascades — on -parallel workers (default: all CPUs). Execution is
+// deterministic at any worker count (DESIGN.md §8): -parallel 1 and
+// -parallel 32 print identical tables and manifests for the same seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -36,8 +43,10 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override: random seed")
 		format   = flag.String("format", "table", "output format: table or csv")
 		manifest = flag.String("manifest", "", "write a machine-readable run manifest (schema-versioned JSON) to this path")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker budget for experiment cells and publish cascades (results are identical at any value)")
 	)
 	flag.Parse()
+	exp.SetParallelism(*parallel)
 
 	if *list {
 		for _, e := range exp.All() {

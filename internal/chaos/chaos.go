@@ -17,6 +17,7 @@ import (
 	"cqjoin/internal/chord"
 	"cqjoin/internal/engine"
 	"cqjoin/internal/sim"
+	"cqjoin/internal/wire"
 )
 
 // Config parameterizes an Injector. All rates are probabilities in [0, 1].
@@ -55,6 +56,15 @@ type Config struct {
 	// maintenance; the overlay then heals only through the local repairs
 	// crashes and joins trigger, and through HealAll.
 	StabilizeEvery int
+	// KeyedDraws switches per-delivery fault decisions from the shared
+	// sequential rng stream to draws keyed by message content (encoded
+	// bytes + endpoint keys + per-content attempt number + Seed). The fate
+	// of a delivery then no longer depends on how deliveries interleave,
+	// which is what makes a chaos run reproducible under the engine's
+	// parallel publish pipeline (DESIGN.md §8). Step-level events (crashes,
+	// stale IPs) still use the sequential stream — Step runs between
+	// batches, never inside one.
+	KeyedDraws bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +108,18 @@ type Injector struct {
 	incarnation int
 	down        []crashed
 	trace       []string
+
+	// Keyed-draw state (all under mu): the per-content attempt counters
+	// give a retried or duplicated message a fresh draw while keeping the
+	// draw independent of delivery interleaving, and encBuf is the reused
+	// encode scratch. Never cleared: whether a counter has been seen must
+	// not depend on delivery order.
+	attempts map[uint64]int64
+	encBuf   wire.Buffer
+
+	// drain's reusable release buffer; only the single active drainer
+	// (guarded by draining) touches it.
+	scratch []func()
 }
 
 // New builds an Injector over the engine's overlay, installs it as the
@@ -105,11 +127,12 @@ type Injector struct {
 // whoever advances time releases due deliveries.
 func New(eng *engine.Engine, cfg Config) *Injector {
 	in := &Injector{
-		cfg: cfg.withDefaults(),
-		eng: eng,
-		net: eng.Network(),
-		rng: sim.NewSource(cfg.Seed),
-		dq:  &sim.DelayQueue{},
+		cfg:      cfg.withDefaults(),
+		eng:      eng,
+		net:      eng.Network(),
+		rng:      sim.NewSource(cfg.Seed),
+		dq:       &sim.DelayQueue{},
+		attempts: make(map[uint64]int64),
 	}
 	in.net.Clock().AddListener(func(now int64) { in.drain(now) })
 	in.net.SetInterceptor(in)
@@ -127,8 +150,14 @@ func (in *Injector) Deliver(from, dst *chord.Node, msg chord.Message, forward fu
 	}
 	kind := msg.Kind()
 	now := in.net.Clock().Now()
-	p := in.rng.Float64() // one draw per delivery keeps the schedule stable
 	c := in.cfg
+	var p float64
+	var d, prio int64
+	if c.KeyedDraws {
+		p, d, prio = in.keyedDrawLocked(from, dst, msg)
+	} else {
+		p = in.rng.Float64() // one draw per delivery keeps the schedule stable
+	}
 	switch {
 	case p < c.DropRate:
 		in.tracefLocked("t=%d drop %s %s->%s", now, kind, from.Key(), dst.Key())
@@ -142,11 +171,15 @@ func (in *Injector) Deliver(from, dst *chord.Node, msg chord.Message, forward fu
 		second := forward()
 		return ack(first || second)
 	case p < c.DropRate+c.DupRate+c.DelayRate:
-		d := 1 + in.rng.Int63n(c.MaxDelay)
+		if !c.KeyedDraws {
+			// Drawn lazily so the legacy rng stream is untouched on the
+			// other fates — existing seeded traces stay reproducible.
+			d = 1 + in.rng.Int63n(c.MaxDelay)
+		}
 		in.tracefLocked("t=%d delay+%d %s %s->%s", now, d, kind, from.Key(), dst.Key())
 		in.mu.Unlock()
 		in.net.Traffic().RecordDelayed(kind)
-		in.dq.PushAt(now+d, func() {
+		in.dq.PushAtPrio(now+d, prio, func() {
 			in.tracef("t=%d release %s %s->%s", in.net.Clock().Now(), kind, from.Key(), dst.Key())
 			forward() // checks dst.Alive itself; a crashed recipient loses the copy
 		})
@@ -155,6 +188,59 @@ func (in *Injector) Deliver(from, dst *chord.Node, msg chord.Message, forward fu
 		in.mu.Unlock()
 		return ack(forward())
 	}
+}
+
+// ParallelSafe reports whether this injector's per-delivery decisions are
+// independent of delivery interleaving, i.e. whether the engine's batched
+// publish pipeline may fan deliveries out to workers without changing the
+// fault schedule. Only keyed draws qualify; the legacy shared-stream mode
+// forces the engine back to sequential publishing.
+func (in *Injector) ParallelSafe() bool { return in.cfg.KeyedDraws }
+
+// mix64 is the splitmix64 finalizer — a cheap bijective scrambler used to
+// fold the seed and attempt number into the content hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// keyedDrawLocked derives a delivery's fate from its content rather than
+// from a shared draw sequence: FNV-1a over the encoded message plus the
+// endpoint keys identifies the delivery, a per-content attempt counter
+// distinguishes retries and duplicate forwards of the same message, and
+// the seed folds in so different seeds give different schedules. Returns
+// the fate draw p, a delay in [1, MaxDelay] and a release priority that
+// orders same-tick releases content-deterministically. Caller holds in.mu.
+func (in *Injector) keyedDrawLocked(from, dst *chord.Node, msg chord.Message) (p float64, d, prio int64) {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	step := func(bs []byte) {
+		for _, b := range bs {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
+	}
+	in.encBuf.Reset()
+	if err := engine.EncodeMessage(&in.encBuf, msg); err == nil {
+		step(in.encBuf.Bytes())
+	} else {
+		step([]byte(msg.Kind()))
+	}
+	step([]byte(from.Key()))
+	h = (h ^ 0) * fnvPrime // separator: ("ab","c") != ("a","bc")
+	step([]byte(dst.Key()))
+
+	in.attempts[h]++
+	x := mix64(h ^ mix64(uint64(in.cfg.Seed)) ^ mix64(uint64(in.attempts[h])))
+	p = float64(x>>11) / float64(1<<53)
+	x = mix64(x)
+	d = 1 + int64(x%uint64(in.cfg.MaxDelay))
+	prio = int64(mix64(x) >> 1)
+	return p, d, prio
 }
 
 func ack(delivered bool) int {
@@ -182,7 +268,8 @@ func (in *Injector) drain(int64) {
 		in.mu.Unlock()
 	}()
 	for {
-		fns := in.dq.PopDue(in.net.Clock().Now())
+		in.scratch = in.dq.PopDueInto(in.net.Clock().Now(), in.scratch)
+		fns := in.scratch
 		if len(fns) == 0 {
 			return
 		}

@@ -230,7 +230,60 @@ func TestSizeMatchesEncoding(t *testing.T) {
 		if s.Size() != w.Len() {
 			t.Fatalf("%T: Size()=%d, encoding=%d", msg, s.Size(), w.Len())
 		}
+		// Size memoizes tuple/query sub-sizes on first use; a second call
+		// must serve the same number from the cache.
+		if again := s.Size(); again != w.Len() {
+			t.Fatalf("%T: cached Size()=%d, encoding=%d", msg, again, w.Len())
+		}
 	}
+}
+
+// The With* copy constructors change encoded fields, so a copy made after
+// the original's size was memoized must be re-measured, not served the
+// stale cached length.
+func TestSizeCacheInvalidatedOnCopy(t *testing.T) {
+	_, msgs := codecFixtures(t)
+	for _, msg := range msgs {
+		al, ok := msg.(alIndexMsg)
+		if !ok {
+			continue
+		}
+		if wireSize(al) != encodedLen(al) {
+			t.Fatalf("alIndexMsg: size %d != encoding %d", wireSize(al), encodedLen(al))
+		}
+		// A pubT two varint-lengths away changes the tuple's encoded size.
+		cp := alIndexMsg{T: al.T.WithPubT(1 << 20), Attr: al.Attr, Replica: al.Replica}
+		if wireSize(cp) != encodedLen(cp) {
+			t.Fatalf("copied tuple: size %d != encoding %d", wireSize(cp), encodedLen(cp))
+		}
+		return
+	}
+	t.Fatal("no alIndexMsg fixture")
+}
+
+func TestQuerySizeCacheInvalidatedOnCopy(t *testing.T) {
+	_, msgs := codecFixtures(t)
+	for _, msg := range msgs {
+		qm, ok := msg.(queryMsg)
+		if !ok {
+			continue
+		}
+		if got := wire.SizeQuery(qm.Q); got != querySizeByEncoding(qm.Q) {
+			t.Fatalf("query: size %d != encoding %d", got, querySizeByEncoding(qm.Q))
+		}
+		cp := qm.Q.WithInsT(qm.Q.InsT() + 1<<20)
+		if got := wire.SizeQuery(cp); got != querySizeByEncoding(cp) {
+			t.Fatalf("copied query: size %d != encoding %d", got, querySizeByEncoding(cp))
+		}
+		return
+	}
+	t.Fatal("no queryMsg fixture")
+}
+
+func querySizeByEncoding(q *query.Query) int {
+	var w wire.Buffer
+	wire.EncodeQuery(&w, q)
+	return w.Len()
 }
 
 func TestDecodeUnknownTag(t *testing.T) {

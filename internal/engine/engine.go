@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"cqjoin/internal/chord"
 	"cqjoin/internal/id"
@@ -134,6 +135,12 @@ type Engine struct {
 	net     *chord.Network
 	catalog *relation.Catalog
 	obs     engObs
+	ids     idCache
+
+	// frozen is set while PublishBatch executes cascades: logical time then
+	// belongs to the batch's pre-stamped sequence, so the retry-backoff
+	// clock advances are suppressed (see advanceBackoff).
+	frozen atomic.Bool
 
 	mu        sync.Mutex
 	states    map[*chord.Node]*nodeState
@@ -144,6 +151,14 @@ type Engine struct {
 	sink      []Notification
 	delivered map[string]bool // full match identities already delivered
 	onNotify  func(Notification)
+	hasMulti  bool // a multi-way pipeline is registered (see SubscribeMulti)
+
+	// Distinct join conditions ever indexed, in registration order. The
+	// batch pipeline derives conflict keys from them (publish.go); the set
+	// only grows, so reading a snapshot of the slice is safe.
+	condMu   sync.Mutex
+	conds    []*query.Query
+	condSeen map[string]bool
 }
 
 // New creates an engine over the given overlay and schema catalog and
@@ -164,6 +179,7 @@ func New(net *chord.Network, catalog *relation.Catalog, cfg Config) *Engine {
 		subs:      make(map[string][]string),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		delivered: make(map[string]bool),
+		condSeen:  make(map[string]bool),
 	}
 	for _, n := range net.Nodes() {
 		e.Attach(n)

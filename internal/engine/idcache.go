@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"sync"
+
+	"cqjoin/internal/id"
+)
+
+// idCache memoizes id.Hash over the recurring identifier inputs of the
+// publish hot path: attribute-level inputs ("R+A"), value-level inputs
+// ("R+A+v") and replica assignments. Under a skewed workload the same
+// inputs recur constantly, and a SHA-1 over a freshly concatenated string
+// per occurrence dominated indexTuple profiles; the cache turns the common
+// case into one map hit. It is semantically transparent — it returns
+// exactly id.Hash(input) — and bounded: when full it is dropped and
+// restarted rather than evicted, which keeps the zero-contention fast path
+// a plain map read.
+type idCache struct {
+	mu sync.Mutex
+	m  map[string]id.ID
+}
+
+// idCacheMax bounds the cache; 64k entries of (string, 20-byte ID) is a few
+// MB at worst, far above what any experiment's identifier population needs.
+const idCacheMax = 1 << 16
+
+func (c *idCache) hash(input string) id.ID {
+	c.mu.Lock()
+	if h, ok := c.m[input]; ok {
+		c.mu.Unlock()
+		return h
+	}
+	c.mu.Unlock()
+	// Hash outside the lock: SHA-1 is the expensive part, and concurrent
+	// misses on the same input compute the same answer.
+	h := id.HashBytes([]byte(input))
+	c.mu.Lock()
+	if c.m == nil || len(c.m) >= idCacheMax {
+		c.m = make(map[string]id.ID, 1024)
+	}
+	c.m[input] = h
+	c.mu.Unlock()
+	return h
+}
+
+// hashInput returns id.Hash(input) through the engine's identifier cache.
+func (e *Engine) hashInput(input string) id.ID { return e.ids.hash(input) }

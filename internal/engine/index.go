@@ -3,9 +3,9 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 
 	"cqjoin/internal/chord"
-	"cqjoin/internal/id"
 	"cqjoin/internal/query"
 	"cqjoin/internal/relation"
 )
@@ -23,7 +23,13 @@ func alInput(rel, attr string, replica int) string {
 	if replica == 0 {
 		return rel + "+" + attr
 	}
-	return fmt.Sprintf("%s+%s#r%d", rel, attr, replica)
+	b := make([]byte, 0, len(rel)+len(attr)+6)
+	b = append(b, rel...)
+	b = append(b, '+')
+	b = append(b, attr...)
+	b = append(b, '#', 'r')
+	b = strconv.AppendInt(b, int64(replica), 10)
+	return string(b)
 }
 
 // vlInput is the value-level hash input: Hash(R + A + v).
@@ -44,7 +50,7 @@ func (e *Engine) replicaOf(v relation.Value) int {
 	if k <= 1 {
 		return 0
 	}
-	h := id.Hash("replica+" + v.Canon())
+	h := e.hashInput("replica+" + v.Canon())
 	return int(binary.BigEndian.Uint64(h[:8]) % uint64(k))
 }
 
@@ -110,7 +116,7 @@ func (e *Engine) sendQueryIndex(from *chord.Node, q *query.Query, idx []sideAttr
 			input := alInput(rel, sa.attr, r)
 			inputs = append(inputs, input)
 			batch = append(batch, chord.Deliverable{
-				Target: id.Hash(input),
+				Target: e.hashInput(input),
 				Msg:    queryMsg{Q: q, Side: sa.side, Attr: sa.attr, Replica: r},
 			})
 		}
@@ -120,6 +126,7 @@ func (e *Engine) sendQueryIndex(from *chord.Node, q *query.Query, idx []sideAttr
 	e.mu.Lock()
 	e.subs[q.Key()] = inputs
 	e.mu.Unlock()
+	e.registerCondition(q)
 	return e.dispatch(from, batch)
 }
 
@@ -138,13 +145,14 @@ func (e *Engine) indexTuple(from *chord.Node, t *relation.Tuple) error {
 	batch := make([]chord.Deliverable, 0, 2*len(attrs))
 	for _, a := range attrs {
 		v := t.MustValue(a)
+		rep := e.replicaOf(v)
 		batch = append(batch, chord.Deliverable{
-			Target: id.Hash(alInput(schema.Name(), a, e.replicaOf(v))),
-			Msg:    alIndexMsg{T: t, Attr: a, Replica: e.replicaOf(v)},
+			Target: e.hashInput(alInput(schema.Name(), a, rep)),
+			Msg:    alIndexMsg{T: t, Attr: a, Replica: rep},
 		})
 		if e.cfg.Algorithm != DAIV {
 			batch = append(batch, chord.Deliverable{
-				Target: id.Hash(vlInput(schema.Name(), a, v)),
+				Target: e.hashInput(vlInput(schema.Name(), a, v)),
 				Msg:    vlIndexMsg{T: t, Attr: a},
 			})
 		}

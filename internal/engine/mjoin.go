@@ -75,6 +75,10 @@ func (e *Engine) SubscribeMulti(from *chord.Node, mq *query.MultiQuery) (*query.
 	e.mu.Lock()
 	e.seq[from.Key()]++
 	seq := e.seq[from.Key()]
+	// Multi-way pipelines chain stateful partial matches across stages; the
+	// batch pipeline's two-way conflict analysis does not model them, so
+	// PublishBatch falls back to sequential publishes from here on.
+	e.hasMulti = true
 	e.mu.Unlock()
 
 	keyed := mq.WithIdentity(from.Key(), from.IP(), seq).WithInsT(e.net.Clock().Tick())

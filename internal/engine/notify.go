@@ -126,7 +126,7 @@ func (st *nodeState) deliverNotify(sub string, batch []Notification) {
 			}
 			e.net.Traffic().RecordRetry(kindNotify)
 			e.obs.retries.Add(kindNotify, 1)
-			e.net.Clock().Advance(e.retryBackoff())
+			e.advanceBackoff()
 		}
 		msg := notifyMsg{Subscriber: sub, Batch: batch}
 		dst := e.net.NodeByKey(sub)
@@ -224,7 +224,7 @@ func (st *nodeState) replayStoredNotifications(sub string, dst *chord.Node) {
 			}
 			e.net.Traffic().RecordRetry(kindNotify)
 			e.obs.retries.Add(kindNotify, 1)
-			e.net.Clock().Advance(e.retryBackoff())
+			e.advanceBackoff()
 		}
 		if st.node.DirectSend(msg, dst) {
 			e.obs.notifyReplayed.Add(int64(len(batch)))

@@ -23,6 +23,18 @@ func (e *Engine) retryBackoff() int64 {
 	return 1
 }
 
+// advanceBackoff advances the logical clock by the retry backoff — unless a
+// publish batch has frozen the clock (PublishBatch): pre-stamped timestamps
+// own logical time for the duration of the batch, and concurrent cascades
+// advancing the clock would race. Delayed in-flight copies then land at the
+// batch's closing advance instead of during the backoff.
+func (e *Engine) advanceBackoff() {
+	if e.frozen.Load() {
+		return
+	}
+	e.net.Clock().Advance(e.retryBackoff())
+}
+
 // retryFailed re-sends every deliverable of batch whose recipient slot is
 // still nil, up to Config.MaxRetries attempts each, and returns the updated
 // recipient slice. It is a no-op when retries are disabled. Deliverables
@@ -46,7 +58,7 @@ func (e *Engine) retryFailed(from *chord.Node, batch []chord.Deliverable, recipi
 		// Let logical time pass: the chaos layer's delay queue drains on
 		// clock listeners, so a delayed original may arrive during the
 		// backoff and the retry then lands on an idempotent receiver.
-		e.net.Clock().Advance(e.retryBackoff())
+		e.advanceBackoff()
 		still := pending[:0]
 		for _, i := range pending {
 			e.net.Traffic().RecordRetry(batch[i].Msg.Kind())

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"cqjoin/internal/chord"
-	"cqjoin/internal/id"
 	"cqjoin/internal/metrics"
 	"cqjoin/internal/query"
 	"cqjoin/internal/relation"
@@ -300,7 +299,7 @@ func (st *nodeState) sendJoins(outs []outbound) {
 		if len(misses) > 0 {
 			batch := make([]chord.Deliverable, len(misses))
 			for i, o := range misses {
-				batch[i] = chord.Deliverable{Target: id.Hash(o.input), Msg: o.msg}
+				batch[i] = chord.Deliverable{Target: e.hashInput(o.input), Msg: o.msg}
 			}
 			recipients, _, err := st.node.Multisend(batch)
 			recipients = e.retryFailed(st.node, batch, recipients)
@@ -322,7 +321,7 @@ func (st *nodeState) sendJoins(outs []outbound) {
 	}
 	batch := make([]chord.Deliverable, len(outs))
 	for i, o := range outs {
-		batch[i] = chord.Deliverable{Target: id.Hash(o.input), Msg: o.msg}
+		batch[i] = chord.Deliverable{Target: e.hashInput(o.input), Msg: o.msg}
 	}
 	// Best-effort (Section 3.2): an unroutable overlay drops the batch.
 	// With retries configured, unacked deliverables are re-sent.

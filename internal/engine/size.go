@@ -1,50 +1,52 @@
 package engine
 
 // Wire sizes of the engine's messages (chord.Sizer). Each Size is the
-// exact length of the message's encoding from codec.go, so the byte
-// ledger reports what a socket deployment would transmit.
+// exact length of the message's encoding from codec.go — computed
+// arithmetically by wiresize.go rather than by encoding, and verified
+// against encodedLen in codec_test.go — so the byte ledger reports what a
+// socket deployment would transmit without paying an encode per hop.
 
 // Size reports the query(q, Id(n), IP(n)) message's wire size.
-func (m queryMsg) Size() int { return encodedLen(m) }
+func (m queryMsg) Size() int { return wireSize(m) }
 
 // Size reports the al-index(t, A) message's wire size.
-func (m alIndexMsg) Size() int { return encodedLen(m) }
+func (m alIndexMsg) Size() int { return wireSize(m) }
 
 // Size reports the vl-index(t, A) message's wire size.
-func (m vlIndexMsg) Size() int { return encodedLen(m) }
+func (m vlIndexMsg) Size() int { return wireSize(m) }
 
 // Size reports the grouped join(q') message's wire size.
-func (m joinMsg) Size() int { return encodedLen(m) }
+func (m joinMsg) Size() int { return wireSize(m) }
 
 // Size reports DAI-V's join(q', t') message's wire size.
-func (m joinVMsg) Size() int { return encodedLen(m) }
+func (m joinVMsg) Size() int { return wireSize(m) }
 
 // Size reports the grouped direct-delivery batch's wire size.
-func (m joinBatch) Size() int { return encodedLen(m) }
+func (m joinBatch) Size() int { return wireSize(m) }
 
 // Size reports a notification batch's wire size.
-func (m notifyMsg) Size() int { return encodedLen(m) }
+func (m notifyMsg) Size() int { return wireSize(m) }
 
 // Size reports a strategy probe's wire size.
-func (m probeMsg) Size() int { return encodedLen(m) }
+func (m probeMsg) Size() int { return wireSize(m) }
 
 // Size reports a retraction message's wire size.
-func (m unsubMsg) Size() int { return encodedLen(m) }
+func (m unsubMsg) Size() int { return wireSize(m) }
 
 // Size reports a purge message's wire size.
-func (m purgeMsg) Size() int { return encodedLen(m) }
+func (m purgeMsg) Size() int { return wireSize(m) }
 
 // Size reports a baseline query message's wire size.
-func (m baselineQueryMsg) Size() int { return encodedLen(m) }
+func (m baselineQueryMsg) Size() int { return wireSize(m) }
 
 // Size reports a baseline tuple message's wire size.
-func (m baselineTupleMsg) Size() int { return encodedLen(m) }
+func (m baselineTupleMsg) Size() int { return wireSize(m) }
 
 // Size reports a baseline probe message's wire size.
-func (m baselineProbeMsg) Size() int { return encodedLen(m) }
+func (m baselineProbeMsg) Size() int { return wireSize(m) }
 
 // Size reports a multi-way query indexing message's wire size.
-func (m mQueryMsg) Size() int { return encodedLen(m) }
+func (m mQueryMsg) Size() int { return wireSize(m) }
 
 // Size reports a multi-way partial-match batch's wire size.
-func (m mJoinMsg) Size() int { return encodedLen(m) }
+func (m mJoinMsg) Size() int { return wireSize(m) }

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"cqjoin/internal/chord"
+	"cqjoin/internal/query"
+	"cqjoin/internal/wire"
+)
+
+// Arithmetic wire sizes, mirroring EncodeMessage field for field. The byte
+// ledger charges Size() once per hop of every delivery, so the old
+// implementation (encode the whole message into a scratch buffer, take its
+// length) put a full encode on the hottest path of the simulator.
+// wireSize computes the same number without materializing any bytes, and
+// wire.SizeTuple/SizeQuery memoize the per-tuple/per-query walks.
+// codec_test.go asserts wireSize == len(EncodeMessage) for every message
+// type, so the two switches cannot drift silently.
+
+// wireSize returns msg's exact encoded length, or 0 for message types
+// EncodeMessage does not know (mirroring encodedLen's error case).
+func wireSize(msg chord.Message) int {
+	// Every tag is a single-byte uvarint (1..15).
+	const tagLen = 1
+	switch m := msg.(type) {
+	case queryMsg:
+		return tagLen + wire.SizeQuery(m.Q) + wire.SizeString(m.Attr) +
+			wire.SizeUvarint(uint64(m.Side)) + wire.SizeUvarint(uint64(m.Replica))
+	case alIndexMsg:
+		return tagLen + wire.SizeTuple(m.T) + wire.SizeString(m.Attr) +
+			wire.SizeUvarint(uint64(m.Replica))
+	case vlIndexMsg:
+		return tagLen + wire.SizeTuple(m.T) + wire.SizeString(m.Attr)
+	case joinMsg:
+		n := tagLen + wire.SizeUvarint(uint64(len(m.Rewrites)))
+		for _, rw := range m.Rewrites {
+			n += sizeRewritten(rw)
+		}
+		return n
+	case joinVMsg:
+		n := tagLen + wire.SizeString(m.Input) + wire.SizeString(m.Cond) +
+			wire.SizeUvarint(uint64(m.Side)) + wire.SizeValue(m.Value) +
+			wire.SizeTuple(m.Trigger) + wire.SizeUvarint(uint64(len(m.Queries)))
+		for _, q := range m.Queries {
+			n += wire.SizeQuery(q)
+		}
+		return n
+	case joinBatch:
+		n := tagLen + wire.SizeUvarint(uint64(len(m.Msgs)))
+		for _, inner := range m.Msgs {
+			n += wireSize(inner)
+		}
+		return n
+	case notifyMsg:
+		n := tagLen + wire.SizeString(m.Subscriber) + wire.SizeUvarint(uint64(len(m.Batch)))
+		for _, nt := range m.Batch {
+			n += sizeNotification(nt)
+		}
+		return n
+	case probeMsg:
+		return tagLen + wire.SizeString(m.AttrInput)
+	case unsubMsg:
+		return tagLen + wire.SizeString(m.QueryKey) + wire.SizeString(m.Cond) +
+			wire.SizeString(m.Input)
+	case purgeMsg:
+		return tagLen + wire.SizeString(m.QueryKey) + wire.SizeString(m.Input)
+	case baselineQueryMsg:
+		return tagLen + wire.SizeQuery(m.Q) + wire.SizeUvarint(uint64(m.Side)) +
+			wire.SizeString(m.Input)
+	case baselineTupleMsg:
+		return tagLen + wire.SizeTuple(m.T) + wire.SizeString(m.Input) +
+			wire.SizeUvarint(uint64(m.Side))
+	case baselineProbeMsg:
+		n := tagLen + wire.SizeString(m.Input) + wire.SizeUvarint(uint64(len(m.Rewrites)))
+		for _, rw := range m.Rewrites {
+			n += sizeRewritten(rw)
+		}
+		return n
+	case mQueryMsg:
+		return tagLen + sizeMultiQuery(m.MQ) + wire.SizeString(m.Attr) +
+			wire.SizeUvarint(uint64(m.Replica))
+	case mJoinMsg:
+		n := tagLen + wire.SizeUvarint(uint64(len(m.Rewrites)))
+		for _, rw := range m.Rewrites {
+			n += sizeMRewritten(rw)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+func sizeRewritten(rw *rewritten) int {
+	return wire.SizeString(rw.Key) + wire.SizeQuery(rw.Orig) +
+		wire.SizeUvarint(uint64(rw.IndexSide)) + wire.SizeTuple(rw.Trigger) +
+		wire.SizeString(rw.WantRel) + wire.SizeString(rw.WantAttr) +
+		wire.SizeValue(rw.WantValue)
+}
+
+func sizeNotification(n Notification) int {
+	sz := wire.SizeString(n.QueryKey) + wire.SizeString(n.Subscriber) +
+		wire.SizeString(n.subscriberIP) + wire.SizeUvarint(uint64(len(n.Values)))
+	for _, v := range n.Values {
+		sz += wire.SizeValue(v)
+	}
+	return sz + wire.SizeVarint(n.LeftPubT) + wire.SizeVarint(n.RightPubT) +
+		wire.SizeVarint(n.DeliveredAt)
+}
+
+func sizeMultiQuery(mq *query.MultiQuery) int {
+	return wire.SizeString(mq.Key()) + wire.SizeString(mq.Subscriber()) +
+		wire.SizeString(mq.SubscriberIP()) + wire.SizeVarint(mq.InsT()) +
+		wire.SizeString(mq.Text()) + wire.SizeString(mq.Rels()[0].Name())
+}
+
+func sizeMRewritten(rw *mRewritten) int {
+	n := wire.SizeString(rw.Key) + sizeMultiQuery(rw.Orig) +
+		wire.SizeUvarint(uint64(rw.Stage)) + wire.SizeUvarint(uint64(len(rw.Acc)))
+	for _, t := range rw.Acc {
+		n += wire.SizeTuple(t)
+	}
+	return n + wire.SizeString(rw.WantRel) + wire.SizeString(rw.WantAttr) +
+		wire.SizeValue(rw.WantValue)
+}

@@ -20,34 +20,46 @@ func X45(sc Scale) *Table {
 		Note:   "expected shape: keyed/grouped traffic factor grows with queries; keyed spreads TF over more nodes",
 		Header: []string{"queries", "grouped join hops/tuple", "keyed join hops/tuple", "factor", "grouped TF used", "keyed TF used"},
 	}
+	type cell struct {
+		q     int
+		keyed bool
+	}
+	type out struct {
+		hops float64
+		used int
+	}
+	var qs []int
+	var cells []cell
 	for _, q := range []int{sc.Queries / 4, sc.Queries, 2 * sc.Queries} {
 		if q == 0 {
 			continue
 		}
-		type out struct {
-			hops float64
-			used int
-		}
-		res := make(map[bool]out)
-		for _, keyed := range []bool{false, true} {
-			r := Setup(engine.Config{Algorithm: engine.DAIV, DAIVKeyed: keyed}, sc,
-				workload.Params{Pairs: 1, Attrs: 2})
-			r.SubscribeT1(q)
-			r.ResetMeters()
-			r.PublishTuples(sc.Tuples)
-			// The thesis factor-of-250 claim is about reindexing traffic;
-			// count the join-message hops alone so notification volume
-			// (which grows with queries under both variants) cancels out.
-			joinHops := float64(r.Net.Traffic().Hops("join")) / float64(sc.Tuples)
-			evalTF := metrics.SummarizeInt(r.Eng.RoleLoads(metrics.Evaluator, false))
-			res[keyed] = out{hops: joinHops, used: evalTF.NonZero}
-		}
+		qs = append(qs, q)
+		cells = append(cells, cell{q, false}, cell{q, true})
+	}
+	outs := make([]out, len(cells))
+	ForEach(len(cells), func(i int) {
+		c := cells[i]
+		r := Setup(engine.Config{Algorithm: engine.DAIV, DAIVKeyed: c.keyed}, sc,
+			workload.Params{Pairs: 1, Attrs: 2})
+		r.SubscribeT1(c.q)
+		r.ResetMeters()
+		r.PublishTuples(sc.Tuples)
+		// The thesis factor-of-250 claim is about reindexing traffic;
+		// count the join-message hops alone so notification volume
+		// (which grows with queries under both variants) cancels out.
+		joinHops := float64(r.Net.Traffic().Hops("join")) / float64(sc.Tuples)
+		evalTF := metrics.SummarizeInt(r.Eng.RoleLoads(metrics.Evaluator, false))
+		outs[i] = out{hops: joinHops, used: evalTF.NonZero}
+	})
+	for qi, q := range qs {
+		grouped, keyed := outs[2*qi], outs[2*qi+1]
 		factor := 0.0
-		if res[false].hops > 0 {
-			factor = res[true].hops / res[false].hops
+		if grouped.hops > 0 {
+			factor = keyed.hops / grouped.hops
 		}
-		t.AddRow(d(int64(q)), f1(res[false].hops), f1(res[true].hops), f1(factor),
-			d(int64(res[false].used)), d(int64(res[true].used)))
+		t.AddRow(d(int64(q)), f1(grouped.hops), f1(keyed.hops), f1(factor),
+			d(int64(grouped.used)), d(int64(keyed.used)))
 	}
 	return t
 }

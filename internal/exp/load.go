@@ -26,10 +26,15 @@ func Fig56(sc Scale) *Table {
 		Note:   "rewriter-role TF only; expected shape: max and gini fall, used nodes rise with k",
 		Header: append([]string{"replication k"}, distHeader...),
 	}
-	for _, k := range []int{1, 2, 4, 8} {
-		r := replicationRun(sc, k)
+	ks := []int{1, 2, 4, 8}
+	rows := make([][]string, len(ks))
+	ForEach(len(ks), func(i int) {
+		r := replicationRun(sc, ks[i])
 		dist := metrics.SummarizeInt(r.Eng.RoleLoads(metrics.Rewriter, false))
-		t.AddRow(append([]string{d(int64(k))}, distCells(dist)...)...)
+		rows[i] = append([]string{d(int64(ks[i]))}, distCells(dist)...)
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -45,10 +50,15 @@ func Fig57(sc Scale) *Table {
 		Note:   "rewriter-role TS only; expected shape: total grows k-fold, spread over k-times the nodes",
 		Header: append([]string{"replication k", "total"}, distHeader...),
 	}
-	for _, k := range []int{1, 2, 4, 8} {
-		r := replicationRun(sc, k)
+	ks := []int{1, 2, 4, 8}
+	rows := make([][]string, len(ks))
+	ForEach(len(ks), func(i int) {
+		r := replicationRun(sc, ks[i])
 		dist := metrics.SummarizeInt(r.Eng.RoleLoads(metrics.Rewriter, true))
-		t.AddRow(append([]string{d(int64(k)), f1(dist.Total)}, distCells(dist)...)...)
+		rows[i] = append([]string{d(int64(ks[i])), f1(dist.Total)}, distCells(dist)...)
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -106,24 +116,38 @@ func Fig59(sc Scale) *Table {
 
 // forWindowSweep runs the window × queries grid shared by Figures 5.8/5.9.
 // The clock ticks once per insertion, so a window of w keeps roughly the
-// last w insertions' tuples resident.
+// last w insertions' tuples resident. Cells run on the worker pool; visit
+// is called sequentially in grid order.
 func forWindowSweep(sc Scale, visit func(window int64, queries int, r *Run)) {
 	batches := 8
 	perWindow := sc.Tuples / batches
 	if perWindow == 0 {
 		perWindow = 1
 	}
+	type cell struct {
+		window  int64
+		queries int
+	}
+	var cells []cell
 	for _, window := range []int64{int64(perWindow), int64(4 * perWindow)} {
 		for _, queries := range []int{sc.Queries / 4, sc.Queries} {
 			if queries == 0 {
 				continue
 			}
-			r := Setup(engine.Config{Algorithm: engine.SAI, Window: window}, sc, workload.Params{})
-			r.SubscribeT1(queries)
-			r.ResetMeters()
-			r.PublishWindows(batches, perWindow)
-			visit(window, queries, r)
+			cells = append(cells, cell{window, queries})
 		}
+	}
+	runs := make([]*Run, len(cells))
+	ForEach(len(cells), func(i int) {
+		c := cells[i]
+		r := Setup(engine.Config{Algorithm: engine.SAI, Window: c.window}, sc, workload.Params{})
+		r.SubscribeT1(c.queries)
+		r.ResetMeters()
+		r.PublishWindows(batches, perWindow)
+		runs[i] = r
+	})
+	for i, c := range cells {
+		visit(c.window, c.queries, runs[i])
 	}
 }
 
@@ -138,12 +162,17 @@ func Fig510(sc Scale) *Table {
 			"TF used", "TF max", "TF gini",
 			"TS used", "TS max", "TS gini"},
 	}
-	for _, alg := range mainAlgorithms() {
-		r := standardRun(sc, alg)
+	algs := mainAlgorithms()
+	rows := make([][]string, len(algs))
+	ForEach(len(algs), func(i int) {
+		r := standardRun(sc, algs[i])
 		m := r.Measure(sc.Tuples)
-		t.AddRow(alg.String(),
+		rows[i] = []string{algs[i].String(),
 			d(int64(m.TF.NonZero)), f1(m.TF.Max), f3(m.TF.Gini),
-			d(int64(m.TS.NonZero)), f1(m.TS.Max), f3(m.TS.Gini))
+			d(int64(m.TS.NonZero)), f1(m.TS.Max), f3(m.TS.Gini)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -159,9 +188,11 @@ func Fig511(sc Scale) *Table {
 		Header: []string{"algorithm",
 			"rewriter TF", "evaluator TF", "rewriter TS", "evaluator TS"},
 	}
-	for _, alg := range mainAlgorithms() {
-		r := standardRun(sc, alg)
-		row := []string{alg.String()}
+	algs := mainAlgorithms()
+	rows := make([][]string, len(algs))
+	ForEach(len(algs), func(i int) {
+		r := standardRun(sc, algs[i])
+		row := []string{algs[i].String()}
 		for _, c := range []struct {
 			role    metrics.Role
 			storage bool
@@ -175,6 +206,9 @@ func Fig511(sc Scale) *Table {
 			}
 			row = append(row, d(total))
 		}
+		rows[i] = row
+	})
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t
@@ -201,18 +235,31 @@ func Fig512(sc Scale) *Table {
 		Note:   "expected shape: mean/max scale with tuple count, gini roughly stable",
 		Header: append([]string{"algorithm", "tuples"}, distHeader...),
 	}
+	type cell struct {
+		alg    engine.Algorithm
+		tuples int
+	}
+	var cells []cell
 	for _, alg := range mainAlgorithms() {
 		for _, tuples := range []int{sc.Tuples / 4, sc.Tuples, 2 * sc.Tuples} {
 			if tuples == 0 {
 				continue
 			}
-			r := Setup(engine.Config{Algorithm: alg}, sc, workload.Params{})
-			r.SubscribeT1(sc.Queries)
-			r.ResetMeters()
-			r.PublishTuples(tuples)
-			m := r.Measure(tuples)
-			t.AddRow(append([]string{alg.String(), d(int64(tuples))}, distCells(m.TF)...)...)
+			cells = append(cells, cell{alg, tuples})
 		}
+	}
+	rows := make([][]string, len(cells))
+	ForEach(len(cells), func(i int) {
+		c := cells[i]
+		r := Setup(engine.Config{Algorithm: c.alg}, sc, workload.Params{})
+		r.SubscribeT1(sc.Queries)
+		r.ResetMeters()
+		r.PublishTuples(c.tuples)
+		m := r.Measure(c.tuples)
+		rows[i] = append([]string{c.alg.String(), d(int64(c.tuples))}, distCells(m.TF)...)
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -226,18 +273,31 @@ func Fig513(sc Scale) *Table {
 		Note:   "expected shape: load grows with queries, spread over more evaluators",
 		Header: append([]string{"algorithm", "queries"}, distHeader...),
 	}
+	type cell struct {
+		alg     engine.Algorithm
+		queries int
+	}
+	var cells []cell
 	for _, alg := range mainAlgorithms() {
 		for _, queries := range []int{sc.Queries / 4, sc.Queries, 2 * sc.Queries} {
 			if queries == 0 {
 				continue
 			}
-			r := Setup(engine.Config{Algorithm: alg}, sc, workload.Params{})
-			r.SubscribeT1(queries)
-			r.ResetMeters()
-			r.PublishTuples(sc.Tuples)
-			m := r.Measure(sc.Tuples)
-			t.AddRow(append([]string{alg.String(), d(int64(queries))}, distCells(m.TF)...)...)
+			cells = append(cells, cell{alg, queries})
 		}
+	}
+	rows := make([][]string, len(cells))
+	ForEach(len(cells), func(i int) {
+		c := cells[i]
+		r := Setup(engine.Config{Algorithm: c.alg}, sc, workload.Params{})
+		r.SubscribeT1(c.queries)
+		r.ResetMeters()
+		r.PublishTuples(sc.Tuples)
+		m := r.Measure(sc.Tuples)
+		rows[i] = append([]string{c.alg.String(), d(int64(c.queries))}, distCells(m.TF)...)
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -274,20 +334,36 @@ func Fig515(sc Scale) *Table {
 	return t
 }
 
+// forNetworkSweep runs the algorithm × network-size grid shared by
+// Figures 5.14/5.15 on the worker pool; visit is called sequentially in
+// grid order.
 func forNetworkSweep(sc Scale, visit func(alg engine.Algorithm, n int, m Measurements)) {
+	type cell struct {
+		alg engine.Algorithm
+		n   int
+	}
+	var cells []cell
 	for _, alg := range mainAlgorithms() {
 		for _, n := range []int{sc.Nodes / 4, sc.Nodes, 4 * sc.Nodes} {
 			if n == 0 {
 				continue
 			}
-			sz := sc
-			sz.Nodes = n
-			r := Setup(engine.Config{Algorithm: alg}, sz, workload.Params{})
-			r.SubscribeT1(sc.Queries)
-			r.ResetMeters()
-			r.PublishTuples(sc.Tuples)
-			visit(alg, n, r.Measure(sc.Tuples))
+			cells = append(cells, cell{alg, n})
 		}
+	}
+	ms := make([]Measurements, len(cells))
+	ForEach(len(cells), func(i int) {
+		c := cells[i]
+		sz := sc
+		sz.Nodes = c.n
+		r := Setup(engine.Config{Algorithm: c.alg}, sz, workload.Params{})
+		r.SubscribeT1(sc.Queries)
+		r.ResetMeters()
+		r.PublishTuples(sc.Tuples)
+		ms[i] = r.Measure(sc.Tuples)
+	})
+	for i, c := range cells {
+		visit(c.alg, c.n, ms[i])
 	}
 }
 
@@ -301,26 +377,35 @@ func Fig516(sc Scale) *Table {
 		Note:   "type-T2 workload; expected shape: graceful scaling on every dimension",
 		Header: append([]string{"sweep", "value"}, distHeader...),
 	}
-	run := func(nodes, queries, tuples int) Measurements {
-		sz := sc
-		sz.Nodes = nodes
-		r := Setup(engine.Config{Algorithm: engine.DAIV}, sz, workload.Params{})
-		r.SubscribeT2(queries)
-		r.ResetMeters()
-		r.PublishTuples(tuples)
-		return r.Measure(tuples)
+	type cell struct {
+		sweep                  string
+		value                  int
+		nodes, queries, tuples int
 	}
+	var cells []cell
 	for _, n := range []int{sc.Nodes / 4, sc.Nodes, 4 * sc.Nodes} {
-		m := run(n, sc.Queries, sc.Tuples)
-		t.AddRow(append([]string{"network", d(int64(n))}, distCells(m.TF)...)...)
+		cells = append(cells, cell{"network", n, n, sc.Queries, sc.Tuples})
 	}
 	for _, q := range []int{sc.Queries / 4, sc.Queries, 2 * sc.Queries} {
-		m := run(sc.Nodes, q, sc.Tuples)
-		t.AddRow(append([]string{"queries", d(int64(q))}, distCells(m.TF)...)...)
+		cells = append(cells, cell{"queries", q, sc.Nodes, q, sc.Tuples})
 	}
 	for _, tu := range []int{sc.Tuples / 4, sc.Tuples, 2 * sc.Tuples} {
-		m := run(sc.Nodes, sc.Queries, tu)
-		t.AddRow(append([]string{"tuples", d(int64(tu))}, distCells(m.TF)...)...)
+		cells = append(cells, cell{"tuples", tu, sc.Nodes, sc.Queries, tu})
+	}
+	rows := make([][]string, len(cells))
+	ForEach(len(cells), func(i int) {
+		c := cells[i]
+		sz := sc
+		sz.Nodes = c.nodes
+		r := Setup(engine.Config{Algorithm: engine.DAIV}, sz, workload.Params{})
+		r.SubscribeT2(c.queries)
+		r.ResetMeters()
+		r.PublishTuples(c.tuples)
+		m := r.Measure(c.tuples)
+		rows[i] = append([]string{c.sweep, d(int64(c.value))}, distCells(m.TF)...)
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -18,7 +18,10 @@ func X71(sc Scale) *Table {
 		Note:   "SAI pipeline generalization; expected shape: hops/tuple grows with k, completions need k matching stages",
 		Header: []string{"k", "hops/tuple", "mjoin msgs", "TF gini", "TF used", "notifications"},
 	}
-	for _, k := range []int{2, 3, 4} {
+	ks := []int{2, 3, 4}
+	rows := make([][]string, len(ks))
+	ForEach(len(ks), func(ki int) {
+		k := ks[ki]
 		// A moderately sparse value domain keeps the number of completed
 		// combinations from exploding combinatorially with k while still
 		// exercising every pipeline stage.
@@ -39,9 +42,12 @@ func X71(sc Scale) *Table {
 			}
 		}
 		m := r.Measure(sc.Tuples)
-		t.AddRow(d(int64(k)), f1(m.HopsPerTuple),
+		rows[ki] = []string{d(int64(k)), f1(m.HopsPerTuple),
 			d(r.Net.Traffic().Messages("mjoin")),
-			f3(m.TF.Gini), d(int64(m.TF.NonZero)), d(int64(m.Notifications)))
+			f3(m.TF.Gini), d(int64(m.TF.NonZero)), d(int64(m.Notifications))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Deterministic parallel execution, tier 1 (DESIGN.md §8): experiment
+// cells run on a bounded worker pool. Every cell owns an isolated
+// Network/Clock/RNG built by its own Setup call, so concurrent cells
+// cannot observe each other; tables collect per-cell rows into a slice
+// indexed by declaration order and append them after the pool drains,
+// making the output bit-identical to a sequential run by construction.
+
+// parallelism holds the configured worker budget; 0 means "default to
+// GOMAXPROCS". It is shared by ForEach (experiment cells) and by the
+// engine's batched publish pipeline via Run.PublishTuples.
+var parallelism atomic.Int64
+
+// SetParallelism sets the worker budget. Values below 1 restore the
+// default (GOMAXPROCS at time of use).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism returns the current worker budget.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(0..n-1) on min(n, Parallelism()) workers with atomic
+// index stealing. Iterations must be independent. A panic in any iteration
+// is re-raised on the caller's goroutine after all workers drain.
+func ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

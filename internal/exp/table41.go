@@ -33,7 +33,10 @@ func Table41(sc Scale) *Table {
 		engine.DAIT: {"2", "no", "yes", "tuple arrival", "no"},
 		engine.DAIV: {"2", "yes (by value)", "no", "rewrite arrival", "yes"},
 	}
-	for _, alg := range mainAlgorithms() {
+	algs := mainAlgorithms()
+	rows := make([][]string, len(algs))
+	ForEach(len(algs), func(ai int) {
+		alg := algs[ai]
 		r := Setup(engine.Config{Algorithm: alg, Strategy: engine.StrategyLeft},
 			Scale{Nodes: 64, Seed: sc.Seed}, workload.Params{Pairs: 1, Attrs: 2})
 		gen := r.Gen
@@ -66,6 +69,9 @@ func Table41(sc Scale) *Table {
 		row := append([]string{alg.String()}, static[alg]...)
 		row = append(row, d(queryMsgs), d(joinMsgs), d(repeatJoins),
 			d(int64(len(r.Eng.Notifications()))))
+		rows[ai] = row
+	})
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t

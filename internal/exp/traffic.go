@@ -19,22 +19,35 @@ func Fig52(sc Scale) *Table {
 		Note:   "expected shape: JFRT cuts join-message hops toward 1 per reindex; DAI-T lowest steady-state traffic",
 		Header: []string{"algorithm", "JFRT", "hops/tuple", "msgs/tuple", "join hops", "notifications"},
 	}
+	type cell struct {
+		alg  engine.Algorithm
+		jfrt bool
+	}
+	var cells []cell
 	for _, alg := range mainAlgorithms() {
 		for _, jfrt := range []bool{false, true} {
-			// A moderate value domain makes join values recur — the regime
-			// the JFRT targets (recurring rewrites to the same evaluator).
-			r := Setup(engine.Config{Algorithm: alg, UseJFRT: jfrt}, sc, workload.Params{Domain: 100})
-			r.SubscribeT1(sc.Queries)
-			// Warm up so the JFRT effect is measured in steady state: the
-			// cache fills during the first half of the stream.
-			r.PublishTuples(sc.Tuples / 2)
-			r.ResetMeters()
-			r.PublishTuples(sc.Tuples)
-			m := r.Measure(sc.Tuples)
-			t.AddRow(alg.String(), fmt.Sprintf("%v", jfrt),
-				f1(m.HopsPerTuple), f1(m.MsgsPerTuple),
-				d(r.Net.Traffic().Hops("join")), d(int64(m.Notifications)))
+			cells = append(cells, cell{alg, jfrt})
 		}
+	}
+	rows := make([][]string, len(cells))
+	ForEach(len(cells), func(i int) {
+		c := cells[i]
+		// A moderate value domain makes join values recur — the regime
+		// the JFRT targets (recurring rewrites to the same evaluator).
+		r := Setup(engine.Config{Algorithm: c.alg, UseJFRT: c.jfrt}, sc, workload.Params{Domain: 100})
+		r.SubscribeT1(sc.Queries)
+		// Warm up so the JFRT effect is measured in steady state: the
+		// cache fills during the first half of the stream.
+		r.PublishTuples(sc.Tuples / 2)
+		r.ResetMeters()
+		r.PublishTuples(sc.Tuples)
+		m := r.Measure(sc.Tuples)
+		rows[i] = []string{c.alg.String(), fmt.Sprintf("%v", c.jfrt),
+			f1(m.HopsPerTuple), f1(m.MsgsPerTuple),
+			d(r.Net.Traffic().Hops("join")), d(int64(m.Notifications))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -50,21 +63,34 @@ func Fig53(sc Scale) *Table {
 		Note:   "expected shape: hops/tuple grows with queries for SAI/DAI-Q; DAI-T flattens after warm-up",
 		Header: []string{"algorithm", "queries", "hops/tuple", "join msgs/tuple"},
 	}
+	type cell struct {
+		alg     engine.Algorithm
+		queries int
+	}
+	var cells []cell
 	for _, alg := range mainAlgorithms() {
 		for _, q := range []int{sc.Queries / 8, sc.Queries / 2, sc.Queries, 2 * sc.Queries} {
 			if q == 0 {
 				continue
 			}
-			r := Setup(engine.Config{Algorithm: alg}, sc, workload.Params{})
-			r.SubscribeT1(q)
-			// Warm up so DAI-T's reindex-once effect shows in steady state.
-			r.PublishTuples(sc.Tuples / 2)
-			r.ResetMeters()
-			r.PublishTuples(sc.Tuples)
-			m := r.Measure(sc.Tuples)
-			joinMsgs := float64(r.Net.Traffic().Messages("join")) / float64(sc.Tuples)
-			t.AddRow(alg.String(), d(int64(q)), f1(m.HopsPerTuple), f2(joinMsgs))
+			cells = append(cells, cell{alg, q})
 		}
+	}
+	rows := make([][]string, len(cells))
+	ForEach(len(cells), func(i int) {
+		c := cells[i]
+		r := Setup(engine.Config{Algorithm: c.alg}, sc, workload.Params{})
+		r.SubscribeT1(c.queries)
+		// Warm up so DAI-T's reindex-once effect shows in steady state.
+		r.PublishTuples(sc.Tuples / 2)
+		r.ResetMeters()
+		r.PublishTuples(sc.Tuples)
+		m := r.Measure(sc.Tuples)
+		joinMsgs := float64(r.Net.Traffic().Messages("join")) / float64(sc.Tuples)
+		rows[i] = []string{c.alg.String(), d(int64(c.queries)), f1(m.HopsPerTuple), f2(joinMsgs)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -80,7 +106,10 @@ func Fig54(sc Scale) *Table {
 		Note:   "bos ratio 4 (left stream 4x hotter); expected shape: min-rate cheapest; random pays a grouping penalty (same-condition queries split across rewriters)",
 		Header: []string{"strategy", "hops/tuple", "join msgs/tuple", "evaluators used"},
 	}
-	for _, strat := range []engine.Strategy{engine.StrategyRandom, engine.StrategyMinRate, engine.StrategyMinDomain, engine.StrategyLeft} {
+	strats := []engine.Strategy{engine.StrategyRandom, engine.StrategyMinRate, engine.StrategyMinDomain, engine.StrategyLeft}
+	rows := make([][]string, len(strats))
+	ForEach(len(strats), func(i int) {
+		strat := strats[i]
 		r := Setup(engine.Config{Algorithm: engine.SAI, Strategy: strat}, sc, workload.Params{BosRatio: 4})
 		// Arrival statistics must exist before the strategies can probe
 		// them (Section 4.3.6): warm up with tuples first.
@@ -90,7 +119,10 @@ func Fig54(sc Scale) *Table {
 		r.PublishTuples(sc.Tuples)
 		m := r.Measure(sc.Tuples)
 		joinMsgs := float64(r.Net.Traffic().Messages("join")) / float64(sc.Tuples)
-		t.AddRow(strat.String(), f1(m.HopsPerTuple), f2(joinMsgs), d(int64(m.TF.NonZero)))
+		rows[i] = []string{strat.String(), f1(m.HopsPerTuple), f2(joinMsgs), d(int64(m.TF.NonZero))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -106,22 +138,35 @@ func Fig55(sc Scale) *Table {
 		Note:   "bos = left:right stream ratio (DESIGN.md §2); expected shape: min-rate advantage grows with imbalance",
 		Header: []string{"bos", "random hops/tuple", "min-rate hops/tuple", "savings"},
 	}
-	for _, bos := range []float64{1, 2, 4, 8, 16} {
-		res := make(map[engine.Strategy]float64)
-		for _, strat := range []engine.Strategy{engine.StrategyRandom, engine.StrategyMinRate} {
-			r := Setup(engine.Config{Algorithm: engine.SAI, Strategy: strat}, sc, workload.Params{BosRatio: bos})
-			r.PublishTuples(sc.Tuples / 2)
-			r.SubscribeT1(sc.Queries)
-			r.ResetMeters()
-			r.PublishTuples(sc.Tuples)
-			res[strat] = r.Measure(sc.Tuples).HopsPerTuple
+	type cell struct {
+		bos   float64
+		strat engine.Strategy
+	}
+	bosValues := []float64{1, 2, 4, 8, 16}
+	strats := []engine.Strategy{engine.StrategyRandom, engine.StrategyMinRate}
+	var cells []cell
+	for _, bos := range bosValues {
+		for _, strat := range strats {
+			cells = append(cells, cell{bos, strat})
 		}
+	}
+	hops := make([]float64, len(cells))
+	ForEach(len(cells), func(i int) {
+		c := cells[i]
+		r := Setup(engine.Config{Algorithm: engine.SAI, Strategy: c.strat}, sc, workload.Params{BosRatio: c.bos})
+		r.PublishTuples(sc.Tuples / 2)
+		r.SubscribeT1(sc.Queries)
+		r.ResetMeters()
+		r.PublishTuples(sc.Tuples)
+		hops[i] = r.Measure(sc.Tuples).HopsPerTuple
+	})
+	for bi, bos := range bosValues {
+		random, minRate := hops[2*bi], hops[2*bi+1]
 		saving := 0.0
-		if res[engine.StrategyRandom] > 0 {
-			saving = 1 - res[engine.StrategyMinRate]/res[engine.StrategyRandom]
+		if random > 0 {
+			saving = 1 - minRate/random
 		}
-		t.AddRow(f1(bos), f1(res[engine.StrategyRandom]), f1(res[engine.StrategyMinRate]),
-			fmt.Sprintf("%.0f%%", 100*saving))
+		t.AddRow(f1(bos), f1(random), f1(minRate), fmt.Sprintf("%.0f%%", 100*saving))
 	}
 	return t
 }

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"cqjoin/internal/relation"
 )
@@ -69,6 +70,12 @@ type Query struct {
 	rightRel *relation.Schema
 	filters  []Predicate
 	text     string
+
+	// wireSize memoizes the query's wire-encoded length; 0 means not yet
+	// computed. Accessed atomically because the query value embedded in
+	// in-flight messages is sized from concurrent cascade workers. The
+	// With* copy constructors reset it, since they change encoded fields.
+	wireSize int64
 }
 
 // WithIdentity returns a copy of q carrying the subscriber's node key and
@@ -79,6 +86,7 @@ func (q *Query) WithIdentity(subscriberKey, subscriberIP string, seq int) *Query
 	cp.subscriber = subscriberKey
 	cp.subscriberIP = subscriberIP
 	cp.key = fmt.Sprintf("%s#%d", subscriberKey, seq)
+	cp.wireSize = 0
 	return &cp
 }
 
@@ -90,6 +98,7 @@ func (q *Query) WithRestoredIdentity(key, subscriberKey, subscriberIP string) *Q
 	cp.key = key
 	cp.subscriber = subscriberKey
 	cp.subscriberIP = subscriberIP
+	cp.wireSize = 0
 	return &cp
 }
 
@@ -98,6 +107,7 @@ func (q *Query) WithRestoredIdentity(key, subscriberKey, subscriberIP string) *Q
 func (q *Query) WithInsT(insT int64) *Query {
 	cp := *q
 	cp.insT = insT
+	cp.wireSize = 0
 	return &cp
 }
 
@@ -115,6 +125,14 @@ func (q *Query) InsT() int64 { return q.insT }
 
 // Text returns the original SQL text.
 func (q *Query) Text() string { return q.text }
+
+// CachedWireSize returns the memoized wire-encoding length, or 0 when it
+// has not been computed. The encoded fields are immutable outside the
+// With* copy constructors, which reset the memo on their copies.
+func (q *Query) CachedWireSize() int { return int(atomic.LoadInt64(&q.wireSize)) }
+
+// SetCachedWireSize memoizes the query's wire-encoding length.
+func (q *Query) SetCachedWireSize(n int) { atomic.StoreInt64(&q.wireSize, int64(n)) }
 
 // Select returns the projection list.
 func (q *Query) Select() []Attr { return append([]Attr(nil), q.sel...) }

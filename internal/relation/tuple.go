@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Tuple is one row of a relation, carrying the publication time pubT(t) set
@@ -12,6 +13,13 @@ type Tuple struct {
 	schema *Schema
 	values []Value
 	pubT   int64
+
+	// wireSize memoizes the tuple's wire-encoded length; 0 means not yet
+	// computed. Accessed atomically (plain int64 + atomic ops rather than
+	// atomic.Int64, which would forbid the value copies tests make): one
+	// tuple value is shared by every in-flight message that carries it, and
+	// concurrent cascade workers size those messages independently.
+	wireSize int64
 }
 
 // NewTuple builds a tuple of the given schema. The number of values must
@@ -67,13 +75,20 @@ func (t *Tuple) MustValue(attr string) Value {
 // PubT returns the tuple's publication time (0 until inserted).
 func (t *Tuple) PubT() int64 { return t.pubT }
 
+// CachedWireSize returns the memoized wire-encoding length, or 0 when it
+// has not been computed. Schema, values and pubT are immutable after
+// construction, so a non-zero size stays valid for the tuple's lifetime.
+func (t *Tuple) CachedWireSize() int { return int(atomic.LoadInt64(&t.wireSize)) }
+
+// SetCachedWireSize memoizes the tuple's wire-encoding length.
+func (t *Tuple) SetCachedWireSize(n int) { atomic.StoreInt64(&t.wireSize, int64(n)) }
+
 // WithPubT returns a copy of the tuple stamped with publication time ts.
-// The engine stamps tuples at insertion; the original is not modified.
+// The engine stamps tuples at insertion; the original is not modified. The
+// copy is built field by field — a struct copy would read wireSize without
+// synchronization, and the new pubT invalidates the memoized size anyway.
 func (t *Tuple) WithPubT(ts int64) *Tuple {
-	cp := *t
-	cp.values = append([]Value(nil), t.values...)
-	cp.pubT = ts
-	return &cp
+	return &Tuple{schema: t.schema, values: append([]Value(nil), t.values...), pubT: ts}
 }
 
 // Project returns a new single-use tuple restricted to the named attributes

@@ -40,9 +40,10 @@ func (q *DelayQueue) Instrument(reg *obs.Registry) {
 }
 
 type delayItem struct {
-	due int64
-	seq int64
-	fn  func()
+	due  int64
+	prio int64
+	seq  int64
+	fn   func()
 }
 
 type delayHeap []delayItem
@@ -51,6 +52,9 @@ func (h delayHeap) Len() int { return len(h) }
 func (h delayHeap) Less(i, j int) bool {
 	if h[i].due != h[j].due {
 		return h[i].due < h[j].due
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
@@ -66,21 +70,35 @@ func (h *delayHeap) Pop() interface{} {
 
 // PushAt schedules fn to be released once the logical clock reaches due.
 func (q *DelayQueue) PushAt(due int64, fn func()) {
+	q.PushAtPrio(due, 0, fn)
+}
+
+// PushAtPrio schedules fn with an explicit release priority: ties on the
+// due time release in (prio, push-order) order. A content-derived priority
+// makes the release order independent of push order, which is what keyed
+// fault injection needs to stay deterministic under concurrent pushes.
+func (q *DelayQueue) PushAtPrio(due, prio int64, fn func()) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.seq++
-	heap.Push(&q.items, delayItem{due: due, seq: q.seq, fn: fn})
+	heap.Push(&q.items, delayItem{due: due, prio: prio, seq: q.seq, fn: fn})
 	q.pushes.Inc()
 	q.depth.Set(int64(len(q.items)))
 }
 
 // PopDue removes and returns every action whose due time is <= now, in
-// (due, push-order) order. The caller runs them outside the queue's lock,
-// so released actions may push further delayed actions.
+// (due, prio, push-order) order. The caller runs them outside the queue's
+// lock, so released actions may push further delayed actions.
 func (q *DelayQueue) PopDue(now int64) []func() {
+	return q.PopDueInto(now, nil)
+}
+
+// PopDueInto is PopDue reusing scratch's backing array for the result,
+// letting a drain loop amortize the slice allocation across rounds.
+func (q *DelayQueue) PopDueInto(now int64, scratch []func()) []func() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	var out []func()
+	out := scratch[:0]
 	for len(q.items) > 0 && q.items[0].due <= now {
 		out = append(out, heap.Pop(&q.items).(delayItem).fn)
 	}

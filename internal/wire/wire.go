@@ -41,6 +41,9 @@ type Buffer struct {
 // Bytes returns the encoded contents.
 func (w *Buffer) Bytes() []byte { return w.b }
 
+// Reset truncates the buffer for reuse, keeping its capacity.
+func (w *Buffer) Reset() { w.b = w.b[:0] }
+
 // Len returns the encoded size so far.
 func (w *Buffer) Len() int { return len(w.b) }
 
@@ -241,30 +244,68 @@ func DecodeQuery(r *Reader, catalog *relation.Catalog) (*query.Query, error) {
 	return q.WithRestoredIdentity(key, sub, ip), nil
 }
 
-// SizeTuple returns a tuple's encoded size without materializing it.
-func SizeTuple(t *relation.Tuple) int {
-	var w Buffer
-	EncodeTuple(&w, t)
-	return w.Len()
+// The Size* functions below compute encoded lengths arithmetically,
+// without materializing any bytes. They must stay field-for-field in sync
+// with the Encode*/Put* counterparts above; engine/codec_test.go asserts
+// Size == len(Encode) for every message type.
+
+// SizeUvarint returns the encoded length of an unsigned varint.
+func SizeUvarint(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
-// SizeQuery returns a query's encoded size.
-func SizeQuery(q *query.Query) int {
-	var w Buffer
-	EncodeQuery(&w, q)
-	return w.Len()
+// SizeVarint returns the encoded length of a signed (zig-zag) varint.
+func SizeVarint(v int64) int {
+	ux := uint64(v) << 1
+	if v < 0 {
+		ux = ^ux
+	}
+	return SizeUvarint(ux)
 }
 
 // SizeString returns a length-prefixed string's encoded size.
 func SizeString(s string) int {
-	var w Buffer
-	w.PutString(s)
-	return w.Len()
+	return SizeUvarint(uint64(len(s))) + len(s)
 }
 
 // SizeValue returns a value's encoded size.
 func SizeValue(v relation.Value) int {
-	var w Buffer
-	w.PutValue(v)
-	return w.Len()
+	if v.Kind() == relation.String {
+		return 1 + SizeString(v.Str())
+	}
+	return 1 + 8
+}
+
+// SizeTuple returns a tuple's encoded size without materializing it. The
+// size is memoized on the tuple: tuples are immutable once stamped, and the
+// same tuple value is re-sized once per hop of every delivery that carries
+// it, so the ledger would otherwise pay a full walk per hop.
+func SizeTuple(t *relation.Tuple) int {
+	if n := t.CachedWireSize(); n > 0 {
+		return n
+	}
+	attrs := t.Schema().Attrs()
+	n := SizeString(t.Relation()) + SizeUvarint(uint64(len(attrs)))
+	for _, a := range attrs {
+		n += SizeString(a) + SizeValue(t.MustValue(a))
+	}
+	n += SizeVarint(t.PubT())
+	t.SetCachedWireSize(n)
+	return n
+}
+
+// SizeQuery returns a query's encoded size, memoized like SizeTuple.
+func SizeQuery(q *query.Query) int {
+	if n := q.CachedWireSize(); n > 0 {
+		return n
+	}
+	n := SizeString(q.Key()) + SizeString(q.Subscriber()) + SizeString(q.SubscriberIP()) +
+		SizeVarint(q.InsT()) + SizeString(q.Text())
+	q.SetCachedWireSize(n)
+	return n
 }
