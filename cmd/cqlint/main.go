@@ -1,0 +1,74 @@
+// Command cqlint is the project's invariant checker: a multichecker that
+// runs the internal/analysis suite (determinism, maporder, wiresync,
+// sendunderlock, obsregister) over the module and exits non-zero on any
+// diagnostic. It is the compile-time counterpart of the differential
+// determinism harness in parallel_test.go — see DESIGN.md §9.
+//
+// Usage:
+//
+//	go run ./cmd/cqlint ./...
+//	go run ./cmd/cqlint ./internal/engine ./internal/chord
+//	go run ./cmd/cqlint -list
+//
+// cqlint loads and type-checks entirely offline (standard library
+// importers only), so it needs no module downloads and no vet tool
+// plumbing; CI runs it as its own job next to the ordinary lint job.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cqjoin/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	dir := flag.String("C", ".", "module root to analyze")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cqlint [-C moduledir] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(*dir, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqlint:", err)
+		os.Exit(2)
+	}
+	prog := analysis.NewProg(loader, pkgs)
+	diags, err := prog.Run(analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cqlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+package analysis
+
+// All returns the full cqlint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		MapOrderAnalyzer,
+		WireSyncAnalyzer,
+		SendUnderLockAnalyzer,
+		ObsRegisterAnalyzer,
+	}
+}

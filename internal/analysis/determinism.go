@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPackages are the packages whose behaviour must be a pure
+// function of their inputs and seeds: everything the differential harness
+// (parallel_test.go) fingerprints. cmd/cqjoind and the examples talk to
+// wall clocks on purpose and are exempt, as are all _test.go files (which
+// the loader never parses).
+var DeterministicPackages = []string{
+	"cqjoin/internal/engine",
+	"cqjoin/internal/chord",
+	"cqjoin/internal/sim",
+	"cqjoin/internal/chaos",
+	"cqjoin/internal/exp",
+	"cqjoin/internal/wire",
+	"cqjoin/internal/workload",
+}
+
+func inDeterministicScope(pkgPath string) bool {
+	for _, p := range DeterministicPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the time package entry points that read the wall
+// clock or the process scheduler; any of them makes a simulated run
+// unreproducible. Deterministic code must use sim.Clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandConstructors are the math/rand package-level functions that do
+// NOT draw from the unseeded global source: building an explicitly seeded
+// generator is precisely the sanctioned path.
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// DeterminismAnalyzer forbids wall-clock reads and unseeded global
+// math/rand draws inside the deterministic package set. Escape hatch:
+// //lint:allow determinism <reason> on (or directly above) the line.
+var DeterminismAnalyzer = &Analyzer{
+	Name:   "determinism",
+	Doc:    "forbid time.Now/time.Sleep/... and unseeded global math/rand in deterministic packages",
+	Filter: inDeterministicScope,
+	Run:    runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are the seeded path
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s is non-deterministic; use the sim clock (sim.Clock) instead", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the unseeded global source; use a seeded source (sim.NewSource / rand.New(rand.NewSource(seed)))", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

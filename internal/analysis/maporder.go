@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// orderSensitiveSinks are the built-in order-sensitive consumers: anything
+// whose observable output (wire bytes, hop ledger, notification order,
+// manifest rows, conflict-wave partitions) depends on the order its inputs
+// arrive in. Package-internal sinks are marked at their declaration with
+// //cqlint:sink instead of being listed here.
+var orderSensitiveSinks = map[string]bool{
+	"cqjoin/internal/chord.Node.Send":               true,
+	"cqjoin/internal/chord.Node.DirectSend":         true,
+	"cqjoin/internal/chord.Node.Multisend":          true,
+	"cqjoin/internal/chord.Node.MultisendIterative": true,
+	"cqjoin/internal/engine.EncodeMessage":          true,
+	"cqjoin/internal/wire.EncodeTuple":              true,
+	"cqjoin/internal/wire.EncodeQuery":              true,
+	"cqjoin/internal/wire.Buffer.PutUvarint":        true,
+	"cqjoin/internal/wire.Buffer.PutVarint":         true,
+	"cqjoin/internal/wire.Buffer.PutString":         true,
+	"cqjoin/internal/wire.Buffer.PutValue":          true,
+	"cqjoin/internal/obs.Collector.Add":             true,
+	"cqjoin/internal/engine.Engine.partitionWaves":  true,
+}
+
+// MapOrderAnalyzer flags `range` statements over maps whose loop body
+// feeds an order-sensitive sink directly: Go map iteration order is
+// random, so such a loop leaks nondeterminism straight into wire traffic,
+// notification order, manifest rows or conflict-wave partitions. The
+// deterministic pattern is collect keys → sort → range the sorted slice
+// (see engine/merge.go). The check is syntactic per loop body — calls made
+// by functions the body invokes are not traced — so sinks reached through
+// helpers should mark the helper itself with //cqlint:sink.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration feeding wire encodes, sends, manifests or wave partitions without sorting",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				if orderSensitiveSinks[funcKey(fn)] || pass.Prog.IsMarkedSink(fn) {
+					pass.Reportf(call.Pos(), "%s called while ranging over a map: iteration order is random; collect keys, sort, then send", fn.Name())
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}

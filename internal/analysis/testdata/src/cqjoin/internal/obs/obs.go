@@ -1,0 +1,20 @@
+// Package obs is a fixture stand-in for the real metrics registry.
+package obs
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type CounterVec struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter                      { return nil }
+func (r *Registry) Gauge(name string) *Gauge                          { return nil }
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram { return nil }
+func (r *Registry) CounterVec(name string) *CounterVec                { return nil }
+
+type Entry struct{ Name string }
+
+type Collector struct{}
+
+func (c *Collector) Add(e Entry) {}

@@ -1,0 +1,41 @@
+// Package detfix exercises the determinism analyzer. Its fixture path
+// sits under cqjoin/internal/sim so the analyzer's package scope applies,
+// exactly as it would to real simulator code.
+package detfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()                            // want "time.Now is non-deterministic"
+	return t.UnixNano() + int64(time.Since(t)) // want "time.Since is non-deterministic"
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want "time.Sleep is non-deterministic"
+}
+
+func globalRand() int {
+	rand.Seed(42)       // want "rand.Seed draws from the unseeded global source"
+	return rand.Intn(7) // want "rand.Intn draws from the unseeded global source"
+}
+
+// seeded is the sanctioned pattern: an explicit seed threaded into a
+// dedicated source. No diagnostics.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// suppressed shows the escape hatch: the wall clock is allowed here with a
+// recorded reason.
+func suppressed() int64 {
+	//lint:allow determinism fixture demonstrating the escape hatch
+	return time.Now().UnixNano()
+}
+
+func suppressedTrailing() {
+	time.Sleep(time.Millisecond) //lint:allow determinism trailing-comment form
+}

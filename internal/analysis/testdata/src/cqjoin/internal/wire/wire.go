@@ -1,0 +1,8 @@
+// Package wire is a fixture stand-in for the real codec buffer.
+package wire
+
+type Buffer struct{ b []byte }
+
+func (w *Buffer) PutUvarint(v uint64) {}
+func (w *Buffer) PutVarint(v int64)   {}
+func (w *Buffer) PutString(s string)  {}

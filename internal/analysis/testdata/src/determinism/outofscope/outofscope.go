@@ -1,0 +1,8 @@
+// Package outofscope sits outside the deterministic package set, so the
+// determinism analyzer must stay silent here (cmd/cqjoind and the
+// examples rely on this exemption).
+package outofscope
+
+import "time"
+
+func WallClockIsFine() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,54 @@
+// Package a exercises the obsregister analyzer: metric registration must
+// use constant names and bounds, sit outside loops, and happen at one
+// site per package.
+package a
+
+import "cqjoin/internal/obs"
+
+const latencyName = "a.latency"
+
+var bucketTable = []int64{1, 2, 4, 8}
+
+type holder struct {
+	reqs *obs.Counter
+	lat  *obs.Histogram
+}
+
+// newHolder is the sanctioned shape: constant names, constant bounds or a
+// shared bucket table, one site per metric. No diagnostics.
+func newHolder(reg *obs.Registry) *holder {
+	return &holder{
+		reqs: reg.Counter("a.requests"),
+		lat:  reg.Histogram(latencyName, bucketTable...),
+	}
+}
+
+func registerInLoop(reg *obs.Registry) {
+	for i := 0; i < 3; i++ {
+		reg.Counter("a.loop") // want "metric registration inside a loop"
+	}
+}
+
+func dynamicName(reg *obs.Registry, shard string) {
+	reg.Gauge("a.shard." + shard) // want "metric name must be a constant string"
+}
+
+func duplicateName(reg *obs.Registry) {
+	reg.Counter("a.requests") // want "metric \"a.requests\" already registered"
+}
+
+func dynamicBounds(reg *obs.Registry, max int64) {
+	reg.Histogram("a.hist", 1, 2, max) // want "histogram bounds must be constants or a spread package-level bucket table"
+}
+
+func localSpread(reg *obs.Registry) {
+	local := []int64{1, 2}
+	reg.Histogram("a.hist2", local...) // want "histogram bounds must be constants or a spread package-level bucket table"
+}
+
+func suppressed(reg *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		//lint:allow obsregister fixture: the loop registers distinct test registries
+		reg.Counter("a.suppressed")
+	}
+}

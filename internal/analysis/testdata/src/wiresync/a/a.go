@@ -1,0 +1,131 @@
+// Package a exercises the wiresync analyzer: paired //wire:field
+// directives between an encoder type switch and a size type switch, with
+// every drift direction represented.
+package a
+
+type buffer struct{ n int }
+
+func (b *buffer) putInt(v int)       { b.n += 8 }
+func (b *buffer) putString(s string) { b.n += len(s) }
+
+type message interface{ tag() byte }
+
+// msgGood is fully in sync: no diagnostics anywhere.
+type msgGood struct {
+	X int
+	Y string
+}
+
+func (msgGood) tag() byte { return 1 }
+
+// msgDrift's two directives disagree on the field list.
+type msgDrift struct {
+	X int
+	Y string
+}
+
+func (msgDrift) tag() byte { return 2 }
+
+// msgEncOnly has an encoder directive but no size counterpart.
+type msgEncOnly struct{ X int }
+
+func (msgEncOnly) tag() byte { return 3 }
+
+// msgSizeOnly has a size directive but no encoder counterpart.
+type msgSizeOnly struct{ X int }
+
+func (msgSizeOnly) tag() byte { return 4 }
+
+// msgBadBody's encoder writes its fields in a different order than the
+// directive declares.
+type msgBadBody struct {
+	X int
+	Y string
+}
+
+func (msgBadBody) tag() byte { return 5 }
+
+// msgUnannotated has a case arm in the annotated encoder but no directive.
+type msgUnannotated struct{ X int }
+
+func (msgUnannotated) tag() byte { return 6 }
+
+// msgMissing declares field Y on both sides but the size arm never reads it.
+type msgMissing struct {
+	X int
+	Y string
+}
+
+func (msgMissing) tag() byte { return 7 }
+
+// sub is a nested struct encoded by a helper pair.
+type sub struct {
+	A int
+	B string
+}
+
+func encode(w *buffer, msg message) {
+	switch m := msg.(type) {
+	//wire:field enc msgGood X Y
+	case msgGood:
+		w.putInt(m.X)
+		w.putString(m.Y)
+	//wire:field enc msgDrift X Y
+	case msgDrift:
+		w.putInt(m.X)
+		w.putString(m.Y)
+	//wire:field enc msgEncOnly X
+	case msgEncOnly: // want "has an encoder directive but no size //wire:field"
+		w.putInt(m.X)
+	//wire:field enc msgBadBody X Y
+	case msgBadBody: // want "msgBadBody encoder writes fields .Y X. but //wire:field declares .X Y."
+		w.putString(m.Y)
+		w.putInt(m.X)
+	case msgUnannotated: // want "case msgUnannotated has no //wire:field directive"
+		w.putInt(m.X)
+	//wire:field enc msgMissing X Y
+	case msgMissing:
+		w.putInt(m.X)
+		w.putString(m.Y)
+	default:
+		_ = m
+	}
+}
+
+//wire:field enc sub A B
+func encodeSub(w *buffer, s *sub) {
+	w.putInt(s.A)
+	w.putString(s.B)
+}
+
+func size(msg message) int {
+	switch m := msg.(type) {
+	//wire:field size msgGood X Y
+	case msgGood:
+		return 8 + len(m.Y) + zero(m.X)
+	//wire:field size msgDrift X
+	case msgDrift: // want "wire fields of msgDrift disagree: encoder declares .X Y., size declares .X."
+		return zero(m.X)
+	//wire:field size msgSizeOnly X
+	case msgSizeOnly: // want "has a size directive but no encoder //wire:field"
+		return zero(m.X)
+	//wire:field size msgBadBody X Y
+	case msgBadBody:
+		return zero(m.X) + len(m.Y)
+	//wire:field size msgMissing X Y
+	case msgMissing: // want "msgMissing size function has no size term for declared field Y"
+		return zero(m.X)
+	default:
+		return 0
+	}
+}
+
+//wire:field size sub A B
+func sizeSub(s *sub) int {
+	return zero(s.A) + len(s.B)
+}
+
+func zero(int) int { return 8 }
+
+//wire:field enc ghost X // want "not attached to a case arm or function"
+var unrelated = 0

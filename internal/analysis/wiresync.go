@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// WireSyncAnalyzer keeps codec.go and wiresize.go from drifting apart.
+// Every encoder arm (a `case` in EncodeMessage or a helper like
+// encodeRewritten) and every size arm (a `case` in wireSize or a helper
+// like sizeRewritten) carries a directive in its doc position:
+//
+//	//wire:field enc queryMsg Q Attr Side Replica
+//	case queryMsg:
+//
+//	//wire:field size queryMsg Q Attr Side Replica
+//	case queryMsg:
+//
+// The analyzer then proves three things per message type:
+//
+//  1. the code matches its own directive — on the enc side the fields
+//     accessed through the case/parameter variable, in source order, must
+//     equal the declared list exactly (declared order IS wire order); on
+//     the size side the accessed set must equal the declared set (size
+//     terms sum, so order is free);
+//  2. the two directives pair up — same type, identical field lists, one
+//     of each side;
+//  3. nothing escapes annotation — in any function containing at least
+//     one case-attached directive, every single-type case arm must carry
+//     one, so a new message type cannot be added to the codec silently.
+//
+// Deleting either directive of a pair, adding an encoded field without
+// declaring it, or declaring a field without a size term all fail the
+// build (acceptance criteria in ISSUE 4).
+var WireSyncAnalyzer = &Analyzer{
+	Name: "wiresync",
+	Doc:  "pair //wire:field directives between encoders and size functions; flag drift either way",
+	Run:  runWireSync,
+}
+
+const wireFieldPrefix = "//wire:field "
+
+type wireDirective struct {
+	side   string // "enc" or "size"
+	typ    string // message/struct type name the arm handles
+	fields []string
+	pos    token.Pos
+	file   string // filename the directive lives in
+	line   int    // line of the directive comment
+	node   ast.Node
+}
+
+// reportPos anchors diagnostics about a directive on the case arm or
+// function it annotates (falling back to the comment itself when the
+// directive attached to nothing).
+func (d *wireDirective) reportPos() token.Pos {
+	if d.node != nil {
+		return d.node.Pos()
+	}
+	return d.pos
+}
+
+func runWireSync(pass *Pass) error {
+	var directives []*wireDirective
+	byLoc := make(map[string]*wireDirective) // "file:line" -> directive
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, wireFieldPrefix)
+				if !ok {
+					continue
+				}
+				fields := directiveFields(rest)
+				if len(fields) < 3 || (fields[0] != "enc" && fields[0] != "size") {
+					pass.Reportf(c.Pos(), "malformed //wire:field: want \"//wire:field <enc|size> <Type> <Field...>\"")
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				d := &wireDirective{
+					side: fields[0], typ: fields[1], fields: fields[2:],
+					pos: c.Pos(), file: pos.Filename, line: pos.Line,
+				}
+				directives = append(directives, d)
+				byLoc[fmt.Sprintf("%s:%d", d.file, d.line)] = d
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return nil
+	}
+
+	// Attach each directive to the case arm or function declared on the
+	// next line, check the arm's body against the declared field list, and
+	// enforce that annotated functions have no unannotated arms.
+	attach := func(node ast.Node) *wireDirective {
+		pos := pass.Fset.Position(node.Pos())
+		return byLoc[fmt.Sprintf("%s:%d", pos.Filename, pos.Line-1)]
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if d := attach(fd); d != nil {
+				d.node = fd
+				subject := paramNameForType(fd, d.typ)
+				if subject == "" {
+					pass.Reportf(d.reportPos(), "//wire:field %s %s: no parameter of type %s on %s", d.side, d.typ, d.typ, fd.Name.Name)
+				} else {
+					checkArm(pass, d, fd.Body, subject)
+				}
+			}
+			// Case arms inside this function.
+			annotated := false
+			var caseArms []*ast.CaseClause
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sw, ok := n.(*ast.TypeSwitchStmt)
+				if !ok {
+					return true
+				}
+				subject := typeSwitchSubject(sw)
+				for _, stmt := range sw.Body.List {
+					cc := stmt.(*ast.CaseClause)
+					caseArms = append(caseArms, cc)
+					if d := attach(cc); d != nil {
+						annotated = true
+						d.node = cc
+						if len(cc.List) != 1 {
+							pass.Reportf(d.reportPos(), "//wire:field on a case arm with %d types; annotate single-type arms only", len(cc.List))
+							continue
+						}
+						if got := typeName(cc.List[0]); got != d.typ {
+							pass.Reportf(d.reportPos(), "//wire:field declares type %s but the case arm handles %s", d.typ, got)
+							continue
+						}
+						if subject == "" {
+							pass.Reportf(d.reportPos(), "//wire:field needs a bound type switch (switch m := x.(type))")
+							continue
+						}
+						checkArm(pass, d, cc, subject)
+					}
+				}
+				return true
+			})
+			if annotated {
+				for _, cc := range caseArms {
+					if cc.List == nil {
+						continue // default arm (the codec's error path)
+					}
+					if len(cc.List) == 1 && attach(cc) == nil {
+						pass.Reportf(cc.Pos(), "case %s has no //wire:field directive in an annotated codec function", typeName(cc.List[0]))
+					}
+				}
+			}
+		}
+	}
+
+	// Pair enc and size directives per type.
+	paired := make(map[string][2]*wireDirective) // typ -> [enc, size]
+	for _, d := range directives {
+		if d.node == nil {
+			pass.Reportf(d.pos, "//wire:field %s %s is not attached to a case arm or function (it must sit on the line directly above one)", d.side, d.typ)
+			continue
+		}
+		entry := paired[d.typ]
+		i := 0
+		if d.side == "size" {
+			i = 1
+		}
+		if entry[i] != nil {
+			pass.Reportf(d.reportPos(), "duplicate //wire:field %s %s (first at %s:%d)", d.side, d.typ, entry[i].file, entry[i].line)
+			continue
+		}
+		entry[i] = d
+		paired[d.typ] = entry
+	}
+	for typ, pair := range paired {
+		enc, size := pair[0], pair[1]
+		switch {
+		case enc == nil:
+			pass.Reportf(size.reportPos(), "type %s has a size directive but no encoder //wire:field enc %s: codec.go and wiresize.go have drifted", typ, typ)
+		case size == nil:
+			pass.Reportf(enc.reportPos(), "type %s has an encoder directive but no size //wire:field size %s: every encoded field needs a size term in wiresize.go", typ, typ)
+		case strings.Join(enc.fields, " ") != strings.Join(size.fields, " "):
+			pass.Reportf(size.reportPos(), "wire fields of %s disagree: encoder declares [%s], size declares [%s]",
+				typ, strings.Join(enc.fields, " "), strings.Join(size.fields, " "))
+		}
+	}
+	return nil
+}
+
+// checkArm compares the fields the arm's body actually touches through
+// subject against the directive's declared list.
+func checkArm(pass *Pass, d *wireDirective, body ast.Node, subject string) {
+	got := accessedFields(body, subject)
+	if d.side == "enc" {
+		// Declared order is the wire order; the encoder must touch the
+		// fields in exactly that order.
+		if strings.Join(got, " ") != strings.Join(d.fields, " ") {
+			pass.Reportf(d.reportPos(), "%s encoder writes fields [%s] but //wire:field declares [%s]",
+				d.typ, strings.Join(got, " "), strings.Join(d.fields, " "))
+		}
+		return
+	}
+	declared := make(map[string]bool, len(d.fields))
+	for _, f := range d.fields {
+		declared[f] = true
+	}
+	seen := make(map[string]bool, len(got))
+	for _, f := range got {
+		seen[f] = true
+		if !declared[f] {
+			pass.Reportf(d.reportPos(), "%s size function reads field %s that //wire:field does not declare", d.typ, f)
+		}
+	}
+	for _, f := range d.fields {
+		if !seen[f] {
+			pass.Reportf(d.reportPos(), "%s size function has no size term for declared field %s", d.typ, f)
+		}
+	}
+}
+
+// accessedFields returns the names selected from subject (fields or
+// methods) in source order, first occurrence only.
+func accessedFields(body ast.Node, subject string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == subject && !seen[sel.Sel.Name] {
+			seen[sel.Sel.Name] = true
+			out = append(out, sel.Sel.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// typeSwitchSubject returns the ident bound by `switch m := x.(type)`, or
+// "" for the unbound form.
+func typeSwitchSubject(sw *ast.TypeSwitchStmt) string {
+	assign, ok := sw.Assign.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 {
+		return ""
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// typeName renders the final identifier of a type expression: rewritten,
+// *rewritten and *query.MultiQuery all yield their bare type name.
+func typeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return typeName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// paramNameForType finds the parameter of fd whose type's final
+// identifier matches typ, returning the parameter name.
+func paramNameForType(fd *ast.FuncDecl, typ string) string {
+	for _, field := range fd.Type.Params.List {
+		if typeName(field.Type) == typ {
+			for _, name := range field.Names {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}

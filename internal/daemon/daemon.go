@@ -181,7 +181,7 @@ type request struct {
 }
 
 func (s *Server) handleConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	enc := json.NewEncoder(conn)
 	lst := &listener{enc: enc}
 	defer func() {

@@ -15,6 +15,13 @@ import (
 // length of its encoding (enforced by tests), so the byte ledger reports
 // what a socket deployment would actually transmit, and a real transport
 // can adopt EncodeMessage/DecodeMessage unchanged.
+//
+// Every encoder arm carries a //wire:field enc directive declaring the
+// wire field order; the wiresync analyzer (cmd/cqlint, DESIGN.md §9)
+// checks the arm writes exactly those fields in exactly that order and
+// pairs each directive with its size counterpart in wiresize.go. When
+// adding a field: update the arm, its directive, and both wiresize.go
+// sides — cqlint fails the build until all four agree.
 
 // Message type tags.
 const (
@@ -38,27 +45,32 @@ const (
 // EncodeMessage appends msg's wire form to w.
 func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
 	switch m := msg.(type) {
+	//wire:field enc queryMsg Q Attr Side Replica
 	case queryMsg:
 		w.PutUvarint(uint64(tagQuery))
 		wire.EncodeQuery(w, m.Q)
 		w.PutString(m.Attr)
 		w.PutUvarint(uint64(m.Side))
 		w.PutUvarint(uint64(m.Replica))
+	//wire:field enc alIndexMsg T Attr Replica
 	case alIndexMsg:
 		w.PutUvarint(uint64(tagALIndex))
 		wire.EncodeTuple(w, m.T)
 		w.PutString(m.Attr)
 		w.PutUvarint(uint64(m.Replica))
+	//wire:field enc vlIndexMsg T Attr
 	case vlIndexMsg:
 		w.PutUvarint(uint64(tagVLIndex))
 		wire.EncodeTuple(w, m.T)
 		w.PutString(m.Attr)
+	//wire:field enc joinMsg Rewrites
 	case joinMsg:
 		w.PutUvarint(uint64(tagJoin))
 		w.PutUvarint(uint64(len(m.Rewrites)))
 		for _, rw := range m.Rewrites {
 			encodeRewritten(w, rw)
 		}
+	//wire:field enc joinVMsg Input Cond Side Value Trigger Queries
 	case joinVMsg:
 		w.PutUvarint(uint64(tagJoinV))
 		w.PutString(m.Input)
@@ -70,6 +82,7 @@ func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
 		for _, q := range m.Queries {
 			wire.EncodeQuery(w, q)
 		}
+	//wire:field enc joinBatch Msgs
 	case joinBatch:
 		w.PutUvarint(uint64(tagJoinBatch))
 		w.PutUvarint(uint64(len(m.Msgs)))
@@ -78,6 +91,7 @@ func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
 				return err
 			}
 		}
+	//wire:field enc notifyMsg Subscriber Batch
 	case notifyMsg:
 		w.PutUvarint(uint64(tagNotify))
 		w.PutString(m.Subscriber)
@@ -85,28 +99,34 @@ func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
 		for _, n := range m.Batch {
 			encodeNotification(w, n)
 		}
+	//wire:field enc probeMsg AttrInput
 	case probeMsg:
 		w.PutUvarint(uint64(tagProbe))
 		w.PutString(m.AttrInput)
+	//wire:field enc unsubMsg QueryKey Cond Input
 	case unsubMsg:
 		w.PutUvarint(uint64(tagUnsub))
 		w.PutString(m.QueryKey)
 		w.PutString(m.Cond)
 		w.PutString(m.Input)
+	//wire:field enc purgeMsg QueryKey Input
 	case purgeMsg:
 		w.PutUvarint(uint64(tagPurge))
 		w.PutString(m.QueryKey)
 		w.PutString(m.Input)
+	//wire:field enc baselineQueryMsg Q Side Input
 	case baselineQueryMsg:
 		w.PutUvarint(uint64(tagBaselineQuery))
 		wire.EncodeQuery(w, m.Q)
 		w.PutUvarint(uint64(m.Side))
 		w.PutString(m.Input)
+	//wire:field enc baselineTupleMsg T Input Side
 	case baselineTupleMsg:
 		w.PutUvarint(uint64(tagBaselineTuple))
 		wire.EncodeTuple(w, m.T)
 		w.PutString(m.Input)
 		w.PutUvarint(uint64(m.Side))
+	//wire:field enc baselineProbeMsg Input Rewrites
 	case baselineProbeMsg:
 		w.PutUvarint(uint64(tagBaselineProbe))
 		w.PutString(m.Input)
@@ -114,11 +134,13 @@ func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
 		for _, rw := range m.Rewrites {
 			encodeRewritten(w, rw)
 		}
+	//wire:field enc mQueryMsg MQ Attr Replica
 	case mQueryMsg:
 		w.PutUvarint(uint64(tagMQuery))
 		encodeMultiQuery(w, m.MQ)
 		w.PutString(m.Attr)
 		w.PutUvarint(uint64(m.Replica))
+	//wire:field enc mJoinMsg Rewrites
 	case mJoinMsg:
 		w.PutUvarint(uint64(tagMJoin))
 		w.PutUvarint(uint64(len(m.Rewrites)))
@@ -131,6 +153,7 @@ func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
 	return nil
 }
 
+//wire:field enc rewritten Key Orig IndexSide Trigger WantRel WantAttr WantValue
 func encodeRewritten(w *wire.Buffer, rw *rewritten) {
 	w.PutString(rw.Key)
 	wire.EncodeQuery(w, rw.Orig)
@@ -141,6 +164,7 @@ func encodeRewritten(w *wire.Buffer, rw *rewritten) {
 	w.PutValue(rw.WantValue)
 }
 
+//wire:field enc Notification QueryKey Subscriber subscriberIP Values LeftPubT RightPubT DeliveredAt
 func encodeNotification(w *wire.Buffer, n Notification) {
 	w.PutString(n.QueryKey)
 	w.PutString(n.Subscriber)
@@ -154,6 +178,7 @@ func encodeNotification(w *wire.Buffer, n Notification) {
 	w.PutVarint(n.DeliveredAt)
 }
 
+//wire:field enc MultiQuery Key Subscriber SubscriberIP InsT Text Rels
 func encodeMultiQuery(w *wire.Buffer, mq *query.MultiQuery) {
 	w.PutString(mq.Key())
 	w.PutString(mq.Subscriber())
@@ -163,6 +188,7 @@ func encodeMultiQuery(w *wire.Buffer, mq *query.MultiQuery) {
 	w.PutString(mq.Rels()[0].Name()) // pipeline orientation marker
 }
 
+//wire:field enc mRewritten Key Orig Stage Acc WantRel WantAttr WantValue
 func encodeMRewritten(w *wire.Buffer, rw *mRewritten) {
 	w.PutString(rw.Key)
 	encodeMultiQuery(w, rw.Orig)

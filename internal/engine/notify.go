@@ -91,6 +91,8 @@ func buildNotification(q *query.Query, indexSide query.Side, trig, other *relati
 // subscriber that is offline entirely has its notifications stored at
 // Successor(Id(n)) until it reconnects and receives them with the key
 // hand-off.
+//
+//cqlint:sink
 func (st *nodeState) sendNotifications(batch []Notification) {
 	if len(batch) == 0 {
 		return
@@ -115,6 +117,8 @@ func (st *nodeState) sendNotifications(batch []Notification) {
 // address, or DHT delivery with address learning when the known address is
 // stale. A missing ack consumes one retry from Config.MaxRetries; a batch
 // still unacked after the budget is charged as lost.
+//
+//cqlint:sink
 func (st *nodeState) deliverNotify(sub string, batch []Notification) {
 	e := st.engine
 	for attempt := 0; ; attempt++ {

@@ -13,7 +13,11 @@ import (
 // wireSize computes the same number without materializing any bytes, and
 // wire.SizeTuple/SizeQuery memoize the per-tuple/per-query walks.
 // codec_test.go asserts wireSize == len(EncodeMessage) for every message
-// type, so the two switches cannot drift silently.
+// type, so the two switches cannot drift silently. Statically, every arm
+// here carries a //wire:field size directive that the wiresync analyzer
+// (cmd/cqlint, DESIGN.md §9) pairs against the matching enc directive in
+// codec.go: deleting a directive, dropping a size term, or reordering
+// encoded fields fails the lint job.
 
 // wireSize returns msg's exact encoded length, or 0 for message types
 // EncodeMessage does not know (mirroring encodedLen's error case).
@@ -21,20 +25,25 @@ func wireSize(msg chord.Message) int {
 	// Every tag is a single-byte uvarint (1..15).
 	const tagLen = 1
 	switch m := msg.(type) {
+	//wire:field size queryMsg Q Attr Side Replica
 	case queryMsg:
 		return tagLen + wire.SizeQuery(m.Q) + wire.SizeString(m.Attr) +
 			wire.SizeUvarint(uint64(m.Side)) + wire.SizeUvarint(uint64(m.Replica))
+	//wire:field size alIndexMsg T Attr Replica
 	case alIndexMsg:
 		return tagLen + wire.SizeTuple(m.T) + wire.SizeString(m.Attr) +
 			wire.SizeUvarint(uint64(m.Replica))
+	//wire:field size vlIndexMsg T Attr
 	case vlIndexMsg:
 		return tagLen + wire.SizeTuple(m.T) + wire.SizeString(m.Attr)
+	//wire:field size joinMsg Rewrites
 	case joinMsg:
 		n := tagLen + wire.SizeUvarint(uint64(len(m.Rewrites)))
 		for _, rw := range m.Rewrites {
 			n += sizeRewritten(rw)
 		}
 		return n
+	//wire:field size joinVMsg Input Cond Side Value Trigger Queries
 	case joinVMsg:
 		n := tagLen + wire.SizeString(m.Input) + wire.SizeString(m.Cond) +
 			wire.SizeUvarint(uint64(m.Side)) + wire.SizeValue(m.Value) +
@@ -43,40 +52,50 @@ func wireSize(msg chord.Message) int {
 			n += wire.SizeQuery(q)
 		}
 		return n
+	//wire:field size joinBatch Msgs
 	case joinBatch:
 		n := tagLen + wire.SizeUvarint(uint64(len(m.Msgs)))
 		for _, inner := range m.Msgs {
 			n += wireSize(inner)
 		}
 		return n
+	//wire:field size notifyMsg Subscriber Batch
 	case notifyMsg:
 		n := tagLen + wire.SizeString(m.Subscriber) + wire.SizeUvarint(uint64(len(m.Batch)))
 		for _, nt := range m.Batch {
 			n += sizeNotification(nt)
 		}
 		return n
+	//wire:field size probeMsg AttrInput
 	case probeMsg:
 		return tagLen + wire.SizeString(m.AttrInput)
+	//wire:field size unsubMsg QueryKey Cond Input
 	case unsubMsg:
 		return tagLen + wire.SizeString(m.QueryKey) + wire.SizeString(m.Cond) +
 			wire.SizeString(m.Input)
+	//wire:field size purgeMsg QueryKey Input
 	case purgeMsg:
 		return tagLen + wire.SizeString(m.QueryKey) + wire.SizeString(m.Input)
+	//wire:field size baselineQueryMsg Q Side Input
 	case baselineQueryMsg:
 		return tagLen + wire.SizeQuery(m.Q) + wire.SizeUvarint(uint64(m.Side)) +
 			wire.SizeString(m.Input)
+	//wire:field size baselineTupleMsg T Input Side
 	case baselineTupleMsg:
 		return tagLen + wire.SizeTuple(m.T) + wire.SizeString(m.Input) +
 			wire.SizeUvarint(uint64(m.Side))
+	//wire:field size baselineProbeMsg Input Rewrites
 	case baselineProbeMsg:
 		n := tagLen + wire.SizeString(m.Input) + wire.SizeUvarint(uint64(len(m.Rewrites)))
 		for _, rw := range m.Rewrites {
 			n += sizeRewritten(rw)
 		}
 		return n
+	//wire:field size mQueryMsg MQ Attr Replica
 	case mQueryMsg:
 		return tagLen + sizeMultiQuery(m.MQ) + wire.SizeString(m.Attr) +
 			wire.SizeUvarint(uint64(m.Replica))
+	//wire:field size mJoinMsg Rewrites
 	case mJoinMsg:
 		n := tagLen + wire.SizeUvarint(uint64(len(m.Rewrites)))
 		for _, rw := range m.Rewrites {
@@ -88,6 +107,7 @@ func wireSize(msg chord.Message) int {
 	}
 }
 
+//wire:field size rewritten Key Orig IndexSide Trigger WantRel WantAttr WantValue
 func sizeRewritten(rw *rewritten) int {
 	return wire.SizeString(rw.Key) + wire.SizeQuery(rw.Orig) +
 		wire.SizeUvarint(uint64(rw.IndexSide)) + wire.SizeTuple(rw.Trigger) +
@@ -95,6 +115,7 @@ func sizeRewritten(rw *rewritten) int {
 		wire.SizeValue(rw.WantValue)
 }
 
+//wire:field size Notification QueryKey Subscriber subscriberIP Values LeftPubT RightPubT DeliveredAt
 func sizeNotification(n Notification) int {
 	sz := wire.SizeString(n.QueryKey) + wire.SizeString(n.Subscriber) +
 		wire.SizeString(n.subscriberIP) + wire.SizeUvarint(uint64(len(n.Values)))
@@ -105,12 +126,14 @@ func sizeNotification(n Notification) int {
 		wire.SizeVarint(n.DeliveredAt)
 }
 
+//wire:field size MultiQuery Key Subscriber SubscriberIP InsT Text Rels
 func sizeMultiQuery(mq *query.MultiQuery) int {
 	return wire.SizeString(mq.Key()) + wire.SizeString(mq.Subscriber()) +
 		wire.SizeString(mq.SubscriberIP()) + wire.SizeVarint(mq.InsT()) +
 		wire.SizeString(mq.Text()) + wire.SizeString(mq.Rels()[0].Name())
 }
 
+//wire:field size mRewritten Key Orig Stage Acc WantRel WantAttr WantValue
 func sizeMRewritten(rw *mRewritten) int {
 	n := wire.SizeString(rw.Key) + sizeMultiQuery(rw.Orig) +
 		wire.SizeUvarint(uint64(rw.Stage)) + wire.SizeUvarint(uint64(len(rw.Acc)))
