@@ -28,9 +28,11 @@ import (
 	"time"
 
 	"cqjoin/internal/chord"
+	"cqjoin/internal/engine"
 	"cqjoin/internal/exp"
 	"cqjoin/internal/id"
 	"cqjoin/internal/obs"
+	"cqjoin/internal/workload"
 )
 
 // benchManifest collects one entry per benchmark that ran in this process.
@@ -298,5 +300,54 @@ func BenchmarkSubstrateLookup(b *testing.B) {
 		BytesPerOp:  bytes,
 		// Mean hops depends on b.N (which lookups ran), so it gates soft.
 		Metrics: map[string]obs.Metric{"hops_per_lookup": obs.Noisy(meanHops, "hops")},
+	})
+}
+
+// BenchmarkTransportLoopback drives the canonical SAI workload with every
+// delivery forced through the TCP transport's loopback path
+// (dial → frame → encode → decode → ack) and records the transport's
+// metric registry in the manifest. The delivered-notification count must
+// equal the simulated run's and gates hard; socket-level counters (dials,
+// frames, bytes) depend on pooling and timing, so they gate soft.
+func BenchmarkTransportLoopback(b *testing.B) {
+	defer exp.SetParallelism(0)
+	sc := exp.Scale{Nodes: 64, Queries: 60, Tuples: 80, Seed: 23}
+	mem := startMem()
+	b.ResetTimer()
+	var snap map[string]float64
+	notes := 0
+	for i := 0; i < b.N; i++ {
+		exp.SetParallelism(1)
+		r := exp.Setup(engine.Config{Algorithm: engine.SAI, MaxRetries: 3, RetryBackoff: 1}, sc, workload.Params{})
+		reg, cleanup := loopbackTransport(b, r.Net, r.Gen.Catalog())
+		r.SubscribeT1(sc.Queries)
+		r.PublishTuples(sc.Tuples)
+		notes = len(r.Eng.Notifications())
+		snap = reg.Snapshot()
+		cleanup()
+		if snap["transport.rpc_failures"] != 0 || snap["transport.decode_errors"] != 0 {
+			b.Fatalf("loopback run had transport errors: %v", snap)
+		}
+	}
+	b.StopTimer()
+	allocs, bytes := mem.perOp(b.N)
+	b.ReportMetric(snap["transport.dials"], "dials")
+	b.ReportMetric(snap["transport.frame_bytes_out"], "frame-bytes")
+	benchManifest.Add(obs.Entry{
+		Name:        b.Name(),
+		Scale:       scaleInfo(sc),
+		Iterations:  int64(b.N),
+		WallNS:      b.Elapsed().Nanoseconds() / int64(b.N),
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Metrics: map[string]obs.Metric{
+			"notifications":   obs.Det(float64(notes), ""),
+			"dials":           obs.Noisy(snap["transport.dials"], "conns"),
+			"reconnects":      obs.Noisy(snap["transport.reconnects"], "conns"),
+			"retries":         obs.Noisy(snap["transport.retries"], ""),
+			"frames_out":      obs.Noisy(snap["transport.frames_out"], "frames"),
+			"frame_bytes_out": obs.Noisy(snap["transport.frame_bytes_out"], "bytes"),
+			"frame_bytes_in":  obs.Noisy(snap["transport.frame_bytes_in"], "bytes"),
+		},
 	})
 }

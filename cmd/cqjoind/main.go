@@ -1,7 +1,6 @@
-// Command cqjoind runs a simulated continuous-join overlay as a network
-// service: clients connect over TCP and speak a newline-delimited JSON
-// protocol to pose continuous queries, insert tuples and stream
-// notifications.
+// Command cqjoind runs a continuous-join overlay as a network service:
+// clients connect over TCP and speak a newline-delimited JSON protocol to
+// pose continuous queries, insert tuples and stream notifications.
 //
 //	cqjoind -addr 127.0.0.1:7470 -nodes 256 -algorithm dait \
 //	        -schema "Orders(Id,Customer,Product);Shipments(Id,Product,Depot)"
@@ -19,15 +18,28 @@
 //	-> {"op":"stats"}
 //	<- {"ok":true,"nodes":256,"notifications":1,"hops":62,"messages":19,"bytes":38197}
 //
-// The overlay itself runs in-process (the library's simulator); cqjoind
-// demonstrates embedding it behind a real network boundary.
+// By default the overlay runs in-process (the library's simulator). With
+// -overlay and -peers, N cqjoind processes form one overlay: every
+// process builds the identical ring and ring positions are assigned
+// round-robin over the peer list, so deliveries to nodes owned by another
+// process cross the wire through the framed TCP transport. The peer list
+// must be identical (same order) on every process; -join copies the
+// overlay configuration from a running peer instead of repeating it:
+//
+//	cqjoind -addr :7470 -overlay 10.0.0.1:7570 \
+//	        -peers 10.0.0.1:7570,10.0.0.2:7570 -schema "R(A,B);S(D,E)"
+//	cqjoind -addr :7470 -overlay 10.0.0.2:7570 -join 10.0.0.1:7470
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"strings"
+	"time"
 
 	"cqjoin/internal/daemon"
 )
@@ -40,25 +52,86 @@ func main() {
 		schema    = flag.String("schema", "", `catalog, e.g. "R(A,B);S(D,E)"`)
 		jfrt      = flag.Bool("jfrt", true, "enable the Join Fingers Routing Table")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
+		overlay   = flag.String("overlay", "", "inter-node transport listen address (multi-process mode)")
+		peers     = flag.String("peers", "", "comma-separated overlay addresses of every process, identical order everywhere")
+		join      = flag.String("join", "", "client address of a running peer to copy the overlay configuration from")
 	)
 	flag.Parse()
-	if *schema == "" {
-		fmt.Fprintln(os.Stderr, "cqjoind: -schema is required")
+	cfg := daemon.Config{
+		Nodes:       *nodes,
+		Algorithm:   *algorithm,
+		SchemaDSL:   *schema,
+		UseJFRT:     *jfrt,
+		Seed:        *seed,
+		OverlayAddr: *overlay,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
+	if *join != "" {
+		if err := copyOverlayConfig(*join, &cfg); err != nil {
+			log.Fatalf("cqjoind: -join %s: %v", *join, err)
+		}
+	}
+	if cfg.SchemaDSL == "" {
+		fmt.Fprintln(os.Stderr, "cqjoind: -schema is required (or -join a peer that has one)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	srv, err := daemon.New(daemon.Config{
-		Nodes:     *nodes,
-		Algorithm: *algorithm,
-		SchemaDSL: *schema,
-		UseJFRT:   *jfrt,
-		Seed:      *seed,
-	})
+	srv, err := daemon.New(cfg)
 	if err != nil {
 		log.Fatalf("cqjoind: %v", err)
 	}
-	log.Printf("cqjoind: %d-node overlay (%s), listening on %s", *nodes, *algorithm, *addr)
+	if cfg.OverlayAddr != "" {
+		if err := srv.ListenAndServeOverlay(); err != nil {
+			log.Fatalf("cqjoind: overlay: %v", err)
+		}
+		log.Printf("cqjoind: overlay transport on %s (%d peers)", cfg.OverlayAddr, len(cfg.Peers))
+	}
+	log.Printf("cqjoind: %d-node overlay (%s), listening on %s", cfg.Nodes, cfg.Algorithm, *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("cqjoind: %v", err)
 	}
+}
+
+// copyOverlayConfig asks a running peer's client port for its overlay
+// configuration and fills cfg with it, keeping this process's own
+// -overlay address.
+func copyOverlayConfig(peer string, cfg *daemon.Config) error {
+	conn, err := net.DialTimeout("tcp", peer, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintln(conn, `{"op":"overlay-config"}`); err != nil {
+		return err
+	}
+	var resp struct {
+		OK        bool     `json:"ok"`
+		Error     string   `json:"error"`
+		Nodes     int      `json:"nodes"`
+		Algorithm string   `json:"algorithm"`
+		Schema    string   `json:"schema"`
+		JFRT      bool     `json:"jfrt"`
+		Seed      int64    `json:"seed"`
+		Peers     []string `json:"peers"`
+	}
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("peer refused: %s", resp.Error)
+	}
+	cfg.Nodes = resp.Nodes
+	cfg.Algorithm = resp.Algorithm
+	cfg.SchemaDSL = resp.Schema
+	cfg.UseJFRT = resp.JFRT
+	cfg.Seed = resp.Seed
+	cfg.Peers = resp.Peers
+	return nil
 }

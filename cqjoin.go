@@ -196,6 +196,12 @@ func (c *Cluster) Join(key string) (*Node, error) {
 	return &Node{c: c, n: n}, nil
 }
 
+// Overlay exposes the underlying chord overlay — for installing a custom
+// delivery transport (multi-process deployments install a TCP transport
+// here) or inspecting the ring. The simulated in-process transport stays
+// in effect unless replaced.
+func (c *Cluster) Overlay() *chord.Network { return c.net }
+
 // OnNotify installs a callback invoked for every delivered notification.
 func (c *Cluster) OnNotify(fn func(Notification)) { c.eng.OnNotify(fn) }
 
@@ -266,6 +272,13 @@ func (p *Node) SubscribeMulti(sql string) (*MultiQuery, error) {
 // trigger it.
 func (p *Node) Unsubscribe(q *Query) error {
 	return p.c.eng.Unsubscribe(p.n, q)
+}
+
+// UnsubscribeMulti retracts a continuous multi-way chain join previously
+// returned by this peer's SubscribeMulti: the chain is removed from its
+// rewriters and its partial matches are purged from every pipeline stage.
+func (p *Node) UnsubscribeMulti(mq *MultiQuery) error {
+	return p.c.eng.UnsubscribeMulti(p.n, mq)
 }
 
 // Publish inserts a tuple given as Go values (string or numeric); see

@@ -11,6 +11,15 @@ import (
 // (parallel_test.go) fingerprints. cmd/cqjoind and the examples talk to
 // wall clocks on purpose and are exempt, as are all _test.go files (which
 // the loader never parses).
+//
+// internal/transport is deliberately NOT in this list: a real TCP
+// transport needs wall-clock dial/IO deadlines, idle-connection reaping
+// and jittered retry backoff, none of which can be driven by sim.Clock.
+// The determinism boundary is the chord.Transport interface — everything
+// above it (routing, accounting, the engine) stays in scope, and
+// transport_diff_test.go proves the TCP path reproduces the simulated
+// results exactly, so the relaxation below the interface is observable-
+// behaviour-free.
 var DeterministicPackages = []string{
 	"cqjoin/internal/engine",
 	"cqjoin/internal/chord",

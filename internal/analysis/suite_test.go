@@ -19,6 +19,23 @@ func TestDeterminismAnalyzer(t *testing.T) {
 		"cqjoin/internal/sim/detfix", "determinism/outofscope")
 }
 
+// TestDeterminismScopeExcludesTransport pins the determinism boundary:
+// internal/transport lives below the chord.Transport interface and runs
+// on wall clocks (deadlines, idle reaping, backoff) by design, while the
+// packages above the interface stay in scope. See the comment on
+// DeterministicPackages for the rationale.
+func TestDeterminismScopeExcludesTransport(t *testing.T) {
+	scope := analysis.DeterminismAnalyzer.Filter
+	if scope("cqjoin/internal/transport") {
+		t.Fatal("internal/transport must be outside the determinism scope")
+	}
+	for _, p := range []string{"cqjoin/internal/chord", "cqjoin/internal/engine", "cqjoin/internal/wire"} {
+		if !scope(p) {
+			t.Fatalf("%s must stay inside the determinism scope", p)
+		}
+	}
+}
+
 func TestMapOrderAnalyzer(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.MapOrderAnalyzer, "maporder/a")
 }

@@ -94,6 +94,13 @@ type Network struct {
 
 	icMu        sync.RWMutex
 	interceptor Interceptor
+
+	// trMu guards the pluggable delivery transport (transport.go). simT is
+	// the pre-built in-process default, created once so the hot path never
+	// boxes a fresh interface value.
+	trMu   sync.RWMutex
+	custom Transport
+	simT   Transport
 }
 
 // SetInterceptor installs (or, with nil, removes) the delivery interceptor.
@@ -127,7 +134,7 @@ func New(cfg Config) *Network {
 		cfg.Clock = &sim.Clock{}
 	}
 	cfg.Clock.Instrument(cfg.Obs)
-	return &Network{
+	net := &Network{
 		byKey:       make(map[string]*Node),
 		succListLen: cfg.SuccessorListLen,
 		traffic:     cfg.Traffic,
@@ -135,6 +142,8 @@ func New(cfg Config) *Network {
 		obsReg:      cfg.Obs,
 		obs:         newNetObs(cfg.Obs),
 	}
+	net.simT = &simTransport{net: net}
+	return net
 }
 
 // Traffic returns the network's traffic ledger.

@@ -199,17 +199,27 @@ func (n *Node) Multisend(batch []Deliverable) ([]*Node, int, error) {
 		// Deliver every remaining message the current node is responsible
 		// for ("x deletes all elements of L that are smaller or equal to
 		// id(x), starting from head(L), since node x is responsible for
-		// them").
-		for len(sorted) > 0 && cur.OwnsKey(sorted[0].d.Target) {
-			it := sorted[0]
-			// The message rode the shared walk for totalHops legs so far.
-			n.chargeBytes(it.d.Msg, totalHops)
-			if n.deliverTo(cur, it.d.Msg) {
-				recipients[it.idx] = cur
+		// them"). The whole run goes down as one transport batch — a single
+		// frame on a remote transport, message-by-message in the simulator.
+		run := 0
+		for run < len(sorted) && cur.OwnsKey(sorted[run].d.Target) {
+			run++
+		}
+		if run > 0 {
+			msgs := make([]Message, run)
+			for i := 0; i < run; i++ {
+				// Each message rode the shared walk for totalHops legs so far.
+				n.chargeBytes(sorted[i].d.Msg, totalHops)
+				msgs[i] = sorted[i].d.Msg
 			}
-			// A failed delivery leaves recipients[it.idx] nil; the batch
-			// keeps moving so one lost packet doesn't strand the rest.
-			sorted = sorted[1:]
+			for i, ok := range n.deliverBatchTo(cur, msgs) {
+				// A failed delivery leaves recipients[idx] nil; the batch
+				// keeps moving so one lost packet doesn't strand the rest.
+				if ok {
+					recipients[sorted[i].idx] = cur
+				}
+			}
+			sorted = sorted[run:]
 		}
 		if len(sorted) == 0 {
 			break
@@ -270,30 +280,34 @@ func (n *Node) MultisendIterative(batch []Deliverable) ([]*Node, int, error) {
 	return recipients, total, firstErr
 }
 
-// deliverTo hands msg to dst's application handler — through the network's
-// interceptor when one is installed — and reports whether at least one
-// synchronous delivery completed. A false return is the missing ack the
-// reliability layer retries on.
+// deliverTo hands msg to dst through the network's delivery transport —
+// in-process simulated delivery by default, a real wire when one is
+// installed — and reports whether at least one synchronous delivery
+// completed. A false return is the missing ack the reliability layer
+// retries on. Sender-side delivery accounting lives here, above the
+// transport, so it is identical for every implementation.
 func (n *Node) deliverTo(dst *Node, msg Message) bool {
-	forward := func() bool {
-		if !dst.Alive() {
-			return false
-		}
-		if h := dst.Handler(); h != nil {
-			h.HandleMessage(dst, msg)
-		}
-		return true
-	}
-	var ok bool
-	if ic := n.net.Interceptor(); ic != nil {
-		ok = ic.Deliver(n, dst, msg, forward) > 0
-	} else {
-		ok = forward()
-	}
+	ok := n.net.Transport().Deliver(n, dst, msg)
 	if ok {
 		n.net.obs.deliveries.Add(msg.Kind(), 1)
 	} else {
 		n.net.obs.deliveryMiss.Inc()
 	}
 	return ok
+}
+
+// deliverBatchTo delivers a run of messages bound for the same node in
+// order, returning one ack per message. A remote transport moves the whole
+// run in a single frame; the simulated default delivers one by one,
+// exactly like repeated deliverTo calls.
+func (n *Node) deliverBatchTo(dst *Node, msgs []Message) []bool {
+	acks := n.net.Transport().DeliverBatch(n, dst, msgs)
+	for i, ok := range acks {
+		if ok {
+			n.net.obs.deliveries.Add(msgs[i].Kind(), 1)
+		} else {
+			n.net.obs.deliveryMiss.Inc()
+		}
+	}
+	return acks
 }

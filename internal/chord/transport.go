@@ -1,0 +1,94 @@
+package chord
+
+// Transport is the pluggable delivery layer under the routing algorithms:
+// once Send/DirectSend/Multisend have resolved which node a message must
+// reach, the transport moves it there and reports the synchronous ack the
+// reliability layer retries on.
+//
+// Two implementations exist. The default simTransport below delivers
+// in-process through the chaos interceptor choke point, keeping the
+// simulator's bit-exact determinism. internal/transport provides a real
+// TCP transport for multi-process overlays; it re-encodes every message
+// through the engine codecs and delivers it on the owning process via
+// Network.DeliverLocal.
+//
+// Contract: Deliver returns true only when the destination's handler ran
+// (at least once) before Deliver returned — the ack semantics the engine's
+// retry layer (reliable.go) depends on. DeliverBatch delivers msgs to one
+// destination in order and returns one ack per message; it exists so a
+// remote transport can move a whole multisend leg in a single frame.
+// Implementations must tolerate reentrancy: handlers send new messages
+// from inside a delivery.
+type Transport interface {
+	Deliver(from, dst *Node, msg Message) bool
+	DeliverBatch(from, dst *Node, msgs []Message) []bool
+}
+
+// simTransport is the in-process default: hand the message pointer to the
+// destination's handler, optionally through the fault-injection
+// interceptor. It is exactly the delivery path the simulator always had —
+// installing no custom transport leaves every same-seed run bit-identical.
+type simTransport struct {
+	net *Network
+}
+
+func (t *simTransport) Deliver(from, dst *Node, msg Message) bool {
+	forward := func() bool {
+		if !dst.Alive() {
+			return false
+		}
+		if h := dst.Handler(); h != nil {
+			h.HandleMessage(dst, msg)
+		}
+		return true
+	}
+	if ic := t.net.Interceptor(); ic != nil {
+		return ic.Deliver(from, dst, msg, forward) > 0
+	}
+	return forward()
+}
+
+func (t *simTransport) DeliverBatch(from, dst *Node, msgs []Message) []bool {
+	acks := make([]bool, len(msgs))
+	for i, m := range msgs {
+		acks[i] = t.Deliver(from, dst, m)
+	}
+	return acks
+}
+
+// SetTransport installs (or, with nil, restores the simulated default)
+// delivery transport. Install before any traffic flows; the routing and
+// accounting layers above the transport are unchanged either way.
+func (net *Network) SetTransport(t Transport) {
+	net.trMu.Lock()
+	defer net.trMu.Unlock()
+	net.custom = t
+}
+
+// Transport returns the delivery transport in effect: the installed custom
+// transport, or the in-process simulated default.
+func (net *Network) Transport() Transport {
+	net.trMu.RLock()
+	defer net.trMu.RUnlock()
+	if net.custom != nil {
+		return net.custom
+	}
+	return net.simT
+}
+
+// DeliverLocal hands msg straight to the alive node with the given key on
+// this process — the receive path of a remote transport, which has already
+// crossed its own wire and decoded the message. It bypasses the
+// interceptor: fault injection models the simulated network, and a remote
+// transport has real packet loss of its own. Returns false when the node
+// is unknown or dead (the remote sender's missing ack).
+func (net *Network) DeliverLocal(dstKey string, msg Message) bool {
+	dst := net.NodeByKey(dstKey)
+	if dst == nil {
+		return false
+	}
+	if h := dst.Handler(); h != nil {
+		h.HandleMessage(dst, msg)
+	}
+	return true
+}

@@ -7,12 +7,18 @@ package daemon
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"strings"
 	"sync"
 
 	"cqjoin"
+	"cqjoin/internal/engine"
+	"cqjoin/internal/obs"
+	"cqjoin/internal/transport"
 )
 
 // Config parameterizes a daemon.
@@ -27,11 +33,27 @@ type Config struct {
 	UseJFRT bool
 	// Seed drives deterministic behaviour.
 	Seed int64
+
+	// OverlayAddr is this process's inter-node transport address
+	// ("host:port"). Empty runs the classic single-process mode with
+	// simulated delivery.
+	OverlayAddr string
+	// Peers lists every process's OverlayAddr — the same list, in the
+	// same order, on every process. Each process builds the identical
+	// overlay from (Nodes, Algorithm, SchemaDSL, Seed) and ring positions
+	// are assigned round-robin over Peers, so identical lists are what
+	// make the per-process owner maps agree. Must contain OverlayAddr.
+	Peers []string
 }
 
 // Server owns one cluster and serves the JSON protocol.
 type Server struct {
+	cfg     Config
 	cluster *cqjoin.Cluster
+	reg     *obs.Registry  // transport metrics; nil in single-process mode
+	tr      *transport.TCP // nil in single-process mode
+	owner   map[string]string
+	logf    func(format string, args ...interface{})
 
 	mu        sync.Mutex
 	queries   map[string]queryRef // query key -> owner + handle
@@ -39,9 +61,13 @@ type Server struct {
 	listening net.Listener
 }
 
+// queryRef remembers who subscribed and which kind of query it was, so
+// "unsubscribe" can route to Unsubscribe or UnsubscribeMulti. Exactly one
+// of q and mq is non-nil.
 type queryRef struct {
 	nodeKey string
 	q       *cqjoin.Query
+	mq      *cqjoin.MultiQuery
 }
 
 type listener struct {
@@ -49,7 +75,10 @@ type listener struct {
 	enc *json.Encoder
 }
 
-// New builds a server around a fresh cluster.
+// New builds a server around a fresh cluster. With cfg.OverlayAddr set it
+// also wires a TCP transport into the overlay so deliveries to ring
+// positions owned by other processes cross the network; call
+// StartOverlay or ListenAndServeOverlay before serving clients.
 func New(cfg Config) (*Server, error) {
 	catalog, err := ParseSchemaDSL(cfg.SchemaDSL)
 	if err != nil {
@@ -59,6 +88,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Algorithm = algorithmName(alg)
 	cluster, err := cqjoin.NewCluster(cqjoin.Config{
 		Nodes:     cfg.Nodes,
 		Catalog:   catalog,
@@ -70,12 +100,66 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
+		cfg:       cfg,
 		cluster:   cluster,
+		logf:      log.Printf,
 		queries:   make(map[string]queryRef),
 		listeners: make(map[*listener]struct{}),
 	}
+	if cfg.OverlayAddr != "" {
+		self := false
+		for _, p := range cfg.Peers {
+			if p == cfg.OverlayAddr {
+				self = true
+				break
+			}
+		}
+		if !self {
+			return nil, fmt.Errorf("daemon: overlay address %s is not in the peer list %v", cfg.OverlayAddr, cfg.Peers)
+		}
+		// Every process computes the same map: Nodes() is ascending
+		// identifier order and the peer list is identical everywhere.
+		s.owner = make(map[string]string, cluster.Size())
+		for i, n := range cluster.Overlay().Nodes() {
+			s.owner[n.Key()] = cfg.Peers[i%len(cfg.Peers)]
+		}
+		s.reg = obs.NewRegistry()
+		owner := s.owner
+		tr, err := transport.New(transport.Config{
+			Self:    cfg.OverlayAddr,
+			OwnerOf: func(dstKey string) string { return owner[dstKey] },
+			Codec:   engine.NewWireCodec(catalog),
+			Local:   cluster.Overlay(),
+			Seed:    cfg.Seed,
+			Obs:     s.reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.tr = tr
+		cluster.Overlay().SetTransport(tr)
+	}
 	cluster.OnNotify(s.broadcast)
 	return s, nil
+}
+
+// StartOverlay begins serving inter-node traffic on an existing listener
+// (tests bind port 0 first so the peer list can carry concrete ports).
+func (s *Server) StartOverlay(ln net.Listener) error {
+	if s.tr == nil {
+		return fmt.Errorf("daemon: no overlay transport configured")
+	}
+	s.tr.Start(ln)
+	return nil
+}
+
+// ListenAndServeOverlay binds Config.OverlayAddr and begins serving
+// inter-node traffic. It returns immediately.
+func (s *Server) ListenAndServeOverlay() error {
+	if s.tr == nil {
+		return fmt.Errorf("daemon: no overlay transport configured")
+	}
+	return s.tr.ListenAndServe()
 }
 
 // Cluster exposes the embedded cluster (for tests and embedding).
@@ -125,6 +209,21 @@ func parseAlgorithm(name string) (cqjoin.Algorithm, error) {
 	}
 }
 
+// algorithmName is the canonical protocol spelling, so "overlay-config"
+// responses round-trip through parseAlgorithm.
+func algorithmName(alg cqjoin.Algorithm) string {
+	switch alg {
+	case cqjoin.DAIQ:
+		return "daiq"
+	case cqjoin.DAIT:
+		return "dait"
+	case cqjoin.DAIV:
+		return "daiv"
+	default:
+		return "sai"
+	}
+}
+
 // ListenAndServe accepts connections until the listener is closed.
 func (s *Server) ListenAndServe(addr string) error {
 	ln, err := net.Listen("tcp", addr)
@@ -149,15 +248,22 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting connections.
+// Close stops accepting connections and shuts down the overlay transport
+// if one is running.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	ln := s.listening
 	s.mu.Unlock()
+	var err error
 	if ln != nil {
-		return ln.Close()
+		err = ln.Close()
 	}
-	return nil
+	if s.tr != nil {
+		if terr := s.tr.Close(); err == nil {
+			err = terr
+		}
+	}
+	return err
 }
 
 // Addr returns the bound address once serving.
@@ -180,6 +286,13 @@ type request struct {
 	Key      string        `json:"key,omitempty"`
 }
 
+// maxLineBytes bounds one protocol line. Oversized lines get a structured
+// error and the connection keeps serving; a Scanner would have bailed out
+// silently (its token-too-long error was never checked).
+const maxLineBytes = 1024 * 1024
+
+var errLineTooLong = errors.New("daemon: line too long")
+
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
 	enc := json.NewEncoder(conn)
@@ -190,10 +303,24 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
+	br := bufio.NewReaderSize(conn, 64*1024)
+	for {
+		line, err := readLine(br, maxLineBytes)
+		if err == errLineTooLong {
+			lst.send(map[string]interface{}{
+				"ok":    false,
+				"error": fmt.Sprintf("line too long: limit is %d bytes", maxLineBytes),
+			})
+			continue
+		}
+		if err != nil {
+			if err != io.EOF {
+				s.logf("daemon: connection %s: read: %v", conn.RemoteAddr(), err)
+				lst.send(map[string]interface{}{"ok": false, "error": "read: " + err.Error()})
+			}
+			return
+		}
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
@@ -206,25 +333,101 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// readLine returns the next newline-terminated line (or a final
+// unterminated one at EOF). A line exceeding max is drained fully and
+// reported as errLineTooLong, leaving the reader at the next line.
+func readLine(br *bufio.Reader, max int) (string, error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		switch err {
+		case nil:
+			if len(buf) > max {
+				return "", errLineTooLong
+			}
+			return string(buf), nil
+		case bufio.ErrBufferFull:
+			if len(buf) > max {
+				if derr := drainLine(br); derr != nil {
+					return "", derr
+				}
+				return "", errLineTooLong
+			}
+		case io.EOF:
+			if len(buf) > max {
+				return "", errLineTooLong
+			}
+			if len(buf) > 0 {
+				return string(buf), nil
+			}
+			return "", io.EOF
+		default:
+			return "", err
+		}
+	}
+}
+
+// drainLine discards the remainder of the current line.
+func drainLine(br *bufio.Reader) error {
+	for {
+		_, err := br.ReadSlice('\n')
+		switch err {
+		case nil:
+			return nil
+		case bufio.ErrBufferFull:
+		default:
+			return err
+		}
+	}
+}
+
+// localNode validates req.Node: in range, and — in multi-process mode —
+// hosted by this process (subscribing or publishing through a node owned
+// elsewhere would split that node's authoritative state).
+func (s *Server) localNode(i int) (*cqjoin.Node, error) {
+	if i < 0 || i >= s.cluster.Size() {
+		return nil, fmt.Errorf("node %d out of range [0,%d)", i, s.cluster.Size())
+	}
+	n := s.cluster.Node(i)
+	if s.owner != nil {
+		if o := s.owner[n.Key()]; o != s.cfg.OverlayAddr {
+			return nil, fmt.Errorf("node %d (%s) is hosted by peer %s", i, n.Key(), o)
+		}
+	}
+	return n, nil
+}
+
 func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 	fail := func(err error) map[string]interface{} {
 		return map[string]interface{}{"ok": false, "error": err.Error()}
 	}
 	switch req.Op {
 	case "subscribe":
-		q, err := s.cluster.Node(req.Node).Subscribe(req.SQL)
+		node, err := s.localNode(req.Node)
+		if err != nil {
+			return fail(err)
+		}
+		q, err := node.Subscribe(req.SQL)
 		if err != nil {
 			return fail(err)
 		}
 		s.mu.Lock()
-		s.queries[q.Key()] = queryRef{nodeKey: s.cluster.Node(req.Node).Key(), q: q}
+		s.queries[q.Key()] = queryRef{nodeKey: node.Key(), q: q}
 		s.mu.Unlock()
 		return map[string]interface{}{"ok": true, "key": q.Key()}
 	case "subscribe-multi":
-		mq, err := s.cluster.Node(req.Node).SubscribeMulti(req.SQL)
+		node, err := s.localNode(req.Node)
 		if err != nil {
 			return fail(err)
 		}
+		mq, err := node.SubscribeMulti(req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		s.mu.Lock()
+		s.queries[mq.Key()] = queryRef{nodeKey: node.Key(), mq: mq}
+		s.mu.Unlock()
 		return map[string]interface{}{"ok": true, "key": mq.Key()}
 	case "unsubscribe":
 		s.mu.Lock()
@@ -238,14 +441,24 @@ func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 		if node == nil {
 			return fail(fmt.Errorf("subscriber %s is offline", ref.nodeKey))
 		}
-		if err := node.Unsubscribe(ref.q); err != nil {
+		var err error
+		if ref.mq != nil {
+			err = node.UnsubscribeMulti(ref.mq)
+		} else {
+			err = node.Unsubscribe(ref.q)
+		}
+		if err != nil {
 			return fail(err)
 		}
 		return map[string]interface{}{"ok": true}
 	case "publish":
+		node, err := s.localNode(req.Node)
+		if err != nil {
+			return fail(err)
+		}
 		vals := make([]interface{}, len(req.Values))
 		copy(vals, req.Values)
-		t, err := s.cluster.Node(req.Node).Publish(req.Relation, vals...)
+		t, err := node.Publish(req.Relation, vals...)
 		if err != nil {
 			return fail(err)
 		}
@@ -257,13 +470,28 @@ func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 		return map[string]interface{}{"ok": true}
 	case "stats":
 		tr := s.cluster.Traffic()
-		return map[string]interface{}{
+		resp := map[string]interface{}{
 			"ok":            true,
 			"nodes":         s.cluster.Size(),
 			"notifications": len(s.cluster.Notifications()),
 			"hops":          tr.TotalHops(),
 			"messages":      tr.TotalMessages(),
 			"bytes":         tr.TotalBytes(),
+		}
+		if s.reg != nil {
+			resp["transport"] = s.reg.Snapshot()
+		}
+		return resp
+	case "overlay-config":
+		// Enough for `cqjoind -join` to build an identical overlay.
+		return map[string]interface{}{
+			"ok":        true,
+			"nodes":     s.cfg.Nodes,
+			"algorithm": s.cfg.Algorithm,
+			"schema":    s.cfg.SchemaDSL,
+			"jfrt":      s.cfg.UseJFRT,
+			"seed":      s.cfg.Seed,
+			"peers":     s.cfg.Peers,
 		}
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))

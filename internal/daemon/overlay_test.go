@@ -1,0 +1,245 @@
+package daemon
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestDaemonMultiUnsubscribe is the regression test for the protocol bug
+// where "subscribe-multi" never recorded the query, so "unsubscribe"
+// always answered "unknown query" and the chain kept firing forever.
+func TestDaemonMultiUnsubscribe(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.SchemaDSL = "A(x,y);B(x,y);C(x,y)"
+	_, conn := startServer(t, cfg)
+	c := newClient(t, conn)
+
+	resp := c.call(map[string]interface{}{
+		"op": "subscribe-multi", "node": 0,
+		"sql": `SELECT A.y, C.y FROM A, B, C WHERE A.x = B.y AND B.x = C.y`,
+	})
+	if resp["ok"] != true {
+		t.Fatalf("subscribe-multi: %v", resp)
+	}
+	key, _ := resp["key"].(string)
+	if key == "" {
+		t.Fatalf("no query key in %v", resp)
+	}
+	// Drive the pipeline one stage deep before retracting.
+	c.call(map[string]interface{}{"op": "publish", "node": 1, "relation": "A", "values": []interface{}{1, 10}})
+	c.call(map[string]interface{}{"op": "publish", "node": 2, "relation": "B", "values": []interface{}{2, 1}})
+	if resp := c.call(map[string]interface{}{"op": "unsubscribe", "key": key}); resp["ok"] != true {
+		t.Fatalf("unsubscribe of a multi-way query: %v", resp)
+	}
+	// Neither the completing tuple nor a whole fresh chain may notify.
+	c.call(map[string]interface{}{"op": "publish", "node": 3, "relation": "C", "values": []interface{}{0, 2}})
+	c.call(map[string]interface{}{"op": "publish", "node": 4, "relation": "A", "values": []interface{}{1, 11}})
+	c.call(map[string]interface{}{"op": "publish", "node": 5, "relation": "B", "values": []interface{}{2, 1}})
+	c.call(map[string]interface{}{"op": "publish", "node": 6, "relation": "C", "values": []interface{}{0, 2}})
+	stats := c.call(map[string]interface{}{"op": "stats"})
+	if stats["notifications"].(float64) != 0 {
+		t.Fatalf("retracted multi-way query still notified: %v", stats)
+	}
+	if resp := c.call(map[string]interface{}{"op": "unsubscribe", "key": key}); resp["ok"] != false {
+		t.Fatalf("double unsubscribe accepted: %v", resp)
+	}
+}
+
+// TestDaemonNodeOutOfRange is the regression test for req.Node reaching
+// the cluster unvalidated: out-of-range ids used to wrap modulo the
+// overlay size and silently act on some other node.
+func TestDaemonNodeOutOfRange(t *testing.T) {
+	_, conn := startServer(t, defaultConfig())
+	c := newClient(t, conn)
+
+	sql := `SELECT O.Customer, S.Depot FROM Orders AS O, Shipments AS S WHERE O.Product = S.Product`
+	for _, node := range []int{-1, 48, 1 << 20} {
+		for _, req := range []map[string]interface{}{
+			{"op": "subscribe", "node": node, "sql": sql},
+			{"op": "subscribe-multi", "node": node, "sql": sql},
+			{"op": "publish", "node": node, "relation": "Orders", "values": []interface{}{1, "acme", "widget"}},
+		} {
+			resp := c.call(req)
+			if resp["ok"] != false {
+				t.Fatalf("%s with node %d accepted: %v", req["op"], node, resp)
+			}
+			if msg, _ := resp["error"].(string); !strings.Contains(msg, "out of range") {
+				t.Fatalf("%s with node %d: error %q does not name the range", req["op"], node, msg)
+			}
+		}
+	}
+	// Nothing was subscribed or published along the way.
+	stats := c.call(map[string]interface{}{"op": "stats"})
+	if stats["ok"] != true || stats["notifications"].(float64) != 0 {
+		t.Fatalf("stats after rejected ops: %v", stats)
+	}
+}
+
+// TestDaemonLineTooLong is the regression test for the unchecked
+// bufio.Scanner error: an oversized line used to kill the connection
+// silently. Now it gets a structured error and the connection lives on.
+func TestDaemonLineTooLong(t *testing.T) {
+	_, conn := startServer(t, defaultConfig())
+	c := newClient(t, conn)
+
+	huge := make([]byte, maxLineBytes+16)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	huge[len(huge)-1] = '\n'
+	if _, err := c.conn.Write(huge); err != nil {
+		t.Fatalf("write oversized line: %v", err)
+	}
+	resp := c.read()
+	if resp["ok"] != false || !strings.Contains(resp["error"].(string), "line too long") {
+		t.Fatalf("oversized line: %v", resp)
+	}
+	// The same connection still serves requests.
+	if resp := c.call(map[string]interface{}{"op": "stats"}); resp["ok"] != true {
+		t.Fatalf("connection dead after oversized line: %v", resp)
+	}
+}
+
+// startOverlayPair builds two daemon processes' worth of servers sharing
+// one overlay: each owns every other ring position. Returns one connected
+// client per server.
+func startOverlayPair(t *testing.T, base Config) (*client, *client) {
+	t.Helper()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen overlay A: %v", err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen overlay B: %v", err)
+	}
+	peers := []string{lnA.Addr().String(), lnB.Addr().String()}
+
+	clients := make([]*client, 2)
+	for i, ln := range []net.Listener{lnA, lnB} {
+		cfg := base
+		cfg.OverlayAddr = peers[i]
+		cfg.Peers = peers
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New server %d: %v", i, err)
+		}
+		if err := srv.StartOverlay(ln); err != nil {
+			t.Fatalf("StartOverlay %d: %v", i, err)
+		}
+		cln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen client %d: %v", i, err)
+		}
+		go func() { _ = srv.Serve(cln) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		conn, err := net.Dial("tcp", cln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		t.Cleanup(func() { _ = conn.Close() })
+		clients[i] = newClient(t, conn)
+	}
+	return clients[0], clients[1]
+}
+
+// TestDaemonTwoProcessOverlay is the acceptance test for multi-process
+// mode: two servers form one overlay; a query subscribed on a node owned
+// by process A is matched by tuples published through process B, and the
+// notification event surfaces at A's listener.
+func TestDaemonTwoProcessOverlay(t *testing.T) {
+	cA, cB := startOverlayPair(t, defaultConfig())
+
+	if resp := cA.call(map[string]interface{}{"op": "listen"}); resp["ok"] != true {
+		t.Fatalf("listen: %v", resp)
+	}
+	// Node 0 is owned by A (even ring index), node 1 by B.
+	resp := cA.call(map[string]interface{}{
+		"op": "subscribe", "node": 0,
+		"sql": `SELECT O.Customer, S.Depot FROM Orders AS O, Shipments AS S WHERE O.Product = S.Product`,
+	})
+	if resp["ok"] != true {
+		t.Fatalf("subscribe on A: %v", resp)
+	}
+	key := resp["key"].(string)
+
+	// Ownership is enforced: B refuses to act through A's node.
+	if resp := cB.call(map[string]interface{}{
+		"op": "publish", "node": 0, "relation": "Orders", "values": []interface{}{1, "x", "y"},
+	}); resp["ok"] != false || !strings.Contains(resp["error"].(string), "hosted by peer") {
+		t.Fatalf("B published through A's node: %v", resp)
+	}
+
+	if resp := cB.call(map[string]interface{}{
+		"op": "publish", "node": 1, "relation": "Orders", "values": []interface{}{1, "acme", "widget"},
+	}); resp["ok"] != true {
+		t.Fatalf("publish Orders on B: %v", resp)
+	}
+	if resp := cB.call(map[string]interface{}{
+		"op": "publish", "node": 3, "relation": "Shipments", "values": []interface{}{9, "widget", "rotterdam"},
+	}); resp["ok"] != true {
+		t.Fatalf("publish Shipments on B: %v", resp)
+	}
+
+	// The cross-process match surfaces at A's listener.
+	event := cA.nextEvent()
+	if event["event"] != "notification" || event["query"] != key {
+		t.Fatalf("event = %v", event)
+	}
+	vals, _ := event["values"].([]interface{})
+	if len(vals) != 2 || vals[0] != "acme" || vals[1] != "rotterdam" {
+		t.Fatalf("event values = %v", vals)
+	}
+
+	// B's deliveries crossed real sockets: its stats carry transport
+	// metrics with at least one dial and some frame traffic.
+	stats := cB.call(map[string]interface{}{"op": "stats"})
+	tm, ok := stats["transport"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("stats carry no transport metrics: %v", stats)
+	}
+	if tm["transport.dials"].(float64) == 0 || tm["transport.frame_bytes_out"].(float64) == 0 {
+		t.Fatalf("no cross-process traffic in metrics: %v", tm)
+	}
+}
+
+// TestDaemonOverlayConfig checks the op "-join" uses to copy a peer's
+// configuration, and that a misconfigured peer list is rejected.
+func TestDaemonOverlayConfig(t *testing.T) {
+	cA, _ := startOverlayPair(t, defaultConfig())
+	resp := cA.call(map[string]interface{}{"op": "overlay-config"})
+	if resp["ok"] != true {
+		t.Fatalf("overlay-config: %v", resp)
+	}
+	if resp["nodes"].(float64) != 48 || resp["algorithm"] != "sai" || resp["seed"].(float64) != 1 {
+		t.Fatalf("overlay-config fields: %v", resp)
+	}
+	if peers, _ := resp["peers"].([]interface{}); len(peers) != 2 {
+		t.Fatalf("overlay-config peers: %v", resp)
+	}
+	if schema, _ := resp["schema"].(string); !strings.Contains(schema, "Orders") {
+		t.Fatalf("overlay-config schema: %v", resp)
+	}
+
+	bad := defaultConfig()
+	bad.OverlayAddr = "127.0.0.1:1"
+	bad.Peers = []string{"127.0.0.1:2", "127.0.0.1:3"}
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "not in the peer list") {
+		t.Fatalf("self-less peer list accepted: %v", err)
+	}
+}
+
+// TestDaemonSingleProcessStatsHaveNoTransport pins the single-process
+// protocol surface: no overlay, no transport section in stats.
+func TestDaemonSingleProcessStatsHaveNoTransport(t *testing.T) {
+	_, conn := startServer(t, defaultConfig())
+	c := newClient(t, conn)
+	stats := c.call(map[string]interface{}{"op": "stats"})
+	if _, has := stats["transport"]; has {
+		t.Fatalf("single-process stats carry transport metrics: %v", stats)
+	}
+	if resp := c.call(map[string]interface{}{"op": "overlay-config"}); resp["ok"] != true {
+		t.Fatalf("overlay-config: %v", resp)
+	}
+}

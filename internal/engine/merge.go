@@ -142,6 +142,19 @@ func (st *nodeState) mergeMVLQT(b *mvlqtBucket) int {
 			added++
 		}
 	}
+	for key, targets := range b.sentTargets {
+		ts := ex.sentTargets[key]
+		if ts == nil {
+			if ex.sentTargets == nil {
+				ex.sentTargets = make(map[string]map[string]struct{})
+			}
+			ex.sentTargets[key] = targets
+			continue
+		}
+		for t := range targets {
+			ts[t] = struct{}{}
+		}
+	}
 	return added
 }
 

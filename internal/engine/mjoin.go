@@ -92,12 +92,20 @@ func (e *Engine) SubscribeMulti(from *chord.Node, mq *query.MultiQuery) (*query.
 	}
 	rel := oriented.Rels()[0].Name()
 	var batch []chord.Deliverable
+	var inputs []string
 	for r := 0; r < e.cfg.ReplicationFactor; r++ {
+		input := alInput(rel, attr, r)
+		inputs = append(inputs, input)
 		batch = append(batch, chord.Deliverable{
-			Target: id.Hash(alInput(rel, attr, r)),
+			Target: id.Hash(input),
 			Msg:    mQueryMsg{MQ: oriented, Attr: attr, Replica: r},
 		})
 	}
+	// The subscriber remembers where its chain is indexed so it can retract
+	// it later (UnsubscribeMulti).
+	e.mu.Lock()
+	e.subs[oriented.Key()] = inputs
+	e.mu.Unlock()
 	if err := e.dispatch(from, batch); err != nil {
 		return nil, err
 	}
@@ -223,6 +231,14 @@ func (st *nodeState) triggerMulti(b *alBucket, t *relation.Tuple) (outs []outbou
 			}
 			rws = append(rws, rw)
 			target = vlInput(rw.WantRel, rw.WantAttr, rw.WantValue)
+			// Remember the fan-out so retraction can purge the stage-1
+			// partial matches (the same list two-way rewrites use).
+			ts := b.sentTargets[mq.Key()]
+			if ts == nil {
+				ts = make(map[string]struct{})
+				b.sentTargets[mq.Key()] = ts
+			}
+			ts[target] = struct{}{}
 		}
 		if len(rws) > 0 {
 			outs = append(outs, outbound{input: target, msg: mJoinMsg{Rewrites: rws}})
@@ -322,22 +338,23 @@ func (st *nodeState) handleMJoin(m mJoinMsg) {
 	st.mu.Lock()
 	for _, rw := range m.Rewrites {
 		input := vlInput(rw.WantRel, rw.WantAttr, rw.WantValue)
+		mb := st.mvlqt[input]
+		if mb == nil {
+			mb = &mvlqtBucket{input: input}
+			st.mvlqt[input] = mb
+		}
 		if tb := st.vltt[input]; tb != nil {
 			for _, tt := range tb.tuples {
 				work++
 				if n, out, ok := matchMulti(rw, tt); ok {
 					if out != nil {
 						outs = append(outs, *out)
+						mb.recordTarget(rw.Orig.Key(), out.input)
 					} else {
 						notifs = append(notifs, n)
 					}
 				}
 			}
-		}
-		mb := st.mvlqt[input]
-		if mb == nil {
-			mb = &mvlqtBucket{input: input}
-			st.mvlqt[input] = mb
 		}
 		mb.rewrites = append(mb.rewrites, rw)
 		stored++
@@ -357,6 +374,24 @@ func (st *nodeState) handleMJoin(m mJoinMsg) {
 type mvlqtBucket struct {
 	input    string
 	rewrites []*mRewritten
+	// sentTargets records, per original query key, the next-stage
+	// value-level identifiers this evaluator forwarded partial matches to —
+	// the purge list a retraction cascades down the pipeline.
+	sentTargets map[string]map[string]struct{}
+}
+
+// recordTarget remembers that a partial match of queryKey was forwarded to
+// the evaluator of input. The caller holds st.mu.
+func (mb *mvlqtBucket) recordTarget(queryKey, input string) {
+	if mb.sentTargets == nil {
+		mb.sentTargets = make(map[string]map[string]struct{})
+	}
+	ts := mb.sentTargets[queryKey]
+	if ts == nil {
+		ts = make(map[string]struct{})
+		mb.sentTargets[queryKey] = ts
+	}
+	ts[input] = struct{}{}
 }
 
 // matchMultiStored runs an incoming value-level tuple against the stored
@@ -372,6 +407,7 @@ func (st *nodeState) matchMultiStored(input string, t *relation.Tuple) (notifs [
 		if n, out, ok := matchMulti(rw, t); ok {
 			if out != nil {
 				outs = append(outs, *out)
+				mb.recordTarget(rw.Orig.Key(), out.input)
 			} else {
 				notifs = append(notifs, n)
 			}

@@ -63,8 +63,40 @@ func (e *Engine) Unsubscribe(from *chord.Node, q *query.Query) error {
 	return e.dispatch(from, batch)
 }
 
-// handleUnsub removes the query from this rewriter's ALQT and purges its
-// stored rewrites from every evaluator this rewriter fanned out to.
+// UnsubscribeMulti retracts a continuous multi-way chain join previously
+// returned by SubscribeMulti. The rewriter drops the chain from its ALQT
+// and purges its stage-1 partial matches from the evaluators; each
+// evaluator then cascades the purge down the pipeline along the per-query
+// fan-out targets it recorded while forwarding (mvlqtBucket.sentTargets).
+// Pass the *oriented* query SubscribeMulti returned — its key and chain
+// condition are what the rewriters indexed.
+func (e *Engine) UnsubscribeMulti(from *chord.Node, mq *query.MultiQuery) error {
+	if !from.Alive() {
+		return fmt.Errorf("engine: unsubscribe from departed node %s", from)
+	}
+	if e.cfg.Algorithm != SAI && e.cfg.Algorithm != DAIQ {
+		return fmt.Errorf("engine: multi-way joins run under SAI or DAI-Q, not %s", e.cfg.Algorithm)
+	}
+	e.mu.Lock()
+	inputs, ok := e.subs[mq.Key()]
+	delete(e.subs, mq.Key())
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("engine: unknown or already retracted query %s", mq.Key())
+	}
+	batch := make([]chord.Deliverable, 0, len(inputs))
+	for _, input := range inputs {
+		batch = append(batch, chord.Deliverable{
+			Target: id.Hash(input),
+			Msg:    unsubMsg{QueryKey: mq.Key(), Cond: mq.ConditionKey(), Input: input},
+		})
+	}
+	return e.dispatch(from, batch)
+}
+
+// handleUnsub removes the query from this rewriter's ALQT — two-way groups
+// and multi-way chain groups alike — and purges its stored rewrites from
+// every evaluator this rewriter fanned out to.
 func (st *nodeState) handleUnsub(m unsubMsg) {
 	var targets []string
 	removed := 0
@@ -83,6 +115,20 @@ func (st *nodeState) handleUnsub(m unsubMsg) {
 			g.queries = kept
 			if len(g.queries) == 0 {
 				delete(b.byCond, m.Cond)
+			}
+		}
+		if g := b.multi[m.Cond]; g != nil {
+			kept := g.queries[:0]
+			for _, mq := range g.queries {
+				if mq.Key() == m.QueryKey {
+					removed++
+					continue
+				}
+				kept = append(kept, mq)
+			}
+			g.queries = kept
+			if len(g.queries) == 0 {
+				delete(b.multi, m.Cond)
 			}
 		}
 		for input := range b.sentTargets[m.QueryKey] {
@@ -122,10 +168,15 @@ func (st *nodeState) handleUnsub(m unsubMsg) {
 }
 
 // handlePurge drops the retracted query's stored rewrites from this
-// evaluator's VLQT.
+// evaluator's VLQT and its partial matches from the multi-way MVLQT. For
+// multi-way chains the purge cascades: partial matches this evaluator
+// already forwarded live at later pipeline stages, so the purge follows
+// the recorded fan-out targets. The cascade terminates because each visit
+// consumes its target record — a revisited bucket fans out nothing.
 func (st *nodeState) handlePurge(m purgeMsg) {
 	removed := 0
 	prefix := m.QueryKey + "+"
+	var cascade []string
 
 	st.mu.Lock()
 	if qb := st.vlqt[m.Input]; qb != nil {
@@ -143,10 +194,43 @@ func (st *nodeState) handlePurge(m purgeMsg) {
 			delete(st.vlqt, m.Input)
 		}
 	}
+	if mb := st.mvlqt[m.Input]; mb != nil {
+		kept := mb.rewrites[:0]
+		for _, rw := range mb.rewrites {
+			if rw.Orig.Key() == m.QueryKey {
+				removed++
+				continue
+			}
+			kept = append(kept, rw)
+		}
+		mb.rewrites = kept
+		for input := range mb.sentTargets[m.QueryKey] {
+			cascade = append(cascade, input)
+		}
+		delete(mb.sentTargets, m.QueryKey)
+		if len(mb.rewrites) == 0 && len(mb.sentTargets) == 0 {
+			delete(st.mvlqt, m.Input)
+		}
+	}
 	st.mu.Unlock()
 
 	st.load.AddFiltering(metrics.Evaluator, 1)
 	if removed > 0 {
 		st.load.AddStorage(metrics.Evaluator, -removed)
+	}
+	if len(cascade) == 0 {
+		return
+	}
+	batch := make([]chord.Deliverable, 0, len(cascade))
+	for _, input := range cascade {
+		batch = append(batch, chord.Deliverable{
+			Target: id.Hash(input),
+			Msg:    purgeMsg{QueryKey: m.QueryKey, Input: input},
+		})
+	}
+	if st.engine.cfg.IterativeMultisend {
+		_, _, _ = st.node.MultisendIterative(batch)
+	} else {
+		_, _, _ = st.node.Multisend(batch)
 	}
 }

@@ -115,6 +115,85 @@ func TestUnsubscribeErrors(t *testing.T) {
 	}
 }
 
+func TestUnsubscribeMultiStopsNotifications(t *testing.T) {
+	for _, alg := range []Algorithm{SAI, DAIQ} {
+		t.Run(alg.String(), func(t *testing.T) {
+			env := newMultiEnv(t, 48, Config{Algorithm: alg, Strategy: StrategyLeft, Seed: 6})
+			mq := env.subscribeMulti(t, 0, `SELECT A.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+			// Stage one fires: a partial match A⋈B is stored mid-pipeline.
+			env.publish(t, 1, env.tuple(env.a, 1, 0, 10))
+			env.publish(t, 2, env.tuple(env.b, 2, 1, 20))
+			if err := env.eng.UnsubscribeMulti(env.nodes[0], mq); err != nil {
+				t.Fatalf("UnsubscribeMulti: %v", err)
+			}
+			// Neither the completing tuple for the stored partial match nor
+			// an entirely fresh chain may notify now.
+			env.publish(t, 3, env.tuple(env.c, 0, 2, 30))
+			env.publish(t, 4, env.tuple(env.a, 1, 0, 11))
+			env.publish(t, 5, env.tuple(env.b, 2, 1, 21))
+			env.publish(t, 6, env.tuple(env.c, 0, 2, 31))
+			if got := env.eng.Notifications(); len(got) != 0 {
+				t.Fatalf("retracted chain notified: %v", got)
+			}
+			if err := env.eng.UnsubscribeMulti(env.nodes[0], mq); err == nil {
+				t.Fatal("double multi retraction accepted")
+			}
+		})
+	}
+}
+
+func TestUnsubscribeMultiPurgesPipeline(t *testing.T) {
+	env := newMultiEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft, Seed: 7})
+	mq := env.subscribeMulti(t, 0, `SELECT A.z, D.z FROM A, B, C, D WHERE A.x = B.y AND B.x = C.y AND C.x = D.y`)
+	// Drive the chain two stages deep so partial matches sit at several
+	// evaluators; the purge must cascade along the recorded fan-out.
+	env.publish(t, 1, env.tuple(env.a, 1, 0, 10))
+	env.publish(t, 2, env.tuple(env.b, 2, 1, 20))
+	env.publish(t, 3, env.tuple(env.c, 3, 2, 30))
+	if got := sum(env.eng.RoleLoads(metrics.Rewriter, true)); got == 0 {
+		t.Fatal("set-up stored no chain query")
+	}
+	evalBefore := sum(env.eng.RoleLoads(metrics.Evaluator, true))
+	if evalBefore == 0 {
+		t.Fatal("set-up stored no partial matches")
+	}
+	if err := env.eng.UnsubscribeMulti(env.nodes[0], mq); err != nil {
+		t.Fatalf("UnsubscribeMulti: %v", err)
+	}
+	if got := sum(env.eng.RoleLoads(metrics.Rewriter, true)); got != 0 {
+		t.Fatalf("rewriter storage after retraction = %d, want 0", got)
+	}
+	// The three pipeline-stage partial matches (one per published tuple) are
+	// purged; tuples stored at the value level are shared state and survive.
+	if got := sum(env.eng.RoleLoads(metrics.Evaluator, true)); got != evalBefore-3 {
+		t.Fatalf("evaluator storage after retraction = %d, want %d (3 partial matches purged)",
+			got, evalBefore-3)
+	}
+	env.publish(t, 4, env.tuple(env.d, 0, 3, 40))
+	if got := env.eng.Notifications(); len(got) != 0 {
+		t.Fatalf("purged pipeline completed: %v", got)
+	}
+}
+
+func TestUnsubscribeMultiLeavesOtherChainsIntact(t *testing.T) {
+	env := newMultiEnv(t, 48, Config{Algorithm: SAI, Strategy: StrategyLeft, Seed: 8})
+	mq1 := env.subscribeMulti(t, 0, `SELECT A.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+	env.subscribeMulti(t, 1, `SELECT A.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`)
+	env.publish(t, 2, env.tuple(env.a, 1, 0, 10))
+	if err := env.eng.UnsubscribeMulti(env.nodes[0], mq1); err != nil {
+		t.Fatalf("UnsubscribeMulti: %v", err)
+	}
+	env.publish(t, 3, env.tuple(env.b, 2, 1, 20))
+	env.publish(t, 4, env.tuple(env.c, 0, 2, 30))
+	got := env.eng.Notifications()
+	if len(got) != 1 {
+		t.Fatalf("%d notifications, want 1 (for the surviving chain)", len(got))
+	}
+	if got[0].Subscriber != env.nodes[1].Key() {
+		t.Fatalf("notified %s, want the surviving subscriber", got[0].Subscriber)
+	}
+}
+
 func TestResubscribeAfterUnsubscribe(t *testing.T) {
 	// DAI-T's reindex-once markers must be cleared by retraction so an
 	// identical re-subscription behaves like a fresh query.

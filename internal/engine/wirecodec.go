@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"cqjoin/internal/chord"
+	"cqjoin/internal/relation"
+	"cqjoin/internal/wire"
+)
+
+// WireCodec packages the engine's message codecs (codec.go) behind the
+// two-method surface a remote transport needs, so internal/transport can
+// move engine messages without importing the engine. The catalog is
+// captured once: decoding re-parses query SQL against it, exactly like
+// DecodeMessage.
+//
+// It satisfies transport.Codec structurally; keeping the dependency
+// arrow transport→chord/wire only (never transport→engine) means the
+// transport stays reusable for any message family with a codec.
+type WireCodec struct {
+	catalog *relation.Catalog
+}
+
+// NewWireCodec builds a codec bound to the given catalog.
+func NewWireCodec(catalog *relation.Catalog) WireCodec {
+	return WireCodec{catalog: catalog}
+}
+
+// Encode appends msg's wire encoding to w.
+func (c WireCodec) Encode(w *wire.Buffer, msg chord.Message) error {
+	return EncodeMessage(w, msg)
+}
+
+// Decode reads one message encoded by Encode.
+func (c WireCodec) Decode(r *wire.Reader) (chord.Message, error) {
+	return DecodeMessage(r, c.catalog)
+}

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"cqjoin/internal/wire"
+)
+
+// The wire protocol between peers is a sequence of frames, each a 4-byte
+// big-endian length followed by a payload encoded with internal/wire
+// primitives:
+//
+//	frame   := len:uint32be payload                (len counts payload only)
+//	payload := ftype:uvarint rest
+//	hello   := HELLO version:uvarint self:string   (first frame each way)
+//	helloOK := HELLO_OK version:uvarint
+//	batch   := BATCH seq:uvarint count:uvarint
+//	           { dstKey:string msg:string } * count (msg = engine codec bytes)
+//	ack     := ACK seq:uvarint status:string       (one status byte per msg)
+//
+// A connection is an RPC channel used by exactly one in-flight batch at a
+// time: the sender writes a batch and blocks for its ack, so seq matching
+// is a sanity check, not a demultiplexer. Acks carry one byte per message;
+// ackOK means the destination's handler ran before the ack was sent — the
+// same synchronous-ack contract the simulated transport provides.
+const (
+	protoVersion = 1
+
+	// maxFrame bounds one frame so a corrupt length prefix cannot allocate
+	// gigabytes. 16 MiB fits any realistic multisend leg (the simulator's
+	// message sizes are hundreds of bytes).
+	maxFrame = 16 << 20
+
+	frameHello   = 1
+	frameHelloOK = 2
+	frameBatch   = 3
+	frameAck     = 4
+
+	ackOK   byte = 1
+	ackFail byte = 0
+)
+
+// writeFrame sends one length-prefixed frame in a single Write call.
+func writeFrame(c net.Conn, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(payload), maxFrame)
+	}
+	out := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[4:], payload)
+	_, err := c.Write(out)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, rejecting oversized lengths
+// before allocating.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// encodeHello builds the client's opening frame.
+func encodeHello(self string) []byte {
+	var w wire.Buffer
+	w.PutUvarint(frameHello)
+	w.PutUvarint(protoVersion)
+	w.PutString(self)
+	return w.Bytes()
+}
+
+// encodeHelloOK builds the server's hello acknowledgement.
+func encodeHelloOK() []byte {
+	var w wire.Buffer
+	w.PutUvarint(frameHelloOK)
+	w.PutUvarint(protoVersion)
+	return w.Bytes()
+}
+
+// encodeBatch builds a batch frame from pre-encoded message payloads, one
+// destination key per message.
+func encodeBatch(seq uint64, dstKeys []string, msgs [][]byte) []byte {
+	var w wire.Buffer
+	w.PutUvarint(frameBatch)
+	w.PutUvarint(seq)
+	w.PutUvarint(uint64(len(dstKeys)))
+	for i := range dstKeys {
+		w.PutString(dstKeys[i])
+		w.PutString(string(msgs[i]))
+	}
+	return w.Bytes()
+}
+
+// encodeAck builds the ack for a batch: the echoed seq plus one status
+// byte per message, in batch order.
+func encodeAck(seq uint64, statuses []byte) []byte {
+	var w wire.Buffer
+	w.PutUvarint(frameAck)
+	w.PutUvarint(seq)
+	w.PutString(string(statuses))
+	return w.Bytes()
+}
+
+// decodeAck parses an ack frame (sans the already-consumed ftype) and
+// validates it against the batch it answers.
+func decodeAck(r *wire.Reader, wantSeq uint64, wantCount int) ([]byte, error) {
+	seq, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if seq != wantSeq {
+		return nil, fmt.Errorf("transport: ack for seq %d, want %d", seq, wantSeq)
+	}
+	statuses, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	if len(statuses) != wantCount {
+		return nil, fmt.Errorf("transport: ack carries %d statuses, want %d", len(statuses), wantCount)
+	}
+	return []byte(statuses), nil
+}

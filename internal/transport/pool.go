@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// pooledConn is one established, hello-verified connection to a peer. A
+// connection is checked out exclusively for the duration of one RPC
+// (write batch, read ack), so none of its fields need locking.
+type pooledConn struct {
+	c         net.Conn
+	br        *bufio.Reader
+	seq       uint64
+	idleSince time.Time
+}
+
+// pool keeps idle connections per peer address. Checkout pops the most
+// recently used connection (LIFO, so the oldest ones go cold and get
+// reaped); when the pool is empty the transport dials a fresh one, so the
+// number of active connections tracks the RPC concurrency and only idle
+// ones are bounded.
+type pool struct {
+	mu      sync.Mutex
+	idle    map[string][]*pooledConn
+	maxIdle int
+	// everConnected distinguishes a first dial from a re-dial after a
+	// connection was torn down, for the reconnect metric.
+	everConnected map[string]bool
+	closed        bool
+}
+
+func newPool(maxIdle int) *pool {
+	return &pool{
+		idle:          make(map[string][]*pooledConn),
+		maxIdle:       maxIdle,
+		everConnected: make(map[string]bool),
+	}
+}
+
+// get pops an idle connection to addr, or returns nil when the caller
+// must dial.
+func (p *pool) get(addr string) *pooledConn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conns := p.idle[addr]
+	if len(conns) == 0 {
+		return nil
+	}
+	pc := conns[len(conns)-1]
+	p.idle[addr] = conns[:len(conns)-1]
+	return pc
+}
+
+// put returns a healthy connection to the pool. A false return means the
+// pool refused it (closed, or idle limit reached) and the caller must
+// close it.
+func (p *pool) put(addr string, pc *pooledConn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.idle[addr]) >= p.maxIdle {
+		return false
+	}
+	pc.idleSince = time.Now()
+	p.idle[addr] = append(p.idle[addr], pc)
+	return true
+}
+
+// markConnected records a successful dial to addr and reports whether the
+// peer had been connected before (i.e. this dial is a reconnect).
+func (p *pool) markConnected(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := p.everConnected[addr]
+	p.everConnected[addr] = true
+	return seen
+}
+
+// reap closes idle connections unused since before cutoff and returns how
+// many it dropped.
+func (p *pool) reap(cutoff time.Time) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	reaped := 0
+	for addr, conns := range p.idle {
+		kept := conns[:0]
+		for _, pc := range conns {
+			if pc.idleSince.Before(cutoff) {
+				_ = pc.c.Close()
+				reaped++
+			} else {
+				kept = append(kept, pc)
+			}
+		}
+		p.idle[addr] = kept
+	}
+	return reaped
+}
+
+// idleCount returns the total idle connections across peers.
+func (p *pool) idleCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, conns := range p.idle {
+		n += len(conns)
+	}
+	return n
+}
+
+// closeAll closes every idle connection and refuses future puts.
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, conns := range p.idle {
+		for _, pc := range conns {
+			_ = pc.c.Close()
+		}
+	}
+	p.idle = make(map[string][]*pooledConn)
+}
+
+// newPooledConn wraps a freshly dialed, hello-verified connection.
+func newPooledConn(c net.Conn) *pooledConn {
+	return &pooledConn{c: c, br: bufio.NewReader(c), idleSince: time.Now()}
+}

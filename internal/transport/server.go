@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"cqjoin/internal/wire"
+)
+
+// acceptLoop serves peer connections until the listener closes.
+func (t *TCP) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		t.serverConns[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.handleConn(c)
+	}
+}
+
+// handleConn answers frames from one peer connection: hello with helloOK,
+// batches with acks. Messages are decoded and handed to the local
+// deliverer before the ack goes out, preserving the synchronous-ack
+// contract end to end. Processing is sequential per connection — the
+// sender holds a connection exclusively per RPC — but nested sends
+// triggered by handlers arrive on other connections served by their own
+// goroutines, so reentrant traffic cannot deadlock.
+func (t *TCP) handleConn(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.serverConns, c)
+		t.mu.Unlock()
+		_ = c.Close()
+	}()
+	br := bufio.NewReader(c)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !t.isClosed() {
+				t.cfg.Logf("transport: read from %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		t.obs.framesIn.Inc()
+		t.obs.frameBytesIn.Add(int64(len(payload)))
+		reply, err := t.handleFrame(payload)
+		if err != nil {
+			t.cfg.Logf("transport: bad frame from %s: %v", c.RemoteAddr(), err)
+			return
+		}
+		if reply == nil {
+			continue
+		}
+		_ = c.SetWriteDeadline(time.Now().Add(t.cfg.IOTimeout))
+		err = t.writeFrameCounted(c, reply)
+		_ = c.SetWriteDeadline(time.Time{})
+		if err != nil {
+			if !t.isClosed() {
+				t.cfg.Logf("transport: write to %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+// handleFrame processes one inbound frame and returns the reply frame (or
+// nil for none). An error tears the connection down.
+func (t *TCP) handleFrame(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	ftype, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	switch ftype {
+	case frameHello:
+		if _, err := r.Uvarint(); err != nil { // version; any is answered with ours
+			return nil, err
+		}
+		return encodeHelloOK(), nil
+	case frameBatch:
+		return t.handleBatch(r)
+	default:
+		return nil, errors.New("transport: unknown frame type")
+	}
+}
+
+// handleBatch decodes and delivers each message of a batch frame in
+// order, returning the ack. A message that fails to decode gets ackFail
+// without killing the rest of the batch: the sender's retry will re-offer
+// it, and the engine's dedup makes the repeats harmless.
+func (t *TCP) handleBatch(r *wire.Reader) ([]byte, error) {
+	seq, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(r.Remaining()) {
+		// Every entry occupies at least one byte; a larger count is a
+		// forged prefix, not a short read.
+		return nil, errors.New("transport: implausible batch count")
+	}
+	statuses := make([]byte, count)
+	for i := range statuses {
+		dstKey, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		msg, err := t.cfg.Codec.Decode(wire.NewReader([]byte(body)))
+		if err != nil {
+			t.obs.decodeErrors.Inc()
+			t.cfg.Logf("transport: decode message for %s: %v", dstKey, err)
+			statuses[i] = ackFail
+			continue
+		}
+		if t.cfg.Local.DeliverLocal(dstKey, msg) {
+			statuses[i] = ackOK
+		} else {
+			statuses[i] = ackFail
+		}
+	}
+	return encodeAck(seq, statuses), nil
+}
+
+// reapLoop closes idle pooled connections past their idle timeout.
+func (t *TCP) reapLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.IdleTimeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-tick.C:
+			t.pool.reap(time.Now().Add(-t.cfg.IdleTimeout))
+			t.obs.idleConns.Set(int64(t.pool.idleCount()))
+		}
+	}
+}

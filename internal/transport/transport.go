@@ -1,0 +1,465 @@
+// Package transport moves chord messages between processes over TCP,
+// turning the single-process simulated overlay into a multi-process one.
+// It implements chord.Transport: the routing, accounting and reliability
+// layers above are untouched, and the engine's wire codecs
+// (internal/engine/codec.go, guarded by cqlint's wiresync analyzer)
+// finally cross a real socket.
+//
+// Deployment model: every process builds the identical overlay (same
+// seed, same node keys, same ring) and a static peer list assigns each
+// ring position an owning process. Routing decisions walk the locally
+// replicated ring metadata for free; only final deliveries to nodes owned
+// by another process cross the wire, as one framed, acked RPC over a
+// pooled connection. Handlers run on the owning process, so each node's
+// authoritative state lives exactly once.
+//
+// Reliability: an RPC that fails (dial, write, read, decode) is retried
+// with seeded-jitter exponential backoff; after the attempt budget the
+// delivery reports false — the same missing ack the simulator produces
+// for a dropped packet — and the engine's retry/dedup layer (PR 1) takes
+// over. At-least-once resends are safe because every engine receiver is
+// idempotent.
+//
+// This package is deliberately outside cqlint's determinism scope: real
+// sockets need wall-clock deadlines, idle reaping and jittered backoff.
+// The simulated transport remains the bit-exact default; the differential
+// test in the repo root proves the two produce identical notification
+// fingerprints for the same workload.
+package transport
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/obs"
+	"cqjoin/internal/wire"
+)
+
+// Codec encodes and decodes chord messages. engine.NewWireCodec is the
+// production implementation; the indirection keeps this package free of
+// an engine dependency.
+type Codec interface {
+	Encode(w *wire.Buffer, msg chord.Message) error
+	Decode(r *wire.Reader) (chord.Message, error)
+}
+
+// LocalDeliverer hands a decoded message to a node hosted on this
+// process. *chord.Network satisfies it.
+type LocalDeliverer interface {
+	DeliverLocal(dstKey string, msg chord.Message) bool
+}
+
+// Config parameterizes a TCP transport.
+type Config struct {
+	// Self is this process's advertised overlay address; deliveries whose
+	// owner resolves to Self stay in-process (unless ForceLoopback).
+	Self string
+	// OwnerOf maps a node key to the advertised address of the process
+	// hosting it. An empty result means locally hosted.
+	OwnerOf func(dstKey string) string
+	// Codec encodes outgoing and decodes incoming messages.
+	Codec Codec
+	// Local receives messages addressed to nodes this process hosts.
+	Local LocalDeliverer
+
+	// DialTimeout bounds connection establishment (default 2s); IOTimeout
+	// bounds one RPC's write and ack read (default 5s).
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+	// IdleTimeout is how long a pooled connection may sit unused before
+	// the reaper closes it (default 60s). MaxIdlePerPeer bounds the idle
+	// pool per peer (default 4); active connections are unbounded and
+	// track RPC concurrency.
+	IdleTimeout    time.Duration
+	MaxIdlePerPeer int
+
+	// Attempts is the RPC attempt budget including the first try (default
+	// 4). BackoffBase doubles per retry up to BackoffMax (defaults 25ms
+	// and 1s), with jitter drawn from a rand seeded by Seed so failure
+	// schedules are reproducible in tests.
+	Attempts    int
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	Seed        int64
+
+	// ForceLoopback sends locally-owned deliveries over the socket too.
+	// The differential harness uses it to push every delivery of a
+	// workload through dial/frame/decode/ack on one process.
+	ForceLoopback bool
+
+	// Obs receives transport metrics ("transport.*"). Nil disables them.
+	Obs *obs.Registry
+	// Logf reports delivery-affecting errors (default log.Printf).
+	Logf func(format string, args ...interface{})
+}
+
+// tObs holds the transport's pre-created metric handles; all nil (no-op)
+// when observability is off.
+type tObs struct {
+	dials         *obs.Counter
+	reconnects    *obs.Counter
+	retries       *obs.Counter
+	rpcFailures   *obs.Counter
+	framesOut     *obs.Counter
+	framesIn      *obs.Counter
+	frameBytesOut *obs.Counter
+	frameBytesIn  *obs.Counter
+	decodeErrors  *obs.Counter
+	idleConns     *obs.Gauge
+}
+
+func newTObs(reg *obs.Registry) tObs {
+	if reg == nil {
+		return tObs{}
+	}
+	return tObs{
+		dials:         reg.Counter("transport.dials"),
+		reconnects:    reg.Counter("transport.reconnects"),
+		retries:       reg.Counter("transport.retries"),
+		rpcFailures:   reg.Counter("transport.rpc_failures"),
+		framesOut:     reg.Counter("transport.frames_out"),
+		framesIn:      reg.Counter("transport.frames_in"),
+		frameBytesOut: reg.Counter("transport.frame_bytes_out"),
+		frameBytesIn:  reg.Counter("transport.frame_bytes_in"),
+		decodeErrors:  reg.Counter("transport.decode_errors"),
+		idleConns:     reg.Gauge("transport.conns_idle"),
+	}
+}
+
+// TCP is a chord.Transport over real sockets.
+type TCP struct {
+	cfg  Config
+	pool *pool
+	obs  tObs
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu          sync.Mutex
+	ln          net.Listener
+	serverConns map[net.Conn]struct{}
+	closed      bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New validates cfg, fills defaults and builds a transport. Call Start
+// (or ListenAndServe) to begin accepting peer connections, and Close to
+// tear everything down.
+func New(cfg Config) (*TCP, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("transport: Config.Self is required")
+	}
+	if cfg.OwnerOf == nil {
+		return nil, fmt.Errorf("transport: Config.OwnerOf is required")
+	}
+	if cfg.Codec == nil {
+		return nil, fmt.Errorf("transport: Config.Codec is required")
+	}
+	if cfg.Local == nil {
+		return nil, fmt.Errorf("transport: Config.Local is required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 5 * time.Second
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	if cfg.MaxIdlePerPeer <= 0 {
+		cfg.MaxIdlePerPeer = 4
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 4
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	t := &TCP{
+		cfg:         cfg,
+		pool:        newPool(cfg.MaxIdlePerPeer),
+		obs:         newTObs(cfg.Obs),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		serverConns: make(map[net.Conn]struct{}),
+		done:        make(chan struct{}),
+	}
+	return t, nil
+}
+
+// Start begins serving peer connections on ln (which tests bind to port
+// 0) and starts the idle reaper. It returns immediately.
+func (t *TCP) Start(ln net.Listener) {
+	t.mu.Lock()
+	t.ln = ln
+	t.mu.Unlock()
+	t.wg.Add(2)
+	go t.acceptLoop(ln)
+	go t.reapLoop()
+}
+
+// ListenAndServe binds cfg.Self and starts serving.
+func (t *TCP) ListenAndServe() error {
+	ln, err := net.Listen("tcp", t.cfg.Self)
+	if err != nil {
+		return err
+	}
+	t.Start(ln)
+	return nil
+}
+
+// Addr returns the listener address once started, or nil.
+func (t *TCP) Addr() net.Addr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ln == nil {
+		return nil
+	}
+	return t.ln.Addr()
+}
+
+// Close stops the listener, the reaper and every connection, then waits
+// for the server goroutines to drain.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ln := t.ln
+	conns := make([]net.Conn, 0, len(t.serverConns))
+	for c := range t.serverConns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	close(t.done)
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.pool.closeAll()
+	t.wg.Wait()
+	return nil
+}
+
+// Deliver implements chord.Transport. The ack contract matches the
+// simulator's: true only when dst's handler ran before returning.
+func (t *TCP) Deliver(from, dst *chord.Node, msg chord.Message) bool {
+	return t.DeliverBatch(from, dst, []chord.Message{msg})[0]
+}
+
+// DeliverBatch implements chord.Transport: one RPC moves the whole run of
+// messages bound for dst's owning process.
+func (t *TCP) DeliverBatch(from, dst *chord.Node, msgs []chord.Message) []bool {
+	acks := make([]bool, len(msgs))
+	if len(msgs) == 0 {
+		return acks
+	}
+	addr := t.cfg.OwnerOf(dst.Key())
+	if (addr == "" || addr == t.cfg.Self) && !t.cfg.ForceLoopback {
+		for i, m := range msgs {
+			acks[i] = t.cfg.Local.DeliverLocal(dst.Key(), m)
+		}
+		return acks
+	}
+	if addr == "" || addr == t.cfg.Self {
+		// ForceLoopback: push the delivery through our own listener.
+		addr = t.listenAddr()
+		if addr == "" {
+			return acks
+		}
+	}
+	dstKeys := make([]string, len(msgs))
+	payloads := make([][]byte, len(msgs))
+	var w wire.Buffer
+	for i, m := range msgs {
+		w.Reset()
+		if err := t.cfg.Codec.Encode(&w, m); err != nil {
+			// An unencodable message can never be delivered; report the
+			// miss without burning the RPC budget.
+			t.cfg.Logf("transport: encode %s for %s: %v", m.Kind(), dst.Key(), err)
+			return acks
+		}
+		dstKeys[i] = dst.Key()
+		payloads[i] = append([]byte(nil), w.Bytes()...)
+	}
+	statuses := t.rpc(addr, dstKeys, payloads)
+	for i := range statuses {
+		acks[i] = statuses[i] == ackOK
+	}
+	return acks
+}
+
+func (t *TCP) listenAddr() string {
+	if a := t.Addr(); a != nil {
+		return a.String()
+	}
+	return ""
+}
+
+// rpc sends one batch to addr and returns its per-message statuses,
+// retrying with backoff on connection-level failures. A nil-ish all-fail
+// result after the attempt budget is the remote analogue of a dropped
+// packet: the caller's reliability layer may retry the whole delivery.
+func (t *TCP) rpc(addr string, dstKeys []string, payloads [][]byte) []byte {
+	var lastErr error
+	for attempt := 0; attempt < t.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			t.obs.retries.Inc()
+			t.backoff(attempt)
+		}
+		if t.isClosed() {
+			break
+		}
+		pc, err := t.checkout(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		statuses, err := t.roundTrip(pc, dstKeys, payloads)
+		if err != nil {
+			_ = pc.c.Close()
+			lastErr = err
+			continue
+		}
+		if !t.pool.put(addr, pc) {
+			_ = pc.c.Close()
+		}
+		t.obs.idleConns.Set(int64(t.pool.idleCount()))
+		return statuses
+	}
+	t.obs.rpcFailures.Inc()
+	if lastErr != nil {
+		t.cfg.Logf("transport: rpc to %s failed after %d attempts: %v", addr, t.cfg.Attempts, lastErr)
+	}
+	return make([]byte, len(dstKeys)) // all ackFail
+}
+
+// checkout returns a ready connection to addr, dialing one (with the
+// hello exchange) when the pool is empty.
+func (t *TCP) checkout(addr string) (*pooledConn, error) {
+	if pc := t.pool.get(addr); pc != nil {
+		t.obs.idleConns.Set(int64(t.pool.idleCount()))
+		return pc, nil
+	}
+	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	t.obs.dials.Inc()
+	if t.pool.markConnected(addr) {
+		t.obs.reconnects.Inc()
+	}
+	pc := newPooledConn(c)
+	if err := t.hello(pc); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	return pc, nil
+}
+
+// hello performs the version handshake on a fresh connection.
+func (t *TCP) hello(pc *pooledConn) error {
+	deadline := time.Now().Add(t.cfg.IOTimeout)
+	_ = pc.c.SetDeadline(deadline)
+	defer func() { _ = pc.c.SetDeadline(time.Time{}) }()
+	if err := t.writeFrameCounted(pc.c, encodeHello(t.cfg.Self)); err != nil {
+		return fmt.Errorf("transport: hello write: %w", err)
+	}
+	payload, err := readFrame(pc.br)
+	if err != nil {
+		return fmt.Errorf("transport: hello read: %w", err)
+	}
+	t.obs.framesIn.Inc()
+	t.obs.frameBytesIn.Add(int64(len(payload)))
+	r := wire.NewReader(payload)
+	ftype, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	if ftype != frameHelloOK {
+		return fmt.Errorf("transport: unexpected hello reply frame type %d", ftype)
+	}
+	version, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	if version != protoVersion {
+		return fmt.Errorf("transport: peer speaks protocol %d, want %d", version, protoVersion)
+	}
+	return nil
+}
+
+// roundTrip runs one RPC on an exclusively held connection: write the
+// batch frame, block for its ack.
+func (t *TCP) roundTrip(pc *pooledConn, dstKeys []string, payloads [][]byte) ([]byte, error) {
+	pc.seq++
+	deadline := time.Now().Add(t.cfg.IOTimeout)
+	_ = pc.c.SetDeadline(deadline)
+	defer func() { _ = pc.c.SetDeadline(time.Time{}) }()
+	if err := t.writeFrameCounted(pc.c, encodeBatch(pc.seq, dstKeys, payloads)); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(pc.br)
+	if err != nil {
+		return nil, err
+	}
+	t.obs.framesIn.Inc()
+	t.obs.frameBytesIn.Add(int64(len(payload)))
+	r := wire.NewReader(payload)
+	ftype, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ftype != frameAck {
+		return nil, fmt.Errorf("transport: unexpected frame type %d, want ack", ftype)
+	}
+	return decodeAck(r, pc.seq, len(dstKeys))
+}
+
+func (t *TCP) writeFrameCounted(c net.Conn, payload []byte) error {
+	if err := writeFrame(c, payload); err != nil {
+		return err
+	}
+	t.obs.framesOut.Inc()
+	t.obs.frameBytesOut.Add(int64(len(payload)))
+	return nil
+}
+
+// backoff sleeps base<<(attempt-1) capped at BackoffMax, plus up to 50%
+// seeded jitter so synchronized retries from many senders spread out.
+func (t *TCP) backoff(attempt int) {
+	d := t.cfg.BackoffBase << uint(attempt-1)
+	if d > t.cfg.BackoffMax || d <= 0 {
+		d = t.cfg.BackoffMax
+	}
+	t.rngMu.Lock()
+	j := time.Duration(t.rng.Int63n(int64(d)/2 + 1))
+	t.rngMu.Unlock()
+	select {
+	case <-time.After(d + j):
+	case <-t.done:
+	}
+}
+
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}

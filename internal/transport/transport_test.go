@@ -1,0 +1,365 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/obs"
+	"cqjoin/internal/wire"
+)
+
+// testMsg is a minimal chord message for exercising the transport without
+// the engine's codecs.
+type testMsg struct{ Body string }
+
+func (m *testMsg) Kind() string { return "test" }
+
+type testCodec struct{}
+
+func (testCodec) Encode(w *wire.Buffer, msg chord.Message) error {
+	tm, ok := msg.(*testMsg)
+	if !ok {
+		return fmt.Errorf("testCodec: unexpected %T", msg)
+	}
+	w.PutString(tm.Body)
+	return nil
+}
+
+func (testCodec) Decode(r *wire.Reader) (chord.Message, error) {
+	s, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	return &testMsg{Body: s}, nil
+}
+
+// testLocal records deliveries as "dstKey:body" strings.
+type testLocal struct {
+	mu   sync.Mutex
+	got  []string
+	fail bool
+}
+
+func (l *testLocal) DeliverLocal(dstKey string, msg chord.Message) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.fail {
+		return false
+	}
+	l.got = append(l.got, dstKey+":"+msg.(*testMsg).Body)
+	return true
+}
+
+func (l *testLocal) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.got...)
+}
+
+// testNodes builds a two-node overlay purely to have *chord.Node values
+// carrying keys peer0 and peer1.
+func testNodes(t *testing.T) (*chord.Node, *chord.Node) {
+	t.Helper()
+	nw := chord.New(chord.Config{})
+	nodes := nw.AddNodes("peer", 2)
+	if len(nodes) != 2 {
+		t.Fatalf("AddNodes gave %d nodes, want 2", len(nodes))
+	}
+	return nodes[0], nodes[1]
+}
+
+// startTransport builds a TCP transport serving on a fresh loopback
+// listener and returns it with its bound address.
+func startTransport(t *testing.T, cfg Config) (*TCP, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	if cfg.Self == "" {
+		cfg.Self = ln.Addr().String()
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = testCodec{}
+	}
+	if cfg.OwnerOf == nil {
+		// Receiver-side transports in these tests never send.
+		cfg.OwnerOf = func(string) string { return "" }
+	}
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tr.Start(ln)
+	t.Cleanup(func() { _ = tr.Close() })
+	return tr, ln.Addr().String()
+}
+
+func TestDeliverAcrossTCP(t *testing.T) {
+	from, dst := testNodes(t)
+	remote := &testLocal{}
+	regB := obs.NewRegistry()
+	_, addrB := startTransport(t, Config{Local: remote, Obs: regB})
+
+	regA := obs.NewRegistry()
+	localA := &testLocal{}
+	trA, _ := startTransport(t, Config{
+		Local:   localA,
+		OwnerOf: func(string) string { return addrB },
+		Obs:     regA,
+	})
+
+	if !trA.Deliver(from, dst, &testMsg{Body: "hello"}) {
+		t.Fatalf("Deliver returned false")
+	}
+	got := remote.snapshot()
+	if len(got) != 1 || got[0] != dst.Key()+":hello" {
+		t.Fatalf("remote got %v, want [%s:hello]", got, dst.Key())
+	}
+	if n := len(localA.snapshot()); n != 0 {
+		t.Fatalf("local deliverer saw %d messages, want 0", n)
+	}
+	if v := regA.Counter("transport.dials").Value(); v != 1 {
+		t.Fatalf("dials = %d, want 1", v)
+	}
+	if v := regA.Counter("transport.frame_bytes_out").Value(); v == 0 {
+		t.Fatalf("frame_bytes_out = 0, want > 0")
+	}
+}
+
+func TestDeliverBatchSingleRPC(t *testing.T) {
+	from, dst := testNodes(t)
+	remote := &testLocal{}
+	_, addrB := startTransport(t, Config{Local: remote})
+
+	reg := obs.NewRegistry()
+	trA, _ := startTransport(t, Config{
+		Local:   &testLocal{},
+		OwnerOf: func(string) string { return addrB },
+		Obs:     reg,
+	})
+
+	msgs := []chord.Message{&testMsg{Body: "a"}, &testMsg{Body: "b"}, &testMsg{Body: "c"}}
+	acks := trA.DeliverBatch(from, dst, msgs)
+	for i, ok := range acks {
+		if !ok {
+			t.Fatalf("ack[%d] = false", i)
+		}
+	}
+	if got := remote.snapshot(); len(got) != 3 || got[0] != dst.Key()+":a" || got[2] != dst.Key()+":c" {
+		t.Fatalf("remote got %v", got)
+	}
+	// Hello + one batch frame, not one frame per message.
+	if v := reg.Counter("transport.frames_out").Value(); v != 2 {
+		t.Fatalf("frames_out = %d, want 2 (hello + batch)", v)
+	}
+}
+
+func TestLocalShortCircuit(t *testing.T) {
+	from, dst := testNodes(t)
+	reg := obs.NewRegistry()
+	local := &testLocal{}
+	tr, _ := startTransport(t, Config{
+		Local:   local,
+		OwnerOf: func(string) string { return "" }, // everything local
+		Obs:     reg,
+	})
+	if !tr.Deliver(from, dst, &testMsg{Body: "x"}) {
+		t.Fatalf("Deliver returned false")
+	}
+	if got := local.snapshot(); len(got) != 1 {
+		t.Fatalf("local got %v, want one delivery", got)
+	}
+	if v := reg.Counter("transport.dials").Value(); v != 0 {
+		t.Fatalf("dials = %d, want 0 for local delivery", v)
+	}
+}
+
+func TestForceLoopbackCrossesSocket(t *testing.T) {
+	from, dst := testNodes(t)
+	reg := obs.NewRegistry()
+	local := &testLocal{}
+	// Locally-owned destination + ForceLoopback: the delivery must still
+	// dial our own listener and cross a real socket.
+	tr, _ := startTransport(t, Config{
+		Local:         local,
+		OwnerOf:       func(string) string { return "" },
+		Obs:           reg,
+		ForceLoopback: true,
+	})
+	if !tr.Deliver(from, dst, &testMsg{Body: "loop"}) {
+		t.Fatalf("Deliver returned false")
+	}
+	if got := local.snapshot(); len(got) != 1 || got[0] != dst.Key()+":loop" {
+		t.Fatalf("local got %v", got)
+	}
+	if v := reg.Counter("transport.dials").Value(); v == 0 {
+		t.Fatalf("dials = 0, want a real socket under ForceLoopback")
+	}
+}
+
+func TestPoolReuseAndReconnect(t *testing.T) {
+	from, dst := testNodes(t)
+	remote := &testLocal{}
+	_, addrB := startTransport(t, Config{Local: remote})
+
+	reg := obs.NewRegistry()
+	trA, _ := startTransport(t, Config{
+		Local:       &testLocal{},
+		OwnerOf:     func(string) string { return addrB },
+		Obs:         reg,
+		BackoffBase: time.Millisecond,
+	})
+
+	for i := 0; i < 3; i++ {
+		if !trA.Deliver(from, dst, &testMsg{Body: "m"}) {
+			t.Fatalf("Deliver %d returned false", i)
+		}
+	}
+	if v := reg.Counter("transport.dials").Value(); v != 1 {
+		t.Fatalf("dials = %d, want 1 (pooled connection reused)", v)
+	}
+
+	// Kill the pooled connection underneath the pool; the next RPC must
+	// fail its write, retry, and re-dial transparently.
+	pc := trA.pool.get(addrB)
+	if pc == nil {
+		t.Fatalf("no pooled connection to sabotage")
+	}
+	_ = pc.c.Close()
+	trA.pool.put(addrB, pc)
+
+	if !trA.Deliver(from, dst, &testMsg{Body: "after"}) {
+		t.Fatalf("Deliver after broken conn returned false")
+	}
+	if v := reg.Counter("transport.reconnects").Value(); v != 1 {
+		t.Fatalf("reconnects = %d, want 1", v)
+	}
+	if v := reg.Counter("transport.retries").Value(); v == 0 {
+		t.Fatalf("retries = 0, want > 0")
+	}
+}
+
+func TestRPCFailureReturnsNack(t *testing.T) {
+	from, dst := testNodes(t)
+	reg := obs.NewRegistry()
+	// Dead address: a listener bound then closed, so nothing answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	dead := ln.Addr().String()
+	_ = ln.Close()
+
+	tr, _ := startTransport(t, Config{
+		Local:       &testLocal{},
+		OwnerOf:     func(string) string { return dead },
+		Obs:         reg,
+		Attempts:    2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if tr.Deliver(from, dst, &testMsg{Body: "x"}) {
+		t.Fatalf("Deliver to dead peer returned true")
+	}
+	if v := reg.Counter("transport.rpc_failures").Value(); v != 1 {
+		t.Fatalf("rpc_failures = %d, want 1", v)
+	}
+	if v := reg.Counter("transport.retries").Value(); v != 1 {
+		t.Fatalf("retries = %d, want 1 (attempts=2)", v)
+	}
+}
+
+func TestDeadDestinationNacks(t *testing.T) {
+	from, dst := testNodes(t)
+	remote := &testLocal{fail: true}
+	_, addrB := startTransport(t, Config{Local: remote})
+	tr, _ := startTransport(t, Config{
+		Local:   &testLocal{},
+		OwnerOf: func(string) string { return addrB },
+	})
+	if tr.Deliver(from, dst, &testMsg{Body: "x"}) {
+		t.Fatalf("Deliver returned true for a refusing destination")
+	}
+}
+
+func TestIdleReaping(t *testing.T) {
+	from, dst := testNodes(t)
+	remote := &testLocal{}
+	_, addrB := startTransport(t, Config{Local: remote})
+
+	reg := obs.NewRegistry()
+	tr, _ := startTransport(t, Config{
+		Local:       &testLocal{},
+		OwnerOf:     func(string) string { return addrB },
+		Obs:         reg,
+		IdleTimeout: 20 * time.Millisecond,
+	})
+	if !tr.Deliver(from, dst, &testMsg{Body: "x"}) {
+		t.Fatalf("Deliver returned false")
+	}
+	if n := tr.pool.idleCount(); n != 1 {
+		t.Fatalf("idle = %d after RPC, want 1", n)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.pool.idleCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle connection never reaped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	// A forged length prefix must be rejected before allocation.
+	server, client := net.Pipe()
+	defer func() { _ = server.Close() }()
+	defer func() { _ = client.Close() }()
+	go func() {
+		_, _ = client.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	}()
+	if _, err := readFrame(bufio.NewReader(server)); err == nil {
+		t.Fatalf("readFrame accepted an oversized frame header")
+	}
+
+	// Outbound frames past the cap are refused locally.
+	if err := writeFrame(client, make([]byte, maxFrame+1)); err == nil {
+		t.Fatalf("writeFrame accepted an oversized payload")
+	}
+}
+
+func TestAckValidation(t *testing.T) {
+	statuses := []byte{ackOK, ackFail, ackOK}
+	frame := encodeAck(7, statuses)
+	r := wire.NewReader(frame)
+	if ftype, _ := r.Uvarint(); ftype != frameAck {
+		t.Fatalf("frame type = %d", ftype)
+	}
+	got, err := decodeAck(r, 7, 3)
+	if err != nil {
+		t.Fatalf("decodeAck: %v", err)
+	}
+	for i := range statuses {
+		if got[i] != statuses[i] {
+			t.Fatalf("status[%d] = %d, want %d", i, got[i], statuses[i])
+		}
+	}
+
+	// Wrong seq and wrong count must both fail.
+	r = wire.NewReader(frame)
+	_, _ = r.Uvarint()
+	if _, err := decodeAck(r, 8, 3); err == nil {
+		t.Fatalf("decodeAck accepted a mismatched seq")
+	}
+	r = wire.NewReader(frame)
+	_, _ = r.Uvarint()
+	if _, err := decodeAck(r, 7, 2); err == nil {
+		t.Fatalf("decodeAck accepted a mismatched count")
+	}
+}

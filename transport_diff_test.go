@@ -1,0 +1,202 @@
+// Differential equivalence test for the TCP transport (DESIGN.md §10):
+// replacing the simulated in-process delivery with the real framed TCP
+// transport must not change a single observable result. Every algorithm
+// runs the same seeded workload twice — once over simulated delivery,
+// once with every delivery forced through a loopback socket
+// (dial → frame → encode → decode → ack) — and the notification
+// fingerprints plus the traffic ledgers are compared byte for byte.
+package cqjoin_test
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/engine"
+	"cqjoin/internal/exp"
+	"cqjoin/internal/obs"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+	"cqjoin/internal/transport"
+	"cqjoin/internal/workload"
+)
+
+// loopbackTransport pushes every delivery of cnet through a real TCP
+// socket on 127.0.0.1 and returns the transport's metric registry plus a
+// cleanup func. OwnerOf reporting "" for every key plus ForceLoopback
+// means each delivery dials this process's own listener.
+func loopbackTransport(t testing.TB, cnet *chord.Network, catalog *relation.Catalog) (*obs.Registry, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	reg := obs.NewRegistry()
+	tr, err := transport.New(transport.Config{
+		Self:          ln.Addr().String(),
+		OwnerOf:       func(string) string { return "" },
+		Codec:         engine.NewWireCodec(catalog),
+		Local:         cnet,
+		ForceLoopback: true,
+		Seed:          7,
+		Obs:           reg,
+	})
+	if err != nil {
+		_ = ln.Close()
+		t.Fatalf("transport.New: %v", err)
+	}
+	tr.Start(ln)
+	cnet.SetTransport(tr)
+	return reg, func() {
+		cnet.SetTransport(nil)
+		_ = tr.Close()
+	}
+}
+
+// transportScenario runs one seeded two-way workload and fingerprints it.
+// With overTCP the entire message flow crosses the loopback socket.
+func transportScenario(t *testing.T, alg engine.Algorithm, sc exp.Scale, overTCP bool) runFingerprint {
+	t.Helper()
+	exp.SetParallelism(1)
+	r := exp.Setup(engine.Config{Algorithm: alg, MaxRetries: 3, RetryBackoff: 1}, sc, workload.Params{})
+	var reg *obs.Registry
+	if overTCP {
+		var cleanup func()
+		reg, cleanup = loopbackTransport(t, r.Net, r.Gen.Catalog())
+		defer cleanup()
+	}
+	r.SubscribeT1(sc.Queries)
+	r.ResetMeters()
+	r.PublishTuples(sc.Tuples)
+
+	tr := r.Net.Traffic()
+	fp := runFingerprint{
+		Bytes:   tr.TotalBytes(),
+		Retries: tr.TotalRetries(),
+		Lost:    tr.TotalLost(),
+		TF:      r.Eng.FilteringLoads(),
+		TS:      r.Eng.StorageLoads(),
+	}
+	fp.Msgs, fp.Hops = tr.Snapshot()
+	for _, n := range r.Eng.Notifications() {
+		fp.Notes = append(fp.Notes, fmt.Sprintf("%s|%d|%d", n.ContentKey(), n.LeftPubT, n.RightPubT))
+	}
+	sort.Strings(fp.Notes)
+	if overTCP {
+		snap := reg.Snapshot()
+		if snap["transport.dials"] == 0 {
+			t.Fatal("loopback run never dialed; the socket path was not exercised")
+		}
+		if snap["transport.frame_bytes_out"] == 0 || snap["transport.frames_in"] == 0 {
+			t.Fatalf("loopback run moved no frames: %v", snap)
+		}
+		if snap["transport.decode_errors"] != 0 || snap["transport.rpc_failures"] != 0 {
+			t.Fatalf("loopback run had transport errors: %v", snap)
+		}
+	}
+	return fp
+}
+
+// TestTransportDifferential is the acceptance gate for the transport
+// tentpole: for all four algorithms the TCP loopback run must reproduce
+// the simulated run's results exactly, chaos off.
+func TestTransportDifferential(t *testing.T) {
+	defer exp.SetParallelism(0)
+	sc := exp.Scale{Nodes: 96, Queries: 120, Tuples: 160, Seed: 23}
+	if testing.Short() {
+		sc = exp.Scale{Nodes: 64, Queries: 60, Tuples: 80, Seed: 23}
+	}
+	for _, alg := range []engine.Algorithm{engine.SAI, engine.DAIQ, engine.DAIT, engine.DAIV} {
+		t.Run(alg.String(), func(t *testing.T) {
+			sim := transportScenario(t, alg, sc, false)
+			tcp := transportScenario(t, alg, sc, true)
+			if len(sim.Notes) == 0 {
+				t.Fatal("scenario delivered no notifications; it exercises nothing")
+			}
+			if !reflect.DeepEqual(sim.Notes, tcp.Notes) {
+				t.Errorf("notification sets diverge: sim=%d notes, tcp=%d notes", len(sim.Notes), len(tcp.Notes))
+			}
+			if !reflect.DeepEqual(sim.Msgs, tcp.Msgs) {
+				t.Errorf("per-kind message counts diverge:\n sim=%v\n tcp=%v", sim.Msgs, tcp.Msgs)
+			}
+			if !reflect.DeepEqual(sim.Hops, tcp.Hops) {
+				t.Errorf("per-kind hop counts diverge:\n sim=%v\n tcp=%v", sim.Hops, tcp.Hops)
+			}
+			if sim.Bytes != tcp.Bytes {
+				t.Errorf("wire bytes diverge: sim=%d tcp=%d", sim.Bytes, tcp.Bytes)
+			}
+			if sim.Retries != tcp.Retries || sim.Lost != tcp.Lost {
+				t.Errorf("retry/lost counters diverge: sim=(%d,%d) tcp=(%d,%d)",
+					sim.Retries, sim.Lost, tcp.Retries, tcp.Lost)
+			}
+			if !reflect.DeepEqual(sim.TF, tcp.TF) {
+				t.Errorf("filtering-load vector diverges")
+			}
+			if !reflect.DeepEqual(sim.TS, tcp.TS) {
+				t.Errorf("storage-load vector diverges")
+			}
+		})
+	}
+}
+
+// TestTransportDifferentialMultiWay repeats the equivalence check for the
+// multi-way chain-join pipeline (mjoin/purge message families) under the
+// tuple-storing algorithms.
+func TestTransportDifferentialMultiWay(t *testing.T) {
+	catalog := relation.MustCatalog(
+		relation.MustSchema("A", "x", "y", "z"),
+		relation.MustSchema("B", "x", "y", "z"),
+		relation.MustSchema("C", "x", "y", "z"),
+	)
+	scenario := func(t *testing.T, alg engine.Algorithm, overTCP bool) []string {
+		t.Helper()
+		cnet := chord.New(chord.Config{})
+		cnet.AddNodes("peer", 48)
+		eng := engine.New(cnet, catalog, engine.Config{Algorithm: alg, Strategy: engine.StrategyLeft, Seed: 9})
+		if overTCP {
+			_, cleanup := loopbackTransport(t, cnet, catalog)
+			defer cleanup()
+		}
+		nodes := cnet.Nodes()
+		mqs := []string{
+			`SELECT A.z, C.z FROM A, B, C WHERE A.x = B.y AND B.x = C.y`,
+			`SELECT A.z FROM A, B, C WHERE A.y = B.y AND B.x = C.x`,
+		}
+		for i, sql := range mqs {
+			if _, err := eng.SubscribeMulti(nodes[i], query.MustParseMulti(catalog, sql)); err != nil {
+				t.Fatalf("SubscribeMulti: %v", err)
+			}
+		}
+		schemas := []*relation.Schema{catalog.Lookup("A"), catalog.Lookup("B"), catalog.Lookup("C")}
+		// A fixed dense workload over a tiny domain so chains complete.
+		for i := 0; i < 45; i++ {
+			s := schemas[i%3]
+			tu := relation.MustTuple(s,
+				relation.N(float64(i%3)), relation.N(float64((i/3)%3)), relation.N(float64(i)))
+			if _, err := eng.Publish(nodes[(i*7)%len(nodes)], tu); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		var notes []string
+		for _, n := range eng.Notifications() {
+			notes = append(notes, fmt.Sprintf("%s|%d|%d", n.ContentKey(), n.LeftPubT, n.RightPubT))
+		}
+		sort.Strings(notes)
+		return notes
+	}
+	for _, alg := range []engine.Algorithm{engine.SAI, engine.DAIQ} {
+		t.Run(alg.String(), func(t *testing.T) {
+			sim := scenario(t, alg, false)
+			tcp := scenario(t, alg, true)
+			if len(sim) == 0 {
+				t.Fatal("multi-way scenario delivered no notifications; it exercises nothing")
+			}
+			if !reflect.DeepEqual(sim, tcp) {
+				t.Errorf("multi-way notification sets diverge: sim=%d tcp=%d", len(sim), len(tcp))
+			}
+		})
+	}
+}
