@@ -20,15 +20,22 @@
 //
 // By default the overlay runs in-process (the library's simulator). With
 // -overlay and -peers, N cqjoind processes form one overlay: every
-// process builds the identical ring and ring positions are assigned
-// round-robin over the peer list, so deliveries to nodes owned by another
-// process cross the wire through the framed TCP transport. The peer list
-// must be identical (same order) on every process; -join copies the
-// overlay configuration from a running peer instead of repeating it:
+// process builds the identical ring, and ring positions are owned by the
+// process whose hashed address is their clockwise successor (consistent
+// hashing over the membership view), so deliveries to nodes owned by
+// another process cross the wire through the framed TCP transport.
+//
+// Membership is dynamic. -join copies the overlay configuration and live
+// peer list from a running peer's client port; if this process is not
+// already in that list it enters the running overlay through the join
+// protocol (admission, view gossip, state hand-off) without restarting
+// anyone. -leave asks a running daemon to depart voluntarily, handing its
+// arcs to the survivors, and exits:
 //
 //	cqjoind -addr :7470 -overlay 10.0.0.1:7570 \
 //	        -peers 10.0.0.1:7570,10.0.0.2:7570 -schema "R(A,B);S(D,E)"
-//	cqjoind -addr :7470 -overlay 10.0.0.2:7570 -join 10.0.0.1:7470
+//	cqjoind -addr :7470 -overlay 10.0.0.3:7570 -join 10.0.0.1:7470
+//	cqjoind -leave 10.0.0.3:7470
 package main
 
 import (
@@ -54,9 +61,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		overlay   = flag.String("overlay", "", "inter-node transport listen address (multi-process mode)")
 		peers     = flag.String("peers", "", "comma-separated overlay addresses of every process, identical order everywhere")
-		join      = flag.String("join", "", "client address of a running peer to copy the overlay configuration from")
+		join      = flag.String("join", "", "client address of a running peer to copy the overlay configuration from (and enter its overlay when -overlay is set)")
+		leave     = flag.String("leave", "", "client address of a running daemon that should leave its overlay; acts as a one-shot command")
 	)
 	flag.Parse()
+	if *leave != "" {
+		if err := requestLeave(*leave); err != nil {
+			log.Fatalf("cqjoind: -leave %s: %v", *leave, err)
+		}
+		log.Printf("cqjoind: %s left its overlay", *leave)
+		return
+	}
 	cfg := daemon.Config{
 		Nodes:       *nodes,
 		Algorithm:   *algorithm,
@@ -76,6 +91,17 @@ func main() {
 		if err := copyOverlayConfig(*join, &cfg); err != nil {
 			log.Fatalf("cqjoind: -join %s: %v", *join, err)
 		}
+		// A process already in the live peer list is a configured member
+		// rebooting; anyone else enters through the join protocol.
+		if cfg.OverlayAddr != "" {
+			cfg.JoinExisting = true
+			for _, p := range cfg.Peers {
+				if p == cfg.OverlayAddr {
+					cfg.JoinExisting = false
+					break
+				}
+			}
+		}
 	}
 	if cfg.SchemaDSL == "" {
 		fmt.Fprintln(os.Stderr, "cqjoind: -schema is required (or -join a peer that has one)")
@@ -91,11 +117,58 @@ func main() {
 			log.Fatalf("cqjoind: overlay: %v", err)
 		}
 		log.Printf("cqjoind: overlay transport on %s (%d peers)", cfg.OverlayAddr, len(cfg.Peers))
+		if cfg.JoinExisting {
+			if err := joinOverlay(srv, cfg.Peers); err != nil {
+				log.Fatalf("cqjoind: %v", err)
+			}
+			log.Printf("cqjoind: joined the running overlay as %s", cfg.OverlayAddr)
+		}
 	}
 	log.Printf("cqjoind: %d-node overlay (%s), listening on %s", cfg.Nodes, cfg.Algorithm, *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("cqjoind: %v", err)
 	}
+}
+
+// joinOverlay enters the running overlay through the first member that
+// admits this process.
+func joinOverlay(srv *daemon.Server, peers []string) error {
+	var lastErr error
+	for _, p := range peers {
+		if err := srv.JoinOverlay(p); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("daemon: no peers to join through")
+	}
+	return lastErr
+}
+
+// requestLeave asks a running daemon's client port to leave its overlay.
+func requestLeave(peer string) error {
+	conn, err := net.DialTimeout("tcp", peer, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := fmt.Fprintln(conn, `{"op":"leave"}`); err != nil {
+		return err
+	}
+	var resp struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("peer refused: %s", resp.Error)
+	}
+	return nil
 }
 
 // copyOverlayConfig asks a running peer's client port for its overlay

@@ -202,6 +202,15 @@ func (c *Cluster) Join(key string) (*Node, error) {
 // in effect unless replaced.
 func (c *Cluster) Overlay() *chord.Network { return c.net }
 
+// ExportHandoff removes peer n's movable engine state from this process
+// and returns it as a wire-codable message addressed to n. Multi-process
+// deployments call it when a membership change moves n's ownership to
+// another process: delivering the message there re-homes the state through
+// the engine's idempotent merge path. ok is false when n held nothing.
+func (c *Cluster) ExportHandoff(n *chord.Node) (msg chord.Message, ok bool) {
+	return c.eng.ExportHandoff(n)
+}
+
 // OnNotify installs a callback invoked for every delivered notification.
 func (c *Cluster) OnNotify(fn func(Notification)) { c.eng.OnNotify(fn) }
 

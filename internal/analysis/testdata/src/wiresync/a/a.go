@@ -125,6 +125,49 @@ func sizeSub(s *sub) int {
 	return zero(s.A) + len(s.B)
 }
 
+// view mirrors the membership frame codecs: a version scalar plus a
+// repeated string field, encoded and sized by a standalone helper pair.
+type view struct {
+	Version int
+	Procs   []string
+}
+
+//wire:field enc view Version Procs
+func encodeView(w *buffer, v *view) {
+	w.putInt(v.Version)
+	w.putInt(len(v.Procs))
+	for _, p := range v.Procs {
+		w.putString(p)
+	}
+}
+
+//wire:field size view Version Procs
+func sizeView(v *view) int {
+	n := zero(v.Version) + 8
+	for _, p := range v.Procs {
+		n += len(p)
+	}
+	return n
+}
+
+// helperDrift's standalone helper pair disagrees on the field list — the
+// same drift msgDrift pins for case arms, in function form.
+type helperDrift struct {
+	A int
+	B int
+}
+
+//wire:field enc helperDrift A B
+func encodeHelperDrift(w *buffer, h *helperDrift) {
+	w.putInt(h.A)
+	w.putInt(h.B)
+}
+
+//wire:field size helperDrift A
+func sizeHelperDrift(h *helperDrift) int { // want "wire fields of helperDrift disagree: encoder declares .A B., size declares .A."
+	return zero(h.A)
+}
+
 func zero(int) int { return 8 }
 
 //wire:field enc ghost X // want "not attached to a case arm or function"

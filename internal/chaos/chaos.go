@@ -48,6 +48,26 @@ type Config struct {
 	// changes its address, invalidating every learned subscriber IP that
 	// points at it (the Section 4.6 stale-address scenario).
 	StaleIPRate float64
+	// JoinRate is the per-Step probability that one brand-new node joins
+	// the overlay. Joined nodes get deterministic keys derived from the
+	// injector's join counter, so the same seed replays the same
+	// membership schedule.
+	JoinRate float64
+	// LeaveRate is the per-Step probability that one random alive node
+	// leaves voluntarily (keys handed to its successor before departure,
+	// unlike a crash). The departed node is scheduled to rejoin after
+	// RejoinAfter, exactly like a crash victim, so invariant checks after
+	// HealAll compare against a full-membership oracle.
+	LeaveRate float64
+	// ProtocolChurn switches every membership change — crash, rejoin, join,
+	// leave — from the oracle-repair paths (Network.Fail/Join, which splice
+	// pointers exactly) to the protocol-only paths (FailProtocol/
+	// JoinProtocol/LeaveProtocol): pointers then converge solely through
+	// check-predecessor, successor-list failover, stabilize/notify and
+	// fix-fingers, and key hand-off to a joiner happens at its successor's
+	// notify-adoption. Runs with ProtocolChurn need StabilizeEvery > 0 (or
+	// HealAll) for joins to splice at all.
+	ProtocolChurn bool
 	// MinAlive suppresses crashes that would leave fewer alive nodes.
 	// Zero means 4.
 	MinAlive int
@@ -106,6 +126,7 @@ type Injector struct {
 	draining    bool
 	steps       int
 	incarnation int
+	joinSeq     int // deterministic naming for JoinRate joiners
 	down        []crashed
 	trace       []string
 
@@ -301,8 +322,13 @@ func (in *Injector) Step() {
 		}
 	}
 	in.down = keep
+	// Every rate draw is guarded by rate > 0 so schedules that do not use a
+	// fault class leave the shared rng stream untouched — existing seeded
+	// traces stay bit-identical as new classes are added.
 	crash := in.cfg.CrashRate > 0 && in.rng.Float64() < in.cfg.CrashRate
 	stale := in.cfg.StaleIPRate > 0 && in.rng.Float64() < in.cfg.StaleIPRate
+	join := in.cfg.JoinRate > 0 && in.rng.Float64() < in.cfg.JoinRate
+	leave := in.cfg.LeaveRate > 0 && in.rng.Float64() < in.cfg.LeaveRate
 	in.mu.Unlock()
 
 	for _, c := range due {
@@ -313,6 +339,12 @@ func (in *Injector) Step() {
 	}
 	if stale {
 		in.changeRandomIP(now)
+	}
+	if join {
+		in.joinFresh(now)
+	}
+	if leave {
+		in.leaveRandom(now)
 	}
 	if in.cfg.StabilizeEvery > 0 && steps%in.cfg.StabilizeEvery == 0 {
 		in.net.StabilizeOnce(1)
@@ -328,8 +360,55 @@ func (in *Injector) crashRandom(now int64) {
 		return
 	}
 	victim := nodes[in.rng.Intn(len(nodes))]
-	in.eng.FailNode(victim)
+	if in.cfg.ProtocolChurn {
+		in.eng.FailNodeProtocol(victim)
+	} else {
+		in.eng.FailNode(victim)
+	}
 	in.tracef("t=%d crash %s", now, victim.Key())
+	in.mu.Lock()
+	in.down = append(in.down, crashed{key: victim.Key(), rejoinAt: now + in.cfg.RejoinAfter})
+	in.mu.Unlock()
+}
+
+// joinFresh adds one brand-new node under a deterministic key derived from
+// the injector's join counter, so the same seed produces the same
+// membership schedule.
+func (in *Injector) joinFresh(now int64) {
+	in.mu.Lock()
+	in.joinSeq++
+	key := fmt.Sprintf("chaos-join-%d", in.joinSeq)
+	in.mu.Unlock()
+	var err error
+	if in.cfg.ProtocolChurn {
+		_, err = in.eng.JoinNodeProtocol(key)
+	} else {
+		_, err = in.eng.RejoinNode(key) // oracle join + attach
+	}
+	if err != nil {
+		in.tracef("join-failed %s: %v", key, err)
+		return
+	}
+	in.tracef("t=%d join %s", now, key)
+}
+
+// leaveRandom makes one random alive node depart voluntarily — its keys
+// move to its successor before it goes, so nothing is lost — and schedules
+// it to come back like a crash victim, keeping the eventual membership
+// equal to the oracle run's.
+func (in *Injector) leaveRandom(now int64) {
+	nodes := in.net.Nodes()
+	if len(nodes) <= in.cfg.MinAlive {
+		return
+	}
+	victim := nodes[in.rng.Intn(len(nodes))]
+	if in.cfg.ProtocolChurn {
+		in.eng.LeaveNodeProtocol(victim)
+	} else {
+		in.net.Leave(victim)
+		in.eng.Detach(victim)
+	}
+	in.tracef("t=%d leave %s", now, victim.Key())
 	in.mu.Lock()
 	in.down = append(in.down, crashed{key: victim.Key(), rejoinAt: now + in.cfg.RejoinAfter})
 	in.mu.Unlock()
@@ -339,7 +418,13 @@ func (in *Injector) crashRandom(now int64) {
 // position, fresh state from the key hand-off — at a NEW address, so any
 // subscriber IP learned before the crash is now stale.
 func (in *Injector) rejoin(key string) {
-	n, err := in.eng.RejoinNode(key)
+	var n *chord.Node
+	var err error
+	if in.cfg.ProtocolChurn {
+		n, err = in.eng.RejoinNodeProtocol(key)
+	} else {
+		n, err = in.eng.RejoinNode(key)
+	}
 	if err != nil {
 		in.tracef("rejoin-failed %s: %v", key, err)
 		return

@@ -120,6 +120,91 @@ func TestMassFailure(t *testing.T) {
 	assertRoutingMatchesOracle(t, net, rng, 200)
 }
 
+// transferRec is one observed key hand-off.
+type transferRec struct {
+	from, to string
+	lo, hi   id.ID
+}
+
+// recordingTransferrer is a Handler + KeyTransferrer that only records the
+// hand-offs the protocol triggers.
+type recordingTransferrer struct {
+	calls []transferRec
+}
+
+func (r *recordingTransferrer) HandleMessage(on *Node, msg Message) {}
+
+func (r *recordingTransferrer) TransferKeys(from, to *Node, lo, hi id.ID) {
+	r.calls = append(r.calls, transferRec{from: from.Key(), to: to.Key(), lo: lo, hi: hi})
+}
+
+// TestJoinDuringStabilizeDoesNotLoseHandoff is the regression test for the
+// lost-update join race Zave's corrected protocol closes: node a's
+// stabilize round reads its successor c's state, then b joins between a
+// and c and splices in, and only then does a's interrupted round complete
+// its stale notify. The stale notify must not regress c's predecessor back
+// to a — which would orphan b and re-trigger the (a, b] key hand-off on
+// b's next notify, delivering the arc twice.
+func TestJoinDuringStabilizeDoesNotLoseHandoff(t *testing.T) {
+	net := New(Config{})
+	net.AddNodes("ln", 16)
+	rec := &recordingTransferrer{}
+	for _, n := range net.Nodes() {
+		n.SetHandler(rec)
+	}
+
+	key := "wedge-join"
+	c := net.OracleSuccessor(id.Hash(key))
+	a := c.Predecessor()
+
+	// The read half of a's round completes before b exists: a sees no one
+	// between itself and c.
+	stale := a.stabilizeAdopt()
+	if stale != c {
+		t.Fatalf("stabilizeAdopt of %s = %v, want %v", a, stale, c)
+	}
+
+	// b joins between a and c and runs its own stabilize: c adopts b and
+	// hands the arc (a, b] over exactly once.
+	b, err := net.JoinProtocol(key)
+	if err != nil {
+		t.Fatalf("JoinProtocol: %v", err)
+	}
+	b.SetHandler(rec)
+	b.Stabilize()
+	if got := c.Predecessor(); got != b {
+		t.Fatalf("after b's stabilize, %s.predecessor = %v, want %v", c, got, b)
+	}
+
+	// a's interrupted round now finishes against its stale target. Before
+	// the corrected notify rule this wrote c.pred = a, undoing b's splice.
+	a.stabilizeNotify(stale)
+	if got := c.Predecessor(); got != b {
+		t.Fatalf("stale notify regressed %s.predecessor to %v, want %v", c, got, b)
+	}
+
+	// a learns about b on its next full round and the ring is whole again.
+	a.Stabilize()
+	if got := a.Successor(); got != b {
+		t.Fatalf("after a's round, %s.successor = %v, want %v", a, got, b)
+	}
+	net.StabilizeAll(2)
+	if rep := CheckRing(net); !rep.Converged() {
+		t.Fatalf("ring not converged: %s", rep)
+	}
+	assertRingExact(t, net)
+
+	// Exactly one hand-off happened: c gave (a, b] to the joiner, once.
+	// A regressed predecessor would have repeated it on b's re-adoption.
+	if len(rec.calls) != 1 {
+		t.Fatalf("key hand-offs = %d (%v), want exactly 1", len(rec.calls), rec.calls)
+	}
+	tr := rec.calls[0]
+	if tr.from != c.Key() || tr.to != b.Key() || tr.lo != a.ID() || tr.hi != b.ID() {
+		t.Fatalf("hand-off = %+v, want %s -> %s over (%s, %s]", tr, c.Key(), b.Key(), a.ID().Short(), b.ID().Short())
+	}
+}
+
 func TestStabilizationHealsWithoutOracle(t *testing.T) {
 	// Kill nodes, then rely purely on the periodic protocol — no
 	// RepairAll — to restore exact pointers.

@@ -262,6 +262,147 @@ func (net *Network) JoinAt(key string, nid id.ID) (*Node, error) {
 	return n, nil
 }
 
+// JoinProtocol adds a node to the overlay using only the join protocol of
+// Zave's corrected Chord, with none of JoinAt's oracle repairs: the joiner
+// looks up its successor through a bootstrap node and initializes its
+// successor list from it; its predecessor stays nil, its finger table
+// empty (routing falls back on the successor list until fix-fingers fills
+// it). The ring splice and the key hand-off happen when stabilization next
+// runs — the joiner notifies its successor, the successor adopts it and
+// transfers the keys in (oldPred, joiner] via the KeyTransferrer seam.
+//
+// The membership index is still updated immediately, but only as the test
+// oracle (OracleSuccessor, RingIntact); the routing data path never reads
+// it.
+func (net *Network) JoinProtocol(key string) (*Node, error) {
+	nid := id.Hash(key)
+	n := &Node{
+		net:   net,
+		key:   key,
+		ip:    fmt.Sprintf("sim://%s", nid.Short()),
+		id:    nid,
+		succs: make([]*Node, 0, net.succListLen),
+	}
+	n.alive.Store(true)
+
+	net.mu.Lock()
+	if old, ok := net.byKey[key]; ok && old.Alive() {
+		net.mu.Unlock()
+		return nil, fmt.Errorf("chord: join %q: key already in overlay", key)
+	}
+	if i := net.ringIndexLocked(nid); i < len(net.ring) && net.ring[i].id == nid {
+		net.mu.Unlock()
+		return nil, fmt.Errorf("chord: join %q: ring position %s already occupied by %s", key, nid.Short(), net.ring[i])
+	}
+	var bootstrap *Node
+	if len(net.ring) > 0 {
+		bootstrap = net.ring[0]
+	}
+	net.insertLocked(n)
+	net.mu.Unlock()
+	net.obs.joins.Inc()
+
+	if bootstrap == nil {
+		// First node: a singleton ring, its own successor.
+		return n, nil
+	}
+	// Find Successor(id(n)) from the bootstrap. No pointer anywhere
+	// references n yet, so the lookup lands on the node that owned n's
+	// identifier before the join — exactly the successor the protocol
+	// wants. The lookup hops are charged like any join lookup.
+	succ, hops, err := bootstrap.route(nid)
+	if err != nil || succ == n || !succ.Alive() {
+		net.traffic.RecordHopsOnly("chord-join", hops)
+		// The aborted joiner must not linger in the index: nothing points
+		// at it, and leaving it "alive" with no successor would strand the
+		// ring oracle on a node the protocol never spliced in.
+		net.removeQuiet(n)
+		return nil, fmt.Errorf("chord: join %q: successor lookup failed: %w", key, err)
+	}
+	net.traffic.Record("chord-join", hops)
+
+	// Initialize the successor list from the successor's view, and learn a
+	// tentative predecessor from it as well — the successor's current
+	// predecessor always precedes the joiner (the lookup proved the joiner
+	// lies in (succ.pred, succ]). Without it the nil-predecessor rule would
+	// make the joiner claim the whole ring until its predecessor's first
+	// notify. Everything else converges through stabilize/notify/
+	// fix-fingers.
+	list := make([]*Node, 0, net.succListLen)
+	list = append(list, succ)
+	for _, s := range succ.SuccessorList() {
+		if len(list) >= net.succListLen {
+			break
+		}
+		if s != nil && s.Alive() && s != n {
+			list = append(list, s)
+		}
+	}
+	pred := succ.Predecessor()
+	n.mu.Lock()
+	n.succs = list
+	if pred != nil && pred.Alive() && pred != n {
+		n.pred = pred
+	}
+	n.mu.Unlock()
+	return n, nil
+}
+
+// LeaveProtocol removes a node voluntarily using only the protocol: the
+// departing node hands its keys to its successor, tells its successor to
+// adopt its predecessor, and points its predecessor's successor chain past
+// itself. No oracle repairs run; remaining stale pointers (other nodes'
+// fingers and successor lists) heal through stabilization.
+func (net *Network) LeaveProtocol(n *Node) {
+	if !n.Alive() {
+		return
+	}
+	succ := n.Successor()
+	pred := n.Predecessor()
+	if succ != n && succ != nil {
+		if h, ok := n.Handler().(KeyTransferrer); ok {
+			// Everything n stored now belongs to its successor.
+			h.TransferKeys(n, succ, n.ID(), n.ID())
+		}
+	}
+	net.removeQuiet(n)
+	if succ == nil || succ == n || !succ.Alive() {
+		return
+	}
+	// Courtesy messages of a polite leave: the successor drops its pointer
+	// to n and hears from n's predecessor immediately instead of waiting a
+	// stabilization round.
+	succ.CheckPredecessor()
+	if pred != nil && pred.Alive() {
+		succ.notify(pred)
+	}
+}
+
+// FailProtocol removes a node abruptly without any repair at all — not
+// even the neighbor corrections Network.Fail performs. Detection is left
+// entirely to CheckPredecessor and successor-list failover, which is what
+// the protocol churn tests exercise.
+func (net *Network) FailProtocol(n *Node) {
+	if !n.Alive() {
+		return
+	}
+	net.removeQuiet(n)
+}
+
+// removeQuiet takes n out of the membership index and marks it dead,
+// leaving every pointer that references it stale. The protocol heals them.
+func (net *Network) removeQuiet(n *Node) {
+	net.obs.exits.Inc()
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	n.alive.Store(false)
+	delete(net.byKey, n.key)
+	i := net.ringIndexLocked(n.id)
+	if i < len(net.ring) && net.ring[i] == n {
+		net.ring = append(net.ring[:i], net.ring[i+1:]...)
+	}
+}
+
 // AddNodes joins count nodes named <prefix>0 .. <prefix>(count-1) and then
 // rebuilds all pointers exactly. It is the fast path for constructing the
 // large static networks of the experiments (up to 10^4 nodes).

@@ -1,0 +1,195 @@
+package chord
+
+import (
+	"fmt"
+	"strings"
+
+	"cqjoin/internal/id"
+)
+
+// This file is the ring-invariant oracle from Zave's "How To Make Chord
+// Correct": a checker over the ACTUAL successor pointers nodes hold, not
+// the membership index. The sorted ring index always looks perfect by
+// construction; what churn can break is the pointer structure, and that is
+// what CheckRing inspects. Both the test suites and the daemon's `stats`
+// op invoke it, so a live deployment can ask "is my ring whole?" with the
+// same code the property tests gate on.
+//
+// The invariants, per Zave:
+//
+//   - Ordered Ring: following successor pointers around the cycle visits
+//     identifiers in increasing order, wrapping exactly once.
+//   - At Most One Ring: every node's successor walk ends on the same cycle;
+//     there is no second disjoint cycle.
+//   - Connected Appendages: a node not yet on the cycle (e.g. mid-join)
+//     still reaches the cycle via its successor chain.
+//   - Successor-list consistency: each list's alive entries are distinct,
+//     exclude the node itself, and appear in strictly increasing clockwise
+//     distance from the node.
+
+// RingReport is the result of one CheckRing pass.
+type RingReport struct {
+	// Alive is the number of alive nodes inspected.
+	Alive int
+	// CycleLen is the length of the unique successor cycle (0 on an empty
+	// overlay, 1 for a singleton).
+	CycleLen int
+	// Appendages counts alive nodes not yet spliced into the cycle; they
+	// still satisfy the invariants as long as their walks reach it.
+	Appendages int
+	// Violations lists every invariant violation found, in a deterministic
+	// order. Empty means the ring satisfies all four invariants.
+	Violations []string
+}
+
+// OK reports whether every invariant holds.
+func (r *RingReport) OK() bool { return len(r.Violations) == 0 }
+
+// Converged reports whether the ring is not only correct but fully
+// stabilized: every alive node sits on the one cycle.
+func (r *RingReport) Converged() bool { return r.OK() && r.Appendages == 0 }
+
+// Err returns nil when the ring is correct, or one error summarizing every
+// violation.
+func (r *RingReport) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("chord: ring invariants violated: %s", strings.Join(r.Violations, "; "))
+}
+
+// String renders the report for logs and the daemon's stats op.
+func (r *RingReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("ok: %d alive, cycle %d, appendages %d", r.Alive, r.CycleLen, r.Appendages)
+	}
+	return fmt.Sprintf("BROKEN: %d alive, cycle %d, appendages %d: %s",
+		r.Alive, r.CycleLen, r.Appendages, strings.Join(r.Violations, "; "))
+}
+
+// CheckRing verifies the Zave ring invariants against the actual successor
+// pointers of every alive node. It never repairs anything and never touches
+// the routing data path; it is safe to call concurrently with traffic.
+func CheckRing(net *Network) *RingReport {
+	nodes := net.Nodes()
+	rep := &RingReport{Alive: len(nodes)}
+	if len(nodes) == 0 {
+		return rep
+	}
+
+	// Find the cycle the first node's successor walk ends on. Successor()
+	// is deterministic over a finite node set, so the walk must revisit.
+	cycle := walkToCycle(nodes[0], 2*len(nodes)+2)
+	if cycle == nil {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("successor walk from %s never cycles", nodes[0]))
+		return rep
+	}
+	onCycle := make(map[*Node]bool, len(cycle))
+	for _, c := range cycle {
+		onCycle[c] = true
+	}
+	rep.CycleLen = len(cycle)
+
+	// Ordered Ring: exactly one wrap point going around the cycle.
+	if len(cycle) > 1 {
+		descents := 0
+		for i, c := range cycle {
+			next := cycle[(i+1)%len(cycle)]
+			if next.ID().Less(c.ID()) {
+				descents++
+			}
+		}
+		if descents != 1 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("cycle of %d nodes wraps %d times, want 1 (ordered ring)", len(cycle), descents))
+		}
+	}
+
+	// At Most One Ring + Connected Appendages: every other node's walk must
+	// land on the one cycle found above.
+	for _, n := range nodes {
+		if onCycle[n] {
+			continue
+		}
+		rep.Appendages++
+		if !reachesCycle(n, onCycle, 2*len(nodes)+2) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s does not reach the ring cycle (second ring or dangling appendage)", n))
+		}
+	}
+
+	// Successor-list consistency.
+	for _, n := range nodes {
+		checkSuccessorList(rep, n)
+	}
+	return rep
+}
+
+// walkToCycle follows successor pointers from n until a node repeats, and
+// returns the cycle (from the first repeated node). nil means the walk
+// exceeded its budget without repeating, which indicates pointer corruption.
+func walkToCycle(n *Node, budget int) []*Node {
+	seen := make(map[*Node]int)
+	path := make([]*Node, 0, budget)
+	cur := n
+	for step := 0; step <= budget; step++ {
+		if at, ok := seen[cur]; ok {
+			return path[at:]
+		}
+		seen[cur] = len(path)
+		path = append(path, cur)
+		cur = cur.Successor()
+	}
+	return nil
+}
+
+// reachesCycle reports whether n's successor walk hits the cycle within the
+// hop budget.
+func reachesCycle(n *Node, onCycle map[*Node]bool, budget int) bool {
+	cur := n
+	for step := 0; step <= budget; step++ {
+		if onCycle[cur] {
+			return true
+		}
+		next := cur.Successor()
+		if next == cur {
+			return false // stuck on a self-loop off the cycle
+		}
+		cur = next
+	}
+	return false
+}
+
+// checkSuccessorList verifies one node's successor list: alive entries are
+// distinct, never the node itself, and sit at strictly increasing clockwise
+// distance — i.e. the list really is "my next r successors in ring order".
+// Dead entries are tolerated; they are what the list exists to skip.
+func checkSuccessorList(rep *RingReport, n *Node) {
+	seen := make(map[*Node]bool)
+	var prev id.ID
+	first := true
+	for i, s := range n.SuccessorList() {
+		if s == nil || !s.Alive() {
+			continue
+		}
+		if s == n {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("successor list of %s contains itself at %d", n, i))
+			continue
+		}
+		if seen[s] {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("successor list of %s repeats %s", n, s))
+			continue
+		}
+		seen[s] = true
+		d := id.Distance(n.ID(), s.ID())
+		if !first && !prev.Less(d) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("successor list of %s not in clockwise order at %d (%s)", n, i, s))
+		}
+		prev = d
+		first = false
+	}
+}

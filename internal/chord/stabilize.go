@@ -17,18 +17,40 @@ import "cqjoin/internal/id"
 // the successor's predecessor p, adopts p as its new successor when p has
 // slipped in between, notifies the (possibly new) successor of n's
 // existence, and refreshes its successor list.
+//
+// It is split into stabilizeAdopt and stabilizeNotify so tests can wedge a
+// concurrent join between the two halves — the exact lost-update window
+// Zave's corrected protocol closes (churn_test.go exercises it).
 func (n *Node) Stabilize() {
-	if !n.Alive() {
+	succ := n.stabilizeAdopt()
+	if succ == nil {
 		return
+	}
+	n.stabilizeNotify(succ)
+}
+
+// stabilizeAdopt is the read half of stabilize: it picks the node to
+// notify — the current successor, or the successor's predecessor when one
+// has slipped in between. nil means there is nothing to do (dead node or
+// singleton ring).
+func (n *Node) stabilizeAdopt() *Node {
+	if !n.Alive() {
+		return nil
 	}
 	succ := n.Successor()
 	if succ == n {
 		// Singleton ring: nothing to learn.
-		return
+		return nil
 	}
 	if p := succ.Predecessor(); p != nil && p.Alive() && id.Between(p.ID(), n.ID(), succ.ID()) {
 		succ = p
 	}
+	return succ
+}
+
+// stabilizeNotify is the write half of stabilize: notify the chosen
+// successor and refresh the successor list from it.
+func (n *Node) stabilizeNotify(succ *Node) {
 	succ.notify(n)
 
 	// Refresh the successor list: succ followed by succ's list, truncated.
@@ -51,14 +73,34 @@ func (n *Node) Stabilize() {
 // notify tells n that node p believes it is n's predecessor; n adopts p
 // when it has no predecessor or p lies between the current predecessor and
 // n on the ring.
+//
+// Adopting a new predecessor shrinks n's arc of responsibility from
+// (old, n] to (p, n]: the keys in (old, p] now belong to p, and n is the
+// node holding them. When the displaced predecessor is still alive — i.e.
+// p joined between two live nodes, rather than replacing a dead one — n
+// hands those keys to p through the application's KeyTransferrer. This is
+// the protocol-driven half of the Chord key hand-off; oracle joins
+// (Network.JoinAt) perform the same transfer eagerly. When the old
+// predecessor is nil or dead there is nothing to split: either n owned the
+// whole ring, or crash hand-off already rehomed the dead node's keys.
 func (n *Node) notify(p *Node) {
 	if p == n || !p.Alive() {
 		return
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	old := n.pred
+	adopted := false
 	if n.pred == nil || !n.pred.Alive() || id.Between(p.ID(), n.pred.ID(), n.ID()) {
+		adopted = n.pred != p
 		n.pred = p
+	}
+	h := n.handler
+	n.mu.Unlock()
+	if !adopted || old == nil || old == p || !old.Alive() {
+		return
+	}
+	if kt, ok := h.(KeyTransferrer); ok {
+		kt.TransferKeys(n, p, old.ID(), p.ID())
 	}
 }
 

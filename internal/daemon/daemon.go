@@ -16,9 +16,11 @@ import (
 	"sync"
 
 	"cqjoin"
+	"cqjoin/internal/chord"
 	"cqjoin/internal/engine"
 	"cqjoin/internal/obs"
 	"cqjoin/internal/transport"
+	"cqjoin/internal/wire"
 )
 
 // Config parameterizes a daemon.
@@ -38,12 +40,19 @@ type Config struct {
 	// ("host:port"). Empty runs the classic single-process mode with
 	// simulated delivery.
 	OverlayAddr string
-	// Peers lists every process's OverlayAddr — the same list, in the
-	// same order, on every process. Each process builds the identical
-	// overlay from (Nodes, Algorithm, SchemaDSL, Seed) and ring positions
-	// are assigned round-robin over Peers, so identical lists are what
-	// make the per-process owner maps agree. Must contain OverlayAddr.
+	// Peers lists the overlay processes' OverlayAddrs. Each process
+	// builds the identical overlay from (Nodes, Algorithm, SchemaDSL,
+	// Seed); node ownership is derived from the membership view by
+	// consistent hashing (see membership.go), so list order does not
+	// matter. Unless JoinExisting is set, Peers is this process's initial
+	// membership and must contain OverlayAddr.
 	Peers []string
+	// JoinExisting marks this process as entering an already-running
+	// overlay: Peers lists the current members (obtained from a running
+	// daemon's overlay-config op) and must NOT contain OverlayAddr. After
+	// StartOverlay/ListenAndServeOverlay, call JoinOverlay to enter the
+	// ring; until then this process owns no nodes.
+	JoinExisting bool
 }
 
 // Server owns one cluster and serves the JSON protocol.
@@ -52,7 +61,7 @@ type Server struct {
 	cluster *cqjoin.Cluster
 	reg     *obs.Registry  // transport metrics; nil in single-process mode
 	tr      *transport.TCP // nil in single-process mode
-	owner   map[string]string
+	members *membership    // nil in single-process mode
 	logf    func(format string, args ...interface{})
 
 	mu        sync.Mutex
@@ -114,24 +123,32 @@ func New(cfg Config) (*Server, error) {
 				break
 			}
 		}
-		if !self {
-			return nil, fmt.Errorf("daemon: overlay address %s is not in the peer list %v", cfg.OverlayAddr, cfg.Peers)
-		}
-		// Every process computes the same map: Nodes() is ascending
-		// identifier order and the peer list is identical everywhere.
-		s.owner = make(map[string]string, cluster.Size())
-		for i, n := range cluster.Overlay().Nodes() {
-			s.owner[n.Key()] = cfg.Peers[i%len(cfg.Peers)]
+		if cfg.JoinExisting {
+			if self {
+				return nil, fmt.Errorf("daemon: joining process %s must not be in the peer list %v", cfg.OverlayAddr, cfg.Peers)
+			}
+			if len(cfg.Peers) == 0 {
+				return nil, fmt.Errorf("daemon: joining an existing overlay needs its current peer list")
+			}
+			// Version 0: any authoritative view handed back by the join
+			// seed supersedes this placeholder. Until JoinOverlay runs,
+			// this process owns no nodes.
+			s.members = newMembership(cfg.Peers, 0)
+		} else {
+			if !self {
+				return nil, fmt.Errorf("daemon: overlay address %s is not in the peer list %v", cfg.OverlayAddr, cfg.Peers)
+			}
+			s.members = newMembership(cfg.Peers, 1)
 		}
 		s.reg = obs.NewRegistry()
-		owner := s.owner
 		tr, err := transport.New(transport.Config{
-			Self:    cfg.OverlayAddr,
-			OwnerOf: func(dstKey string) string { return owner[dstKey] },
-			Codec:   engine.NewWireCodec(catalog),
-			Local:   cluster.Overlay(),
-			Seed:    cfg.Seed,
-			Obs:     s.reg,
+			Self:       cfg.OverlayAddr,
+			OwnerOf:    s.members.ownerOf,
+			Codec:      engine.NewWireCodec(catalog),
+			Local:      s, // ownership-gated; see DeliverLocal
+			Membership: s,
+			Seed:       cfg.Seed,
+			Obs:        s.reg,
 		})
 		if err != nil {
 			return nil, err
@@ -164,6 +181,129 @@ func (s *Server) ListenAndServeOverlay() error {
 
 // Cluster exposes the embedded cluster (for tests and embedding).
 func (s *Server) Cluster() *cqjoin.Cluster { return s.cluster }
+
+// DeliverLocal implements transport.LocalDeliverer with an ownership gate:
+// a message for a node this process does not own (per the current
+// membership view) is refused, which surfaces to the sender as a missing
+// ack — its retry re-resolves the owner under the view it converges to.
+// Without the gate, a delivery racing a membership change would run a
+// handler on a process that no longer holds the node's authoritative
+// state.
+func (s *Server) DeliverLocal(dstKey string, msg chord.Message) bool {
+	if s.members != nil && s.members.ownerOf(dstKey) != s.cfg.OverlayAddr {
+		return false
+	}
+	return s.cluster.Overlay().DeliverLocal(dstKey, msg)
+}
+
+// HandleJoin implements transport.MembershipHandler: admit the joining
+// process and return the authoritative post-join view. State movement is
+// deliberately NOT triggered here — the joiner cannot accept handoffs
+// until it has applied the new view, so it drives the hand-off phase
+// itself (JoinOverlay gossips the view to every member, and each member
+// exports on receipt).
+func (s *Server) HandleJoin(addr string) (*wire.MemberView, error) {
+	v, changed := s.members.add(addr)
+	if changed {
+		s.logf("daemon: admitted %s; membership v%d %v", addr, v.Version, v.Procs)
+	}
+	return v, nil
+}
+
+// HandleView implements transport.MembershipHandler: adopt the gossiped
+// view if newer, then hand off every locally held node the view assigns
+// elsewhere. The export also runs when the view merely re-confirms the
+// current version: the join protocol gossips the same view to every
+// member precisely to trigger exports after the joiner is ready, and
+// re-exporting is idempotent (only non-empty misowned state moves).
+func (s *Server) HandleView(v *wire.MemberView) uint64 {
+	changed, cur := s.members.apply(v)
+	if changed {
+		s.logf("daemon: membership v%d %v", v.Version, v.Procs)
+	}
+	if changed || v.Version == cur {
+		s.exportMoved()
+	}
+	return cur
+}
+
+// JoinOverlay enters a running overlay through the member at seedAddr:
+// request admission, adopt the returned view, then gossip it to every
+// member so each hands over the nodes this process now owns. Call after
+// the overlay transport is serving (StartOverlay), or inbound handoffs
+// have nowhere to land.
+func (s *Server) JoinOverlay(seedAddr string) error {
+	if s.tr == nil {
+		return fmt.Errorf("daemon: no overlay transport configured")
+	}
+	v, err := s.tr.SendJoin(seedAddr)
+	if err != nil {
+		return fmt.Errorf("daemon: join via %s: %w", seedAddr, err)
+	}
+	if _, err := s.applyAndSpread(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LeaveOverlay departs the overlay voluntarily: publish the view without
+// this process first (so the remaining members accept the handoffs), then
+// export every node held here to its new owner. The server keeps serving
+// clients, but owns no nodes afterwards.
+func (s *Server) LeaveOverlay() error {
+	if s.tr == nil {
+		return fmt.Errorf("daemon: no overlay transport configured")
+	}
+	v, ok := s.members.remove(s.cfg.OverlayAddr)
+	if !ok {
+		return fmt.Errorf("daemon: %s is not an overlay member", s.cfg.OverlayAddr)
+	}
+	if _, err := s.applyAndSpread(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// applyAndSpread adopts v locally, gossips it to every other member of v,
+// and exports locally held nodes the view assigns elsewhere. Gossip goes
+// out before the local export so receivers' ownership gates accept the
+// handoffs.
+func (s *Server) applyAndSpread(v *wire.MemberView) (changed bool, err error) {
+	changed, _ = s.members.apply(v)
+	var firstErr error
+	for _, p := range v.Procs {
+		if p == s.cfg.OverlayAddr {
+			continue
+		}
+		if _, err := s.tr.SendView(p, v); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("daemon: gossip view v%d to %s: %w", v.Version, p, err)
+		}
+	}
+	s.exportMoved()
+	return changed, firstErr
+}
+
+// exportMoved hands off every node whose owner under the current view is
+// another process. Only nodes with non-empty movable state cross the
+// wire; re-running after a partial failure is therefore cheap and safe.
+// A handoff the new owner never acked is re-imported locally so state is
+// never dropped on the floor — it re-exports on the next view event.
+func (s *Server) exportMoved() {
+	for _, n := range s.cluster.Overlay().Nodes() {
+		owner := s.members.ownerOf(n.Key())
+		if owner == s.cfg.OverlayAddr {
+			continue
+		}
+		msg, ok := s.cluster.ExportHandoff(n)
+		if !ok {
+			continue
+		}
+		if !s.tr.Deliver(n, n, msg) {
+			s.cluster.Overlay().DeliverLocal(n.Key(), msg)
+			s.logf("daemon: handoff of %s to %s failed; state retained locally", n.Key(), owner)
+		}
+	}
+}
 
 // ParseSchemaDSL parses "R(A,B);S(D,E)" into a catalog.
 func ParseSchemaDSL(dsl string) (*cqjoin.Catalog, error) {
@@ -390,8 +530,8 @@ func (s *Server) localNode(i int) (*cqjoin.Node, error) {
 		return nil, fmt.Errorf("node %d out of range [0,%d)", i, s.cluster.Size())
 	}
 	n := s.cluster.Node(i)
-	if s.owner != nil {
-		if o := s.owner[n.Key()]; o != s.cfg.OverlayAddr {
+	if s.members != nil {
+		if o := s.members.ownerOf(n.Key()); o != s.cfg.OverlayAddr {
 			return nil, fmt.Errorf("node %d (%s) is hosted by peer %s", i, n.Key(), o)
 		}
 	}
@@ -470,6 +610,7 @@ func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 		return map[string]interface{}{"ok": true}
 	case "stats":
 		tr := s.cluster.Traffic()
+		ring := chord.CheckRing(s.cluster.Overlay())
 		resp := map[string]interface{}{
 			"ok":            true,
 			"nodes":         s.cluster.Size(),
@@ -477,13 +618,33 @@ func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 			"hops":          tr.TotalHops(),
 			"messages":      tr.TotalMessages(),
 			"bytes":         tr.TotalBytes(),
+			"ring":          ring.String(),
+			"ring_ok":       ring.OK(),
 		}
 		if s.reg != nil {
 			resp["transport"] = s.reg.Snapshot()
 		}
+		if s.members != nil {
+			v := s.members.view()
+			resp["membership"] = map[string]interface{}{
+				"version": v.Version,
+				"procs":   v.Procs,
+			}
+		}
 		return resp
+	case "leave":
+		if err := s.LeaveOverlay(); err != nil {
+			return fail(err)
+		}
+		return map[string]interface{}{"ok": true}
 	case "overlay-config":
-		// Enough for `cqjoind -join` to build an identical overlay.
+		// Enough for `cqjoind -join` to build an identical overlay. Peers
+		// reflects the live membership, not the boot-time list, so a
+		// process can join after earlier joins and leaves.
+		peers := s.cfg.Peers
+		if s.members != nil {
+			peers = s.members.view().Procs
+		}
 		return map[string]interface{}{
 			"ok":        true,
 			"nodes":     s.cfg.Nodes,
@@ -491,7 +652,7 @@ func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 			"schema":    s.cfg.SchemaDSL,
 			"jfrt":      s.cfg.UseJFRT,
 			"seed":      s.cfg.Seed,
-			"peers":     s.cfg.Peers,
+			"peers":     peers,
 		}
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))

@@ -1,0 +1,135 @@
+package daemon
+
+import (
+	"sort"
+	"sync"
+
+	"cqjoin/internal/id"
+	"cqjoin/internal/wire"
+)
+
+// Process membership for the multi-process overlay. Every daemon holds a
+// versioned view — the sorted list of live process addresses — and derives
+// node ownership from it by consistent hashing: each process occupies the
+// ring position Hash(addr), and a node belongs to the process whose
+// position is the clockwise successor of the node's identifier. The same
+// view therefore yields the same owner map on every process, with no
+// coordination beyond agreeing on the view, and a membership change moves
+// only the arcs adjacent to the joining or leaving process.
+//
+// Views are totally ordered by version. A process adopts gossip iff it is
+// strictly newer than what it holds, so replayed and reordered view frames
+// are no-ops. Changes originate at one process (the join seed, or the
+// leaver) which increments the version; concurrent originators are not
+// arbitrated — the daemon protocol drives joins and leaves one at a time.
+type membership struct {
+	mu      sync.Mutex
+	version uint64
+	procs   []string     // sorted addresses
+	points  []ownerPoint // procs by ring position, ascending
+}
+
+// ownerPoint is one process's position on the identifier ring.
+type ownerPoint struct {
+	pos  id.ID
+	addr string
+}
+
+// newMembership builds the initial view. Version 1 marks a configured
+// (non-empty) member list; a process joining an existing overlay starts at
+// version 0 with the current members, so any authoritative view it is
+// handed applies.
+func newMembership(procs []string, version uint64) *membership {
+	m := &membership{}
+	m.install(version, procs)
+	return m
+}
+
+// install replaces the view. Callers hold m.mu (or own m exclusively).
+func (m *membership) install(version uint64, procs []string) {
+	sorted := append([]string(nil), procs...)
+	sort.Strings(sorted)
+	points := make([]ownerPoint, len(sorted))
+	for i, p := range sorted {
+		points[i] = ownerPoint{pos: id.Hash(p), addr: p}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].pos.Less(points[j].pos) })
+	m.version = version
+	m.procs = sorted
+	m.points = points
+}
+
+// view returns a copy of the current view for gossiping.
+func (m *membership) view() *wire.MemberView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &wire.MemberView{Version: m.version, Procs: append([]string(nil), m.procs...)}
+}
+
+// currentVersion returns the view version.
+func (m *membership) currentVersion() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// apply adopts v iff it is strictly newer. It reports whether the view
+// changed and the version held afterwards.
+func (m *membership) apply(v *wire.MemberView) (changed bool, version uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v.Version <= m.version {
+		return false, m.version
+	}
+	m.install(v.Version, v.Procs)
+	return true, m.version
+}
+
+// add admits addr and returns the resulting view. Re-admitting a current
+// member returns the unchanged view, so replayed join frames are no-ops.
+func (m *membership) add(addr string) (*wire.MemberView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.procs {
+		if p == addr {
+			return &wire.MemberView{Version: m.version, Procs: append([]string(nil), m.procs...)}, false
+		}
+	}
+	m.install(m.version+1, append(append([]string(nil), m.procs...), addr))
+	return &wire.MemberView{Version: m.version, Procs: append([]string(nil), m.procs...)}, true
+}
+
+// remove departs addr and returns the resulting view; ok is false when
+// addr was not a member.
+func (m *membership) remove(addr string) (*wire.MemberView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rest := make([]string, 0, len(m.procs))
+	for _, p := range m.procs {
+		if p != addr {
+			rest = append(rest, p)
+		}
+	}
+	if len(rest) == len(m.procs) {
+		return nil, false
+	}
+	m.install(m.version+1, rest)
+	return &wire.MemberView{Version: m.version, Procs: append([]string(nil), m.procs...)}, true
+}
+
+// ownerOf maps a node key to the address of its owning process: the
+// clockwise successor of Hash(nodeKey) among the member positions. Empty
+// when the view has no members.
+func (m *membership) ownerOf(nodeKey string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.points) == 0 {
+		return ""
+	}
+	pos := id.Hash(nodeKey)
+	i := sort.Search(len(m.points), func(i int) bool { return !m.points[i].pos.Less(pos) })
+	if i == len(m.points) {
+		i = 0 // wrapped past the highest position
+	}
+	return m.points[i].addr
+}

@@ -101,47 +101,99 @@ func TestDaemonLineTooLong(t *testing.T) {
 	}
 }
 
-// startOverlayPair builds two daemon processes' worth of servers sharing
-// one overlay: each owns every other ring position. Returns one connected
-// client per server.
-func startOverlayPair(t *testing.T, base Config) (*client, *client) {
-	t.Helper()
-	lnA, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatalf("listen overlay A: %v", err)
-	}
-	lnB, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatalf("listen overlay B: %v", err)
-	}
-	peers := []string{lnA.Addr().String(), lnB.Addr().String()}
+// overlayProc is one daemon process of a multi-process overlay test:
+// the in-process server, a connected protocol client, and its overlay
+// address.
+type overlayProc struct {
+	srv  *Server
+	c    *client
+	addr string
+}
 
-	clients := make([]*client, 2)
-	for i, ln := range []net.Listener{lnA, lnB} {
+// ownsNode reports whether this process owns ring position i under its
+// current membership view.
+func (p *overlayProc) ownsNode(i int) bool {
+	key := p.srv.Cluster().Node(i).Key()
+	return p.srv.members.ownerOf(key) == p.addr
+}
+
+// nodeOwnedBy returns some ring position owned by this process, other
+// than the excluded ones. Ownership is successor-based over the hashed
+// process addresses, so tests discover positions instead of assuming a
+// layout.
+func (p *overlayProc) nodeOwnedBy(t *testing.T, exclude ...int) int {
+	t.Helper()
+	for i := 0; i < p.srv.Cluster().Size(); i++ {
+		skip := false
+		for _, e := range exclude {
+			if i == e {
+				skip = true
+				break
+			}
+		}
+		if !skip && p.ownsNode(i) {
+			return i
+		}
+	}
+	t.Fatalf("process %s owns no eligible node", p.addr)
+	return -1
+}
+
+// startOverlayProc builds one daemon process around an already-bound
+// overlay listener and connects a protocol client to it.
+func startOverlayProc(t *testing.T, cfg Config, ln net.Listener) *overlayProc {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New server %s: %v", cfg.OverlayAddr, err)
+	}
+	if err := srv.StartOverlay(ln); err != nil {
+		t.Fatalf("StartOverlay %s: %v", cfg.OverlayAddr, err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen client %s: %v", cfg.OverlayAddr, err)
+	}
+	go func() { _ = srv.Serve(cln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	conn, err := net.Dial("tcp", cln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial %s: %v", cfg.OverlayAddr, err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return &overlayProc{srv: srv, c: newClient(t, conn), addr: cfg.OverlayAddr}
+}
+
+// startOverlayProcs builds count daemon processes sharing one overlay
+// with a static initial membership.
+func startOverlayProcs(t *testing.T, base Config, count int) []*overlayProc {
+	t.Helper()
+	lns := make([]net.Listener, count)
+	peers := make([]string, count)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen overlay %d: %v", i, err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	procs := make([]*overlayProc, count)
+	for i, ln := range lns {
 		cfg := base
 		cfg.OverlayAddr = peers[i]
 		cfg.Peers = peers
-		srv, err := New(cfg)
-		if err != nil {
-			t.Fatalf("New server %d: %v", i, err)
-		}
-		if err := srv.StartOverlay(ln); err != nil {
-			t.Fatalf("StartOverlay %d: %v", i, err)
-		}
-		cln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatalf("listen client %d: %v", i, err)
-		}
-		go func() { _ = srv.Serve(cln) }()
-		t.Cleanup(func() { _ = srv.Close() })
-		conn, err := net.Dial("tcp", cln.Addr().String())
-		if err != nil {
-			t.Fatalf("dial %d: %v", i, err)
-		}
-		t.Cleanup(func() { _ = conn.Close() })
-		clients[i] = newClient(t, conn)
+		procs[i] = startOverlayProc(t, cfg, ln)
 	}
-	return clients[0], clients[1]
+	return procs
+}
+
+// startOverlayPair builds two daemon processes' worth of servers sharing
+// one overlay. Returns one connected client per server.
+func startOverlayPair(t *testing.T, base Config) (*client, *client) {
+	t.Helper()
+	procs := startOverlayProcs(t, base, 2)
+	return procs[0].c, procs[1].c
 }
 
 // TestDaemonTwoProcessOverlay is the acceptance test for multi-process
@@ -149,14 +201,18 @@ func startOverlayPair(t *testing.T, base Config) (*client, *client) {
 // by process A is matched by tuples published through process B, and the
 // notification event surfaces at A's listener.
 func TestDaemonTwoProcessOverlay(t *testing.T) {
-	cA, cB := startOverlayPair(t, defaultConfig())
+	procs := startOverlayProcs(t, defaultConfig(), 2)
+	a, b := procs[0], procs[1]
+	cA, cB := a.c, b.c
 
 	if resp := cA.call(map[string]interface{}{"op": "listen"}); resp["ok"] != true {
 		t.Fatalf("listen: %v", resp)
 	}
-	// Node 0 is owned by A (even ring index), node 1 by B.
+	// Ownership is successor-based over the hashed peer addresses, so the
+	// test discovers who owns what instead of assuming a layout.
+	subNode := a.nodeOwnedBy(t)
 	resp := cA.call(map[string]interface{}{
-		"op": "subscribe", "node": 0,
+		"op": "subscribe", "node": subNode,
 		"sql": `SELECT O.Customer, S.Depot FROM Orders AS O, Shipments AS S WHERE O.Product = S.Product`,
 	})
 	if resp["ok"] != true {
@@ -166,18 +222,20 @@ func TestDaemonTwoProcessOverlay(t *testing.T) {
 
 	// Ownership is enforced: B refuses to act through A's node.
 	if resp := cB.call(map[string]interface{}{
-		"op": "publish", "node": 0, "relation": "Orders", "values": []interface{}{1, "x", "y"},
+		"op": "publish", "node": subNode, "relation": "Orders", "values": []interface{}{1, "x", "y"},
 	}); resp["ok"] != false || !strings.Contains(resp["error"].(string), "hosted by peer") {
 		t.Fatalf("B published through A's node: %v", resp)
 	}
 
+	pub1 := b.nodeOwnedBy(t)
+	pub2 := b.nodeOwnedBy(t, pub1)
 	if resp := cB.call(map[string]interface{}{
-		"op": "publish", "node": 1, "relation": "Orders", "values": []interface{}{1, "acme", "widget"},
+		"op": "publish", "node": pub1, "relation": "Orders", "values": []interface{}{1, "acme", "widget"},
 	}); resp["ok"] != true {
 		t.Fatalf("publish Orders on B: %v", resp)
 	}
 	if resp := cB.call(map[string]interface{}{
-		"op": "publish", "node": 3, "relation": "Shipments", "values": []interface{}{9, "widget", "rotterdam"},
+		"op": "publish", "node": pub2, "relation": "Shipments", "values": []interface{}{9, "widget", "rotterdam"},
 	}); resp["ok"] != true {
 		t.Fatalf("publish Shipments on B: %v", resp)
 	}
@@ -193,7 +251,8 @@ func TestDaemonTwoProcessOverlay(t *testing.T) {
 	}
 
 	// B's deliveries crossed real sockets: its stats carry transport
-	// metrics with at least one dial and some frame traffic.
+	// metrics with at least one dial and some frame traffic, plus the
+	// membership view and a clean ring report.
 	stats := cB.call(map[string]interface{}{"op": "stats"})
 	tm, ok := stats["transport"].(map[string]interface{})
 	if !ok {
@@ -201,6 +260,153 @@ func TestDaemonTwoProcessOverlay(t *testing.T) {
 	}
 	if tm["transport.dials"].(float64) == 0 || tm["transport.frame_bytes_out"].(float64) == 0 {
 		t.Fatalf("no cross-process traffic in metrics: %v", tm)
+	}
+	mem, ok := stats["membership"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("stats carry no membership: %v", stats)
+	}
+	if procsList, _ := mem["procs"].([]interface{}); len(procsList) != 2 {
+		t.Fatalf("membership procs: %v", mem)
+	}
+	if stats["ring_ok"] != true {
+		t.Fatalf("ring not ok: %v", stats["ring"])
+	}
+}
+
+// publishPair publishes one Orders/Shipments pair matching the standing
+// query through the first live process that owns a ring position. The
+// product value is unique per call so each pair yields exactly one
+// notification.
+func publishPair(t *testing.T, procs []*overlayProc, tag string) {
+	t.Helper()
+	for _, p := range procs {
+		for i := 0; i < p.srv.Cluster().Size(); i++ {
+			if !p.ownsNode(i) {
+				continue
+			}
+			if resp := p.c.call(map[string]interface{}{
+				"op": "publish", "node": i, "relation": "Orders",
+				"values": []interface{}{1, "cust-" + tag, "prod-" + tag},
+			}); resp["ok"] != true {
+				t.Fatalf("publish Orders %s via %s: %v", tag, p.addr, resp)
+			}
+			if resp := p.c.call(map[string]interface{}{
+				"op": "publish", "node": i, "relation": "Shipments",
+				"values": []interface{}{2, "prod-" + tag, "depot-" + tag},
+			}); resp["ok"] != true {
+				t.Fatalf("publish Shipments %s via %s: %v", tag, p.addr, resp)
+			}
+			return
+		}
+	}
+	t.Fatal("no live process owns any node")
+}
+
+// TestDaemonJoinLeaveMidWorkload is the acceptance test for dynamic
+// membership: a third process joins a running 2-process overlay between
+// publishes, then one of the founders leaves, and across both transitions
+// every published match is notified exactly once — nothing lost (state
+// handed off with the moving arcs), nothing duplicated (idempotent merge
+// plus the engine's dedup ledger).
+func TestDaemonJoinLeaveMidWorkload(t *testing.T) {
+	procs := startOverlayProcs(t, defaultConfig(), 2)
+	a, b := procs[0], procs[1]
+
+	// Subscribe through whichever founder owns a node.
+	var subProc *overlayProc
+	for _, p := range procs {
+		for i := 0; i < p.srv.Cluster().Size(); i++ {
+			if p.ownsNode(i) {
+				subProc = p
+				if resp := p.c.call(map[string]interface{}{
+					"op": "subscribe", "node": i,
+					"sql": `SELECT O.Customer, S.Depot FROM Orders AS O, Shipments AS S WHERE O.Product = S.Product`,
+				}); resp["ok"] != true {
+					t.Fatalf("subscribe: %v", resp)
+				}
+				break
+			}
+		}
+		if subProc != nil {
+			break
+		}
+	}
+	if subProc == nil {
+		t.Fatal("no process owns any node")
+	}
+
+	publishPair(t, procs, "pre-join")
+
+	// A third process joins mid-workload, configured from a live peer.
+	oc := a.c.call(map[string]interface{}{"op": "overlay-config"})
+	if oc["ok"] != true {
+		t.Fatalf("overlay-config: %v", oc)
+	}
+	lnC, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen overlay C: %v", err)
+	}
+	var peersC []string
+	for _, p := range oc["peers"].([]interface{}) {
+		peersC = append(peersC, p.(string))
+	}
+	cfgC := Config{
+		Nodes:        int(oc["nodes"].(float64)),
+		Algorithm:    oc["algorithm"].(string),
+		SchemaDSL:    oc["schema"].(string),
+		UseJFRT:      oc["jfrt"].(bool),
+		Seed:         int64(oc["seed"].(float64)),
+		OverlayAddr:  lnC.Addr().String(),
+		Peers:        peersC,
+		JoinExisting: true,
+	}
+	c := startOverlayProc(t, cfgC, lnC)
+	if err := c.srv.JoinOverlay(a.addr); err != nil {
+		t.Fatalf("JoinOverlay: %v", err)
+	}
+	procs = append(procs, c)
+
+	publishPair(t, procs, "post-join")
+
+	// Founder B leaves voluntarily; its arcs (and their state) move to the
+	// remaining owners.
+	if resp := b.c.call(map[string]interface{}{"op": "leave"}); resp["ok"] != true {
+		t.Fatalf("leave: %v", resp)
+	}
+	live := []*overlayProc{a, c}
+
+	publishPair(t, live, "post-leave")
+
+	// Exactly one notification per published pair, across every process
+	// that ever hosted the subscriber — none lost, none duplicated.
+	total := 0
+	for _, p := range procs {
+		total += len(p.srv.Cluster().Notifications())
+		if d := p.srv.Cluster().Traffic().Duplicates("notification"); d != 0 {
+			t.Fatalf("process %s delivered %d duplicate notifications", p.addr, d)
+		}
+	}
+	if total != 3 {
+		t.Fatalf("published 3 matching pairs, delivered %d notifications", total)
+	}
+
+	// The membership converged on both survivors: version 3 (join, then
+	// leave, over the initial view), two members, and a clean ring.
+	for _, p := range live {
+		stats := p.c.call(map[string]interface{}{"op": "stats"})
+		mem, ok := stats["membership"].(map[string]interface{})
+		if !ok {
+			t.Fatalf("stats carry no membership: %v", stats)
+		}
+		if v := mem["version"].(float64); v != 3 {
+			t.Fatalf("membership version = %v, want 3", v)
+		}
+		if members, _ := mem["procs"].([]interface{}); len(members) != 2 {
+			t.Fatalf("membership procs = %v, want 2 members", members)
+		}
+		if stats["ring_ok"] != true {
+			t.Fatalf("ring not ok on %s: %v", p.addr, stats["ring"])
+		}
 	}
 }
 

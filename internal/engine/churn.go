@@ -31,6 +31,63 @@ func (e *Engine) FailNode(n *chord.Node) {
 	e.Detach(n)
 }
 
+// FailNodeProtocol crashes n like FailNode but uses chord's protocol-only
+// removal: no oracle pointer repairs run, so the overlay heals purely
+// through check-predecessor, successor-list failover and stabilization.
+// The state plane still re-homes the dead node's arc to its oracle heir —
+// that models "successor-list replicas take over", which is orthogonal to
+// how fast the pointer plane converges.
+func (e *Engine) FailNodeProtocol(n *chord.Node) {
+	if !n.Alive() {
+		return
+	}
+	st := e.state(n)
+	e.net.FailProtocol(n)
+	if heir := e.net.OracleSuccessor(n.ID()); heir != nil && heir != n {
+		st.TransferKeys(n, heir, n.ID(), n.ID())
+	}
+	e.Detach(n)
+}
+
+// JoinNodeProtocol adds a brand-new node through the join protocol: only a
+// successor lookup runs at join time; the ring splice and the key hand-off
+// to the joiner happen when stabilization next runs (the successor adopts
+// the joiner on notify and transfers (oldPred, joiner] through the
+// engine's TransferKeys).
+func (e *Engine) JoinNodeProtocol(key string) (*chord.Node, error) {
+	n, err := e.net.JoinProtocol(key)
+	if err != nil {
+		return nil, err
+	}
+	e.Attach(n)
+	return n, nil
+}
+
+// LeaveNodeProtocol removes n voluntarily through the leave protocol: n
+// hands its whole arc to its successor (replaying stored notifications
+// whose subscriber is the successor) and departs; remaining stale pointers
+// heal through stabilization.
+func (e *Engine) LeaveNodeProtocol(n *chord.Node) {
+	if !n.Alive() {
+		return
+	}
+	e.net.LeaveProtocol(n)
+	e.Detach(n)
+}
+
+// RejoinNodeProtocol brings a crashed subscriber back under the same key
+// through the join protocol. Unlike RejoinNode, the arc's state (and the
+// stored-notification replay) arrives only after the successor's next
+// notify-adoption, not synchronously with the join.
+func (e *Engine) RejoinNodeProtocol(key string) (*chord.Node, error) {
+	n, err := e.net.JoinProtocol(key)
+	if err != nil {
+		return nil, err
+	}
+	e.Attach(n)
+	return n, nil
+}
+
 // RejoinNode brings a previously crashed subscriber back under the same
 // key, hence the same ring position Hash(key). The join's key hand-off
 // returns the arc's state to it, and TransferKeys replays the

@@ -40,6 +40,7 @@ const (
 	tagBaselineProbe
 	tagMQuery
 	tagMJoin
+	tagHandoff
 )
 
 // EncodeMessage appends msg's wire form to w.
@@ -147,6 +148,33 @@ func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
 		for _, rw := range m.Rewrites {
 			encodeMRewritten(w, rw)
 		}
+	//wire:field enc handoffMsg AL VQ MQ VT DV Notifs
+	case handoffMsg:
+		w.PutUvarint(uint64(tagHandoff))
+		w.PutUvarint(uint64(len(m.AL)))
+		for _, sec := range m.AL {
+			encodeALSection(w, sec)
+		}
+		w.PutUvarint(uint64(len(m.VQ)))
+		for _, sec := range m.VQ {
+			encodeVQSection(w, sec)
+		}
+		w.PutUvarint(uint64(len(m.MQ)))
+		for _, sec := range m.MQ {
+			encodeMQSection(w, sec)
+		}
+		w.PutUvarint(uint64(len(m.VT)))
+		for _, sec := range m.VT {
+			encodeVTSection(w, sec)
+		}
+		w.PutUvarint(uint64(len(m.DV)))
+		for _, sec := range m.DV {
+			encodeDVSection(w, sec)
+		}
+		w.PutUvarint(uint64(len(m.Notifs)))
+		for _, sec := range m.Notifs {
+			encodeNotifSection(w, sec)
+		}
 	default:
 		return fmt.Errorf("engine: no codec for message type %T", msg)
 	}
@@ -200,6 +228,126 @@ func encodeMRewritten(w *wire.Buffer, rw *mRewritten) {
 	w.PutString(rw.WantRel)
 	w.PutString(rw.WantAttr)
 	w.PutValue(rw.WantValue)
+}
+
+//wire:field enc targetsEntry Key Targets
+func encodeTargetsEntry(w *wire.Buffer, e targetsEntry) {
+	w.PutString(e.Key)
+	w.PutUvarint(uint64(len(e.Targets)))
+	for _, t := range e.Targets {
+		w.PutString(t)
+	}
+}
+
+//wire:field enc alGroupSection Cond Side Queries
+func encodeALGroupSection(w *wire.Buffer, g alGroupSection) {
+	w.PutString(g.Cond)
+	w.PutUvarint(uint64(g.Side))
+	w.PutUvarint(uint64(len(g.Queries)))
+	for _, q := range g.Queries {
+		wire.EncodeQuery(w, q)
+	}
+}
+
+//wire:field enc alMultiSection Cond Queries
+func encodeALMultiSection(w *wire.Buffer, g alMultiSection) {
+	w.PutString(g.Cond)
+	w.PutUvarint(uint64(len(g.Queries)))
+	for _, mq := range g.Queries {
+		encodeMultiQuery(w, mq)
+	}
+}
+
+//wire:field enc alSection Input Groups Multi SentRewrites SentTargets
+func encodeALSection(w *wire.Buffer, sec alSection) {
+	w.PutString(sec.Input)
+	w.PutUvarint(uint64(len(sec.Groups)))
+	for _, g := range sec.Groups {
+		encodeALGroupSection(w, g)
+	}
+	w.PutUvarint(uint64(len(sec.Multi)))
+	for _, g := range sec.Multi {
+		encodeALMultiSection(w, g)
+	}
+	w.PutUvarint(uint64(len(sec.SentRewrites)))
+	for _, k := range sec.SentRewrites {
+		w.PutString(k)
+	}
+	w.PutUvarint(uint64(len(sec.SentTargets)))
+	for _, e := range sec.SentTargets {
+		encodeTargetsEntry(w, e)
+	}
+}
+
+//wire:field enc vqEntry Rw Times
+func encodeVQEntry(w *wire.Buffer, e vqEntry) {
+	encodeRewritten(w, e.Rw)
+	w.PutUvarint(uint64(len(e.Times)))
+	for _, t := range e.Times {
+		w.PutVarint(t)
+	}
+}
+
+//wire:field enc vqSection Input Entries
+func encodeVQSection(w *wire.Buffer, sec vqSection) {
+	w.PutString(sec.Input)
+	w.PutUvarint(uint64(len(sec.Entries)))
+	for _, e := range sec.Entries {
+		encodeVQEntry(w, e)
+	}
+}
+
+//wire:field enc mqSection Input Rewrites SentTargets
+func encodeMQSection(w *wire.Buffer, sec mqSection) {
+	w.PutString(sec.Input)
+	w.PutUvarint(uint64(len(sec.Rewrites)))
+	for _, rw := range sec.Rewrites {
+		encodeMRewritten(w, rw)
+	}
+	w.PutUvarint(uint64(len(sec.SentTargets)))
+	for _, e := range sec.SentTargets {
+		encodeTargetsEntry(w, e)
+	}
+}
+
+//wire:field enc vtSection Input Tuples
+func encodeVTSection(w *wire.Buffer, sec vtSection) {
+	w.PutString(sec.Input)
+	w.PutUvarint(uint64(len(sec.Tuples)))
+	for _, t := range sec.Tuples {
+		wire.EncodeTuple(w, t)
+	}
+}
+
+//wire:field enc dvEntry Cond Left Right
+func encodeDVEntry(w *wire.Buffer, e dvEntry) {
+	w.PutString(e.Cond)
+	w.PutUvarint(uint64(len(e.Left)))
+	for _, t := range e.Left {
+		wire.EncodeTuple(w, t)
+	}
+	w.PutUvarint(uint64(len(e.Right)))
+	for _, t := range e.Right {
+		wire.EncodeTuple(w, t)
+	}
+}
+
+//wire:field enc dvSection Input Entries
+func encodeDVSection(w *wire.Buffer, sec dvSection) {
+	w.PutString(sec.Input)
+	w.PutUvarint(uint64(len(sec.Entries)))
+	for _, e := range sec.Entries {
+		encodeDVEntry(w, e)
+	}
+}
+
+//wire:field enc notifSection Subscriber Batch
+func encodeNotifSection(w *wire.Buffer, sec notifSection) {
+	w.PutString(sec.Subscriber)
+	w.PutUvarint(uint64(len(sec.Batch)))
+	for _, n := range sec.Batch {
+		encodeNotification(w, n)
+	}
 }
 
 // sliceCount validates an element count read off the wire against the
@@ -440,6 +588,8 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			}
 		}
 		return mJoinMsg{Rewrites: rws}, nil
+	case tagHandoff:
+		return decodeHandoff(r, catalog)
 	default:
 		return nil, fmt.Errorf("engine: unknown message tag %d", tag)
 	}
@@ -617,6 +767,313 @@ func decodeMRewritten(r *wire.Reader, catalog *relation.Catalog) (*mRewritten, e
 		Key: key, Orig: mq, Stage: int(stage), Acc: acc,
 		WantRel: wantRel, WantAttr: wantAttr, WantValue: wantVal,
 	}, nil
+}
+
+// decodeCount reads a uvarint element count and validates it with
+// sliceCount.
+func decodeCount(r *wire.Reader) (int, error) {
+	raw, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return sliceCount(r, raw)
+}
+
+func decodeTargetsEntry(r *wire.Reader) (targetsEntry, error) {
+	var e targetsEntry
+	var err error
+	if e.Key, err = r.String(); err != nil {
+		return e, err
+	}
+	n, err := decodeCount(r)
+	if err != nil {
+		return e, err
+	}
+	e.Targets = make([]string, n)
+	for i := range e.Targets {
+		if e.Targets[i], err = r.String(); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+func decodeTargetsEntries(r *wire.Reader) ([]targetsEntry, error) {
+	n, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]targetsEntry, n)
+	for i := range out {
+		if out[i], err = decodeTargetsEntry(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func decodeALSection(r *wire.Reader, catalog *relation.Catalog) (alSection, error) {
+	var sec alSection
+	var err error
+	if sec.Input, err = r.String(); err != nil {
+		return sec, err
+	}
+	ng, err := decodeCount(r)
+	if err != nil {
+		return sec, err
+	}
+	sec.Groups = make([]alGroupSection, ng)
+	for i := range sec.Groups {
+		g := &sec.Groups[i]
+		if g.Cond, err = r.String(); err != nil {
+			return sec, err
+		}
+		side, err := r.Uvarint()
+		if err != nil {
+			return sec, err
+		}
+		g.Side = query.Side(side)
+		nq, err := decodeCount(r)
+		if err != nil {
+			return sec, err
+		}
+		g.Queries = make([]*query.Query, nq)
+		for j := range g.Queries {
+			if g.Queries[j], err = wire.DecodeQuery(r, catalog); err != nil {
+				return sec, err
+			}
+		}
+	}
+	nm, err := decodeCount(r)
+	if err != nil {
+		return sec, err
+	}
+	sec.Multi = make([]alMultiSection, nm)
+	for i := range sec.Multi {
+		g := &sec.Multi[i]
+		if g.Cond, err = r.String(); err != nil {
+			return sec, err
+		}
+		nq, err := decodeCount(r)
+		if err != nil {
+			return sec, err
+		}
+		g.Queries = make([]*query.MultiQuery, nq)
+		for j := range g.Queries {
+			if g.Queries[j], err = decodeMultiQuery(r, catalog); err != nil {
+				return sec, err
+			}
+		}
+	}
+	nr, err := decodeCount(r)
+	if err != nil {
+		return sec, err
+	}
+	sec.SentRewrites = make([]string, nr)
+	for i := range sec.SentRewrites {
+		if sec.SentRewrites[i], err = r.String(); err != nil {
+			return sec, err
+		}
+	}
+	if sec.SentTargets, err = decodeTargetsEntries(r); err != nil {
+		return sec, err
+	}
+	return sec, nil
+}
+
+func decodeVQSection(r *wire.Reader, catalog *relation.Catalog) (vqSection, error) {
+	var sec vqSection
+	var err error
+	if sec.Input, err = r.String(); err != nil {
+		return sec, err
+	}
+	n, err := decodeCount(r)
+	if err != nil {
+		return sec, err
+	}
+	sec.Entries = make([]vqEntry, n)
+	for i := range sec.Entries {
+		e := &sec.Entries[i]
+		if e.Rw, err = decodeRewritten(r, catalog); err != nil {
+			return sec, err
+		}
+		nt, err := decodeCount(r)
+		if err != nil {
+			return sec, err
+		}
+		e.Times = make([]int64, nt)
+		for j := range e.Times {
+			if e.Times[j], err = r.Varint(); err != nil {
+				return sec, err
+			}
+		}
+	}
+	return sec, nil
+}
+
+func decodeMQSection(r *wire.Reader, catalog *relation.Catalog) (mqSection, error) {
+	var sec mqSection
+	var err error
+	if sec.Input, err = r.String(); err != nil {
+		return sec, err
+	}
+	n, err := decodeCount(r)
+	if err != nil {
+		return sec, err
+	}
+	sec.Rewrites = make([]*mRewritten, n)
+	for i := range sec.Rewrites {
+		if sec.Rewrites[i], err = decodeMRewritten(r, catalog); err != nil {
+			return sec, err
+		}
+	}
+	if sec.SentTargets, err = decodeTargetsEntries(r); err != nil {
+		return sec, err
+	}
+	return sec, nil
+}
+
+func decodeVTSection(r *wire.Reader) (vtSection, error) {
+	var sec vtSection
+	var err error
+	if sec.Input, err = r.String(); err != nil {
+		return sec, err
+	}
+	n, err := decodeCount(r)
+	if err != nil {
+		return sec, err
+	}
+	sec.Tuples = make([]*relation.Tuple, n)
+	for i := range sec.Tuples {
+		if sec.Tuples[i], err = wire.DecodeTuple(r); err != nil {
+			return sec, err
+		}
+	}
+	return sec, nil
+}
+
+func decodeDVSection(r *wire.Reader) (dvSection, error) {
+	var sec dvSection
+	var err error
+	if sec.Input, err = r.String(); err != nil {
+		return sec, err
+	}
+	n, err := decodeCount(r)
+	if err != nil {
+		return sec, err
+	}
+	sec.Entries = make([]dvEntry, n)
+	for i := range sec.Entries {
+		e := &sec.Entries[i]
+		if e.Cond, err = r.String(); err != nil {
+			return sec, err
+		}
+		nl, err := decodeCount(r)
+		if err != nil {
+			return sec, err
+		}
+		e.Left = make([]*relation.Tuple, nl)
+		for j := range e.Left {
+			if e.Left[j], err = wire.DecodeTuple(r); err != nil {
+				return sec, err
+			}
+		}
+		nr, err := decodeCount(r)
+		if err != nil {
+			return sec, err
+		}
+		e.Right = make([]*relation.Tuple, nr)
+		for j := range e.Right {
+			if e.Right[j], err = wire.DecodeTuple(r); err != nil {
+				return sec, err
+			}
+		}
+	}
+	return sec, nil
+}
+
+func decodeNotifSection(r *wire.Reader) (notifSection, error) {
+	var sec notifSection
+	var err error
+	if sec.Subscriber, err = r.String(); err != nil {
+		return sec, err
+	}
+	n, err := decodeCount(r)
+	if err != nil {
+		return sec, err
+	}
+	sec.Batch = make([]Notification, n)
+	for i := range sec.Batch {
+		if sec.Batch[i], err = decodeNotification(r); err != nil {
+			return sec, err
+		}
+	}
+	return sec, nil
+}
+
+func decodeHandoff(r *wire.Reader, catalog *relation.Catalog) (chord.Message, error) {
+	var m handoffMsg
+	nAL, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.AL = make([]alSection, nAL)
+	for i := range m.AL {
+		if m.AL[i], err = decodeALSection(r, catalog); err != nil {
+			return nil, err
+		}
+	}
+	nVQ, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.VQ = make([]vqSection, nVQ)
+	for i := range m.VQ {
+		if m.VQ[i], err = decodeVQSection(r, catalog); err != nil {
+			return nil, err
+		}
+	}
+	nMQ, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.MQ = make([]mqSection, nMQ)
+	for i := range m.MQ {
+		if m.MQ[i], err = decodeMQSection(r, catalog); err != nil {
+			return nil, err
+		}
+	}
+	nVT, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.VT = make([]vtSection, nVT)
+	for i := range m.VT {
+		if m.VT[i], err = decodeVTSection(r); err != nil {
+			return nil, err
+		}
+	}
+	nDV, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.DV = make([]dvSection, nDV)
+	for i := range m.DV {
+		if m.DV[i], err = decodeDVSection(r); err != nil {
+			return nil, err
+		}
+	}
+	nN, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Notifs = make([]notifSection, nN)
+	for i := range m.Notifs {
+		if m.Notifs[i], err = decodeNotifSection(r); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // encodedLen is the single source of truth for message sizes: the exact

@@ -65,6 +65,21 @@ func codecFixtures(t testing.TB) (*relation.Catalog, []chord.Message) {
 		baselineProbeMsg{Input: "S", Rewrites: []*rewritten{rw}},
 		mQueryMsg{MQ: mqRev, Attr: "x", Replica: 0},
 		mJoinMsg{Rewrites: []*mRewritten{mrw}},
+		handoffMsg{
+			AL: []alSection{{
+				Input:  "R+B",
+				Groups: []alGroupSection{{Cond: q.ConditionKey(), Side: query.SideLeft, Queries: []*query.Query{q}}},
+				Multi:  []alMultiSection{{Cond: "A.x=B.y", Queries: []*query.MultiQuery{mqRev}}},
+				SentRewrites: []string{rw.Key},
+				SentTargets:  []targetsEntry{{Key: rw.Key, Targets: []string{"S+E+7", "S+E+9"}}},
+			}},
+			VQ: []vqSection{{Input: "S+E+7", Entries: []vqEntry{{Rw: rw, Times: []int64{9, 11}}}}},
+			MQ: []mqSection{{Input: "B+y+1", Rewrites: []*mRewritten{mrw},
+				SentTargets: []targetsEntry{{Key: mrw.Key, Targets: []string{"C+y+3"}}}}},
+			VT:     []vtSection{{Input: "S+E+7", Tuples: []*relation.Tuple{su}}},
+			DV:     []dvSection{{Input: "7", Entries: []dvEntry{{Cond: q.ConditionKey(), Left: []*relation.Tuple{tu}, Right: []*relation.Tuple{su}}}}},
+			Notifs: []notifSection{{Subscriber: q.Subscriber(), Batch: []Notification{notif}}},
+		},
 	}
 	return full, msgs
 }
@@ -199,6 +214,86 @@ func assertSemanticEqual(t *testing.T, want, got chord.Message) {
 				gr.WantRel != wr.WantRel || gr.WantAttr != wr.WantAttr || !gr.WantValue.Equal(wr.WantValue) ||
 				gr.Orig.Rels()[0].Name() != wr.Orig.Rels()[0].Name() {
 				t.Fatalf("mRewritten %d mismatch", i)
+			}
+		}
+	case handoffMsg:
+		g := got.(handoffMsg)
+		if len(g.AL) != len(w.AL) || len(g.VQ) != len(w.VQ) || len(g.MQ) != len(w.MQ) ||
+			len(g.VT) != len(w.VT) || len(g.DV) != len(w.DV) || len(g.Notifs) != len(w.Notifs) {
+			t.Fatalf("handoffMsg section counts mismatch: %+v", g)
+		}
+		for i := range g.AL {
+			ga, wa := g.AL[i], w.AL[i]
+			if ga.Input != wa.Input || len(ga.Groups) != len(wa.Groups) ||
+				len(ga.Multi) != len(wa.Multi) ||
+				!reflect.DeepEqual(ga.SentRewrites, wa.SentRewrites) ||
+				!reflect.DeepEqual(ga.SentTargets, wa.SentTargets) {
+				t.Fatalf("alSection %d mismatch: %+v", i, ga)
+			}
+			for j := range ga.Groups {
+				gg, wg := ga.Groups[j], wa.Groups[j]
+				if gg.Cond != wg.Cond || gg.Side != wg.Side ||
+					len(gg.Queries) != len(wg.Queries) || gg.Queries[0].Key() != wg.Queries[0].Key() {
+					t.Fatalf("alGroupSection %d/%d mismatch", i, j)
+				}
+			}
+			for j := range ga.Multi {
+				gm, wm := ga.Multi[j], wa.Multi[j]
+				if gm.Cond != wm.Cond || len(gm.Queries) != len(wm.Queries) ||
+					gm.Queries[0].Key() != wm.Queries[0].Key() ||
+					gm.Queries[0].Rels()[0].Name() != wm.Queries[0].Rels()[0].Name() {
+					t.Fatalf("alMultiSection %d/%d mismatch", i, j)
+				}
+			}
+		}
+		for i := range g.VQ {
+			gv, wv := g.VQ[i], w.VQ[i]
+			if gv.Input != wv.Input || len(gv.Entries) != len(wv.Entries) {
+				t.Fatalf("vqSection %d mismatch: %+v", i, gv)
+			}
+			for j := range gv.Entries {
+				assertRewrittenEqual(t, wv.Entries[j].Rw, gv.Entries[j].Rw)
+				if !reflect.DeepEqual(gv.Entries[j].Times, wv.Entries[j].Times) {
+					t.Fatalf("vqEntry %d/%d times mismatch", i, j)
+				}
+			}
+		}
+		for i := range g.MQ {
+			gm, wm := g.MQ[i], w.MQ[i]
+			if gm.Input != wm.Input || len(gm.Rewrites) != len(wm.Rewrites) ||
+				gm.Rewrites[0].Key != wm.Rewrites[0].Key ||
+				!reflect.DeepEqual(gm.SentTargets, wm.SentTargets) {
+				t.Fatalf("mqSection %d mismatch: %+v", i, gm)
+			}
+		}
+		for i := range g.VT {
+			gv, wv := g.VT[i], w.VT[i]
+			if gv.Input != wv.Input || len(gv.Tuples) != len(wv.Tuples) ||
+				gv.Tuples[0].String() != wv.Tuples[0].String() ||
+				gv.Tuples[0].PubT() != wv.Tuples[0].PubT() {
+				t.Fatalf("vtSection %d mismatch: %+v", i, gv)
+			}
+		}
+		for i := range g.DV {
+			gd, wd := g.DV[i], w.DV[i]
+			if gd.Input != wd.Input || len(gd.Entries) != len(wd.Entries) {
+				t.Fatalf("dvSection %d mismatch: %+v", i, gd)
+			}
+			for j := range gd.Entries {
+				ge, we := gd.Entries[j], wd.Entries[j]
+				if ge.Cond != we.Cond || len(ge.Left) != len(we.Left) || len(ge.Right) != len(we.Right) ||
+					ge.Left[0].String() != we.Left[0].String() ||
+					ge.Right[0].String() != we.Right[0].String() {
+					t.Fatalf("dvEntry %d/%d mismatch", i, j)
+				}
+			}
+		}
+		for i := range g.Notifs {
+			gn, wn := g.Notifs[i], w.Notifs[i]
+			if gn.Subscriber != wn.Subscriber || len(gn.Batch) != len(wn.Batch) ||
+				gn.Batch[0].ContentKey() != wn.Batch[0].ContentKey() ||
+				gn.Batch[0].subscriberIP != wn.Batch[0].subscriberIP {
+				t.Fatalf("notifSection %d mismatch: %+v", i, gn)
 			}
 		}
 	default:

@@ -50,3 +50,6 @@ func (m mQueryMsg) Size() int { return wireSize(m) }
 
 // Size reports a multi-way partial-match batch's wire size.
 func (m mJoinMsg) Size() int { return wireSize(m) }
+
+// Size reports a process-migration hand-off message's wire size.
+func (m handoffMsg) Size() int { return wireSize(m) }

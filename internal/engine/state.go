@@ -204,6 +204,8 @@ func (st *nodeState) HandleMessage(on *chord.Node, msg chord.Message) {
 		st.handleMQueryIndex(m)
 	case mJoinMsg:
 		st.handleMJoin(m)
+	case handoffMsg:
+		st.handleHandoff(on, m)
 	}
 }
 

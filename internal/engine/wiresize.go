@@ -22,7 +22,7 @@ import (
 // wireSize returns msg's exact encoded length, or 0 for message types
 // EncodeMessage does not know (mirroring encodedLen's error case).
 func wireSize(msg chord.Message) int {
-	// Every tag is a single-byte uvarint (1..15).
+	// Every tag is a single-byte uvarint (1..16).
 	const tagLen = 1
 	switch m := msg.(type) {
 	//wire:field size queryMsg Q Attr Side Replica
@@ -102,6 +102,33 @@ func wireSize(msg chord.Message) int {
 			n += sizeMRewritten(rw)
 		}
 		return n
+	//wire:field size handoffMsg AL VQ MQ VT DV Notifs
+	case handoffMsg:
+		n := tagLen + wire.SizeUvarint(uint64(len(m.AL)))
+		for _, sec := range m.AL {
+			n += sizeALSection(sec)
+		}
+		n += wire.SizeUvarint(uint64(len(m.VQ)))
+		for _, sec := range m.VQ {
+			n += sizeVQSection(sec)
+		}
+		n += wire.SizeUvarint(uint64(len(m.MQ)))
+		for _, sec := range m.MQ {
+			n += sizeMQSection(sec)
+		}
+		n += wire.SizeUvarint(uint64(len(m.VT)))
+		for _, sec := range m.VT {
+			n += sizeVTSection(sec)
+		}
+		n += wire.SizeUvarint(uint64(len(m.DV)))
+		for _, sec := range m.DV {
+			n += sizeDVSection(sec)
+		}
+		n += wire.SizeUvarint(uint64(len(m.Notifs)))
+		for _, sec := range m.Notifs {
+			n += sizeNotifSection(sec)
+		}
+		return n
 	default:
 		return 0
 	}
@@ -142,4 +169,124 @@ func sizeMRewritten(rw *mRewritten) int {
 	}
 	return n + wire.SizeString(rw.WantRel) + wire.SizeString(rw.WantAttr) +
 		wire.SizeValue(rw.WantValue)
+}
+
+//wire:field size targetsEntry Key Targets
+func sizeTargetsEntry(e targetsEntry) int {
+	n := wire.SizeString(e.Key) + wire.SizeUvarint(uint64(len(e.Targets)))
+	for _, t := range e.Targets {
+		n += wire.SizeString(t)
+	}
+	return n
+}
+
+//wire:field size alGroupSection Cond Side Queries
+func sizeALGroupSection(g alGroupSection) int {
+	n := wire.SizeString(g.Cond) + wire.SizeUvarint(uint64(g.Side)) +
+		wire.SizeUvarint(uint64(len(g.Queries)))
+	for _, q := range g.Queries {
+		n += wire.SizeQuery(q)
+	}
+	return n
+}
+
+//wire:field size alMultiSection Cond Queries
+func sizeALMultiSection(g alMultiSection) int {
+	n := wire.SizeString(g.Cond) + wire.SizeUvarint(uint64(len(g.Queries)))
+	for _, mq := range g.Queries {
+		n += sizeMultiQuery(mq)
+	}
+	return n
+}
+
+//wire:field size alSection Input Groups Multi SentRewrites SentTargets
+func sizeALSection(sec alSection) int {
+	n := wire.SizeString(sec.Input) + wire.SizeUvarint(uint64(len(sec.Groups)))
+	for _, g := range sec.Groups {
+		n += sizeALGroupSection(g)
+	}
+	n += wire.SizeUvarint(uint64(len(sec.Multi)))
+	for _, g := range sec.Multi {
+		n += sizeALMultiSection(g)
+	}
+	n += wire.SizeUvarint(uint64(len(sec.SentRewrites)))
+	for _, k := range sec.SentRewrites {
+		n += wire.SizeString(k)
+	}
+	n += wire.SizeUvarint(uint64(len(sec.SentTargets)))
+	for _, e := range sec.SentTargets {
+		n += sizeTargetsEntry(e)
+	}
+	return n
+}
+
+//wire:field size vqEntry Rw Times
+func sizeVQEntry(e vqEntry) int {
+	n := sizeRewritten(e.Rw) + wire.SizeUvarint(uint64(len(e.Times)))
+	for _, t := range e.Times {
+		n += wire.SizeVarint(t)
+	}
+	return n
+}
+
+//wire:field size vqSection Input Entries
+func sizeVQSection(sec vqSection) int {
+	n := wire.SizeString(sec.Input) + wire.SizeUvarint(uint64(len(sec.Entries)))
+	for _, e := range sec.Entries {
+		n += sizeVQEntry(e)
+	}
+	return n
+}
+
+//wire:field size mqSection Input Rewrites SentTargets
+func sizeMQSection(sec mqSection) int {
+	n := wire.SizeString(sec.Input) + wire.SizeUvarint(uint64(len(sec.Rewrites)))
+	for _, rw := range sec.Rewrites {
+		n += sizeMRewritten(rw)
+	}
+	n += wire.SizeUvarint(uint64(len(sec.SentTargets)))
+	for _, e := range sec.SentTargets {
+		n += sizeTargetsEntry(e)
+	}
+	return n
+}
+
+//wire:field size vtSection Input Tuples
+func sizeVTSection(sec vtSection) int {
+	n := wire.SizeString(sec.Input) + wire.SizeUvarint(uint64(len(sec.Tuples)))
+	for _, t := range sec.Tuples {
+		n += wire.SizeTuple(t)
+	}
+	return n
+}
+
+//wire:field size dvEntry Cond Left Right
+func sizeDVEntry(e dvEntry) int {
+	n := wire.SizeString(e.Cond) + wire.SizeUvarint(uint64(len(e.Left)))
+	for _, t := range e.Left {
+		n += wire.SizeTuple(t)
+	}
+	n += wire.SizeUvarint(uint64(len(e.Right)))
+	for _, t := range e.Right {
+		n += wire.SizeTuple(t)
+	}
+	return n
+}
+
+//wire:field size dvSection Input Entries
+func sizeDVSection(sec dvSection) int {
+	n := wire.SizeString(sec.Input) + wire.SizeUvarint(uint64(len(sec.Entries)))
+	for _, e := range sec.Entries {
+		n += sizeDVEntry(e)
+	}
+	return n
+}
+
+//wire:field size notifSection Subscriber Batch
+func sizeNotifSection(sec notifSection) int {
+	n := wire.SizeString(sec.Subscriber) + wire.SizeUvarint(uint64(len(sec.Batch)))
+	for _, nt := range sec.Batch {
+		n += sizeNotification(nt)
+	}
+	return n
 }

@@ -21,12 +21,21 @@ import (
 //	batch   := BATCH seq:uvarint count:uvarint
 //	           { dstKey:string msg:string } * count (msg = engine codec bytes)
 //	ack     := ACK seq:uvarint status:string       (one status byte per msg)
+//	join    := JOIN addr:string                    (request to enter the overlay)
+//	view    := VIEW memberView                     (membership gossip; see wire.MemberView)
+//	viewAck := VIEW_ACK version:uvarint            (receiver's view version after apply)
 //
 // A connection is an RPC channel used by exactly one in-flight batch at a
 // time: the sender writes a batch and blocks for its ack, so seq matching
 // is a sanity check, not a demultiplexer. Acks carry one byte per message;
 // ackOK means the destination's handler ran before the ack was sent — the
 // same synchronous-ack contract the simulated transport provides.
+//
+// Membership frames follow the same request/reply discipline: JOIN is
+// answered with a VIEW (the authoritative post-join membership), VIEW with
+// a VIEW_ACK. Both are idempotent — views are versioned and a receiver
+// only adopts strictly newer ones — so the sender's retry loop can replay
+// them safely.
 const (
 	protoVersion = 1
 
@@ -39,6 +48,9 @@ const (
 	frameHelloOK = 2
 	frameBatch   = 3
 	frameAck     = 4
+	frameJoin    = 5
+	frameView    = 6
+	frameViewAck = 7
 
 	ackOK   byte = 1
 	ackFail byte = 0
@@ -112,6 +124,32 @@ func encodeAck(seq uint64, statuses []byte) []byte {
 	w.PutUvarint(frameAck)
 	w.PutUvarint(seq)
 	w.PutString(string(statuses))
+	return w.Bytes()
+}
+
+// encodeJoin builds a join request carrying the joiner's advertised
+// overlay address.
+func encodeJoin(addr string) []byte {
+	var w wire.Buffer
+	w.PutUvarint(frameJoin)
+	w.PutString(addr)
+	return w.Bytes()
+}
+
+// encodeView builds a membership gossip frame.
+func encodeView(v *wire.MemberView) []byte {
+	var w wire.Buffer
+	w.PutUvarint(frameView)
+	wire.EncodeMemberView(&w, v)
+	return w.Bytes()
+}
+
+// encodeViewAck builds the reply to a view frame: the receiver's view
+// version after applying (or ignoring) the gossip.
+func encodeViewAck(version uint64) []byte {
+	var w wire.Buffer
+	w.PutUvarint(frameViewAck)
+	w.PutUvarint(version)
 	return w.Bytes()
 }
 

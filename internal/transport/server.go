@@ -93,6 +93,28 @@ func (t *TCP) handleFrame(payload []byte) ([]byte, error) {
 		return encodeHelloOK(), nil
 	case frameBatch:
 		return t.handleBatch(r)
+	case frameJoin:
+		addr, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		if t.cfg.Membership == nil {
+			return nil, errors.New("transport: membership frames not enabled")
+		}
+		v, err := t.cfg.Membership.HandleJoin(addr)
+		if err != nil {
+			return nil, err
+		}
+		return encodeView(v), nil
+	case frameView:
+		v, err := wire.DecodeMemberView(r)
+		if err != nil {
+			return nil, err
+		}
+		if t.cfg.Membership == nil {
+			return nil, errors.New("transport: membership frames not enabled")
+		}
+		return encodeViewAck(t.cfg.Membership.HandleView(v)), nil
 	default:
 		return nil, errors.New("transport: unknown frame type")
 	}

@@ -54,6 +54,18 @@ type LocalDeliverer interface {
 	DeliverLocal(dstKey string, msg chord.Message) bool
 }
 
+// MembershipHandler reacts to membership control frames (join/view). The
+// daemon layer implements it; a transport configured without one rejects
+// membership frames, so static-peer-list deployments are unaffected.
+type MembershipHandler interface {
+	// HandleJoin admits a new process into the overlay and returns the
+	// authoritative post-join view (which includes the joiner).
+	HandleJoin(addr string) (*wire.MemberView, error)
+	// HandleView applies gossiped membership iff it is newer than the
+	// local view, and returns the local view version afterwards.
+	HandleView(v *wire.MemberView) uint64
+}
+
 // Config parameterizes a TCP transport.
 type Config struct {
 	// Self is this process's advertised overlay address; deliveries whose
@@ -66,6 +78,9 @@ type Config struct {
 	Codec Codec
 	// Local receives messages addressed to nodes this process hosts.
 	Local LocalDeliverer
+	// Membership serves join/view control frames. Nil (the default)
+	// rejects them: the overlay then runs with a fixed peer list.
+	Membership MembershipHandler
 
 	// DialTimeout bounds connection establishment (default 2s); IOTimeout
 	// bounds one RPC's write and ack read (default 5s).
@@ -431,6 +446,90 @@ func (t *TCP) roundTrip(pc *pooledConn, dstKeys []string, payloads [][]byte) ([]
 		return nil, fmt.Errorf("transport: unexpected frame type %d, want ack", ftype)
 	}
 	return decodeAck(r, pc.seq, len(dstKeys))
+}
+
+// SendJoin asks the overlay process at addr to admit this process and
+// returns the authoritative post-join membership view. It retries like a
+// delivery RPC; the join is idempotent on the receiver (re-admitting an
+// already-listed address just returns the current view).
+func (t *TCP) SendJoin(addr string) (*wire.MemberView, error) {
+	payload, err := t.controlRPC(addr, encodeJoin(t.cfg.Self), frameView)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeMemberView(wire.NewReader(payload))
+}
+
+// SendView gossips a membership view to the process at addr and returns
+// the receiver's view version after it applied (or ignored) the gossip.
+func (t *TCP) SendView(addr string, v *wire.MemberView) (uint64, error) {
+	payload, err := t.controlRPC(addr, encodeView(v), frameViewAck)
+	if err != nil {
+		return 0, err
+	}
+	return wire.NewReader(payload).Uvarint()
+}
+
+// controlRPC runs one membership request/reply exchange on a pooled
+// connection, retrying with the same backoff schedule as deliveries. It
+// returns the reply payload with the frame type already consumed and
+// verified against wantReply.
+func (t *TCP) controlRPC(addr string, req []byte, wantReply uint64) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < t.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			t.obs.retries.Inc()
+			t.backoff(attempt)
+		}
+		if t.isClosed() {
+			break
+		}
+		pc, err := t.checkout(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		payload, err := t.controlRoundTrip(pc, req, wantReply)
+		if err != nil {
+			_ = pc.c.Close()
+			lastErr = err
+			continue
+		}
+		if !t.pool.put(addr, pc) {
+			_ = pc.c.Close()
+		}
+		t.obs.idleConns.Set(int64(t.pool.idleCount()))
+		return payload, nil
+	}
+	t.obs.rpcFailures.Inc()
+	if lastErr == nil {
+		lastErr = fmt.Errorf("transport: closed")
+	}
+	return nil, fmt.Errorf("transport: control rpc to %s failed after %d attempts: %w", addr, t.cfg.Attempts, lastErr)
+}
+
+func (t *TCP) controlRoundTrip(pc *pooledConn, req []byte, wantReply uint64) ([]byte, error) {
+	deadline := time.Now().Add(t.cfg.IOTimeout)
+	_ = pc.c.SetDeadline(deadline)
+	defer func() { _ = pc.c.SetDeadline(time.Time{}) }()
+	if err := t.writeFrameCounted(pc.c, req); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(pc.br)
+	if err != nil {
+		return nil, err
+	}
+	t.obs.framesIn.Inc()
+	t.obs.frameBytesIn.Add(int64(len(payload)))
+	r := wire.NewReader(payload)
+	ftype, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ftype != wantReply {
+		return nil, fmt.Errorf("transport: unexpected control reply frame type %d, want %d", ftype, wantReply)
+	}
+	return payload[len(payload)-r.Remaining():], nil
 }
 
 func (t *TCP) writeFrameCounted(c net.Conn, payload []byte) error {

@@ -1,0 +1,59 @@
+package wire
+
+import "fmt"
+
+// MemberView is the daemon membership gossip payload: the authoritative
+// list of overlay processes at a given version. Views are totally ordered
+// by Version; a receiver adopts a view iff its version exceeds the local
+// one, so replayed or reordered views are harmless. Procs is kept sorted
+// by the daemon layer so that equal views are byte-identical on the wire
+// and node ownership (successor-of-hash over Procs) is deterministic for
+// every holder of the same view.
+type MemberView struct {
+	Version uint64
+	Procs   []string
+}
+
+// EncodeMemberView appends v's wire form to w.
+//
+//wire:field enc MemberView Version Procs
+func EncodeMemberView(w *Buffer, v *MemberView) {
+	w.PutUvarint(v.Version)
+	w.PutUvarint(uint64(len(v.Procs)))
+	for _, p := range v.Procs {
+		w.PutString(p)
+	}
+}
+
+// SizeMemberView reports the exact encoded length of v.
+//
+//wire:field size MemberView Version Procs
+func SizeMemberView(v *MemberView) int {
+	n := SizeUvarint(v.Version) + SizeUvarint(uint64(len(v.Procs)))
+	for _, p := range v.Procs {
+		n += SizeString(p)
+	}
+	return n
+}
+
+// DecodeMemberView reads one view encoded by EncodeMemberView.
+func DecodeMemberView(r *Reader) (*MemberView, error) {
+	version, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("wire: member count %d exceeds %d remaining bytes", count, r.Remaining())
+	}
+	procs := make([]string, count)
+	for i := range procs {
+		if procs[i], err = r.String(); err != nil {
+			return nil, err
+		}
+	}
+	return &MemberView{Version: version, Procs: procs}, nil
+}

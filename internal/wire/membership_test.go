@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMemberViewRoundTrip(t *testing.T) {
+	views := []*MemberView{
+		{Version: 0, Procs: nil},
+		{Version: 1, Procs: []string{"127.0.0.1:9001"}},
+		{Version: 7, Procs: []string{"127.0.0.1:9001", "127.0.0.1:9002", "host-b:9100"}},
+	}
+	for _, v := range views {
+		var w Buffer
+		EncodeMemberView(&w, v)
+		if got := SizeMemberView(v); got != w.Len() {
+			t.Fatalf("SizeMemberView=%d, encoding=%d", got, w.Len())
+		}
+		r := NewReader(w.Bytes())
+		got, err := DecodeMemberView(r)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bytes left after decode", r.Remaining())
+		}
+		if got.Version != v.Version || len(got.Procs) != len(v.Procs) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, v)
+		}
+		if len(v.Procs) > 0 && !reflect.DeepEqual(got.Procs, v.Procs) {
+			t.Fatalf("procs mismatch: %v vs %v", got.Procs, v.Procs)
+		}
+	}
+}
+
+func TestMemberViewForgedCount(t *testing.T) {
+	var w Buffer
+	w.PutUvarint(3)       // version
+	w.PutUvarint(1 << 30) // absurd member count
+	if _, err := DecodeMemberView(NewReader(w.Bytes())); err == nil {
+		t.Fatal("forged member count accepted")
+	}
+}
