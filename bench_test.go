@@ -31,6 +31,7 @@ import (
 	"cqjoin/internal/engine"
 	"cqjoin/internal/exp"
 	"cqjoin/internal/id"
+	"cqjoin/internal/load"
 	"cqjoin/internal/obs"
 	"cqjoin/internal/workload"
 )
@@ -350,4 +351,64 @@ func BenchmarkTransportLoopback(b *testing.B) {
 			"frame_bytes_in":  obs.Noisy(snap["transport.frame_bytes_in"], "bytes"),
 		},
 	})
+}
+
+// The open-loop load benchmarks run the canonical cqload smoke
+// configurations (internal/load's Default*Spec / *Config) and record
+// their manifest entries under the same names cqload itself uses —
+// "cqload/sim" and "cqload/tcp" — so one baseline regeneration
+// (`BENCH_LABEL=baseline go test -bench . -benchtime 1x`) refreshes the
+// entries the CI load-smoke job gates its cqload artifacts against.
+// Entry-level fields (iterations, allocs/op) stay zero to mirror the
+// entries cqload itself writes: both gates then compare the identical
+// shape, and a zero-allocs CLI manifest never trips the hard
+// zero-baseline rule. Each iteration is a full timed run (seconds, not
+// microseconds); run them with -benchtime 1x.
+
+func benchLoadRecord(b *testing.B, name string, res load.Result, sc obs.ScaleInfo) {
+	b.Helper()
+	b.ReportMetric(res.Achieved, "msgs/s")
+	b.ReportMetric(res.P99, "p99-ns")
+	benchManifest.Add(res.Entry(name, sc))
+}
+
+func BenchmarkLoadOpenLoopSim(b *testing.B) {
+	var (
+		res   load.Result
+		scale obs.ScaleInfo
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tgt := load.NewSimTarget(load.DefaultSimSpec())
+		r, err := load.Run(tgt, load.SimConfig())
+		_ = tgt.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, scale = r, tgt.ScaleInfo(int(r.Total))
+	}
+	b.StopTimer()
+	benchLoadRecord(b, "cqload/sim", res, scale)
+}
+
+func BenchmarkLoadOpenLoopTCP(b *testing.B) {
+	var (
+		res   load.Result
+		scale obs.ScaleInfo
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tgt, err := load.NewSelfHostedTCP(load.DefaultTCPSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := load.Run(tgt, load.TCPConfig())
+		_ = tgt.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, scale = r, tgt.ScaleInfo(int(r.Total))
+	}
+	b.StopTimer()
+	benchLoadRecord(b, "cqload/tcp", res, scale)
 }

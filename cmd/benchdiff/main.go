@@ -1,15 +1,29 @@
-// Command benchdiff compares two benchmark run manifests (the
-// BENCH_<label>.json files written by `go test -bench=.`) and gates on
+// Command benchdiff compares benchmark run manifests (the
+// BENCH_<label>.json files written by `go test -bench=.` and the load
+// manifests written by cqload) against a committed baseline and gates on
 // regressions:
 //
-//	benchdiff [-threshold 0.15] [-strict] [-github] baseline.json current.json
+//	benchdiff [-threshold 0.15] [-strict] [-github] baseline.json current.json [more-current.json ...]
+//
+// Several current manifests may be given — CI produces the benchmark
+// manifest and the load-smoke manifests in separate steps — and their
+// entries are merged before comparison. An entry name appearing in more
+// than one current manifest is a wiring error and exits 2: silently
+// letting one file shadow another would gate against the wrong run.
 //
 // Metrics marked deterministic in the manifest (message counts, hops, load
 // totals, allocations — pure functions of code + seed in the simulator)
 // hard-fail the gate when they regress beyond the threshold. Noisy metrics
 // (wall time, bytes/op) only annotate, unless -strict promotes them to
-// failures. Improvements and membership drift are printed as notes — a cue
-// to refresh the committed baseline, never a failure.
+// failures. A baseline metric may carry its own Threshold override (tail
+// latencies use a looser leash). Improvements and membership drift are
+// printed as notes — a cue to refresh the committed baseline, never a
+// failure.
+//
+// -subset declares that the current manifests intentionally cover only
+// some baseline entries (a load-smoke run gating just the cqload
+// entries); baseline entries absent from the merged currents are then
+// skipped silently instead of noted.
 //
 // Exit codes: 0 no gating regression, 1 gate failed, 2 usage or I/O error.
 package main
@@ -18,9 +32,36 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cqjoin/internal/obs"
 )
+
+// mergeCurrents reads every current manifest and merges their entries,
+// rejecting duplicate entry names across files.
+func mergeCurrents(paths []string) (*obs.Manifest, error) {
+	merged := &obs.Manifest{Schema: obs.ManifestSchemaVersion}
+	from := make(map[string]string) // entry name -> file that provided it
+	var labels []string
+	for _, path := range paths {
+		m, err := obs.ReadManifest(path)
+		if err != nil {
+			return nil, err
+		}
+		if m.Label != "" {
+			labels = append(labels, m.Label)
+		}
+		for _, e := range m.Entries {
+			if prev, dup := from[e.Name]; dup {
+				return nil, fmt.Errorf("entry %q appears in both %s and %s", e.Name, prev, path)
+			}
+			from[e.Name] = path
+			merged.Entries = append(merged.Entries, e)
+		}
+	}
+	merged.Label = strings.Join(labels, "+")
+	return merged, nil
+}
 
 func main() {
 	threshold := flag.Float64("threshold", obs.DefaultThreshold,
@@ -29,13 +70,15 @@ func main() {
 		"fail on noisy-metric regressions too, not only deterministic ones")
 	github := flag.Bool("github", false,
 		"emit GitHub Actions ::error/::warning annotations alongside the report")
+	subset := flag.Bool("subset", false,
+		"currents cover only some baseline entries; skip the rest instead of noting them as missing")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: benchdiff [flags] baseline.json current.json\n")
+			"usage: benchdiff [flags] baseline.json current.json [more-current.json ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 {
+	if flag.NArg() < 2 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -45,16 +88,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	cur, err := obs.ReadManifest(flag.Arg(1))
+	cur, err := mergeCurrents(flag.Args()[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
 
+	if *subset {
+		kept := base.Entries[:0]
+		for _, be := range base.Entries {
+			if _, ok := cur.Entry(be.Name); ok {
+				kept = append(kept, be)
+			}
+		}
+		base.Entries = kept
+	}
+
 	res := obs.Compare(base, cur, obs.DiffOptions{Threshold: *threshold})
 
 	fmt.Printf("benchdiff: %s (%s) vs %s (%s), threshold %.0f%%\n",
-		flag.Arg(0), base.Label, flag.Arg(1), cur.Label, 100**threshold)
+		flag.Arg(0), base.Label, strings.Join(flag.Args()[1:], ","), cur.Label, 100**threshold)
 
 	fail := false
 	for _, f := range res.Regressions {

@@ -1,0 +1,168 @@
+// Command cqload is the open-loop load generator for the continuous
+// equi-join engine: it offers publications at a fixed arrival rate —
+// never slowing down because the target did — and reports achieved
+// throughput, error counts and p50/p99/p999 notification latency into
+// the same schema-versioned manifest format the benchmarks use, so
+// cmd/benchdiff can gate load results against the committed baseline.
+//
+//	cqload -mode sim                          # in-process simulator engine
+//	cqload -mode tcp                          # self-hosted two-daemon TCP overlay
+//	cqload -mode tcp -addr 127.0.0.1:7744     # externally running cqjoind
+//
+// Defaults (rate, duration, workers, overlay size) are the canonical
+// smoke configurations from internal/load, shared with the load
+// benchmarks; override them only for exploratory runs, since manifests
+// produced under other configurations cannot be compared against the
+// committed baseline.
+//
+// Exit codes: 0 success, 1 achieved/offered fell below
+// -min-achieved-ratio (rate collapse; the CI load-smoke gate), 2 usage
+// or runtime error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cqjoin/internal/load"
+	"cqjoin/internal/obs"
+)
+
+func main() {
+	mode := flag.String("mode", "sim", "target: sim (in-process engine) or tcp (cqjoind overlay)")
+	addr := flag.String("addr", "", "tcp mode: address of an external cqjoind; empty self-hosts a daemon pair")
+	rate := flag.Float64("rate", 0, "offered publications/sec (0 = mode default)")
+	duration := flag.Duration("duration", 0, "timed run length (0 = mode default)")
+	workers := flag.Int("workers", 0, "concurrent publisher goroutines (0 = mode default)")
+	nodes := flag.Int("nodes", 0, "overlay size (0 = mode default)")
+	queries := flag.Int("queries", 0, "continuous queries to subscribe (0 = mode default)")
+	procs := flag.Int("procs", 0, "tcp mode: self-hosted daemon count (0 = mode default)")
+	algorithm := flag.String("algorithm", "", "indexing algorithm (empty = mode default)")
+	seed := flag.Int64("seed", 0, "workload seed (0 = mode default)")
+	label := flag.String("label", "load", "manifest label")
+	name := flag.String("name", "", "manifest entry name (empty = cqload/<mode>)")
+	manifest := flag.String("manifest", "", "write a run manifest to this path")
+	minRatio := flag.Float64("min-achieved-ratio", 0,
+		"exit 1 when achieved/offered drops below this (0 disables the gate)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "cqload:", err)
+		os.Exit(2)
+	}
+
+	var (
+		target load.Target
+		cfg    load.Config
+		scale  func(total int) obs.ScaleInfo
+	)
+	switch *mode {
+	case "sim":
+		spec := load.DefaultSimSpec()
+		cfg = load.SimConfig()
+		if *nodes > 0 {
+			spec.Scale.Nodes = *nodes
+		}
+		if *queries > 0 {
+			spec.Scale.Queries = *queries
+		}
+		if *seed != 0 {
+			spec.Scale.Seed = *seed
+		}
+		if *algorithm != "" {
+			alg, err := load.ParseAlgorithm(*algorithm)
+			if err != nil {
+				fail(err)
+			}
+			spec.Algorithm = alg
+		}
+		t := load.NewSimTarget(spec)
+		target, scale = t, t.ScaleInfo
+	case "tcp":
+		spec := load.DefaultTCPSpec()
+		cfg = load.TCPConfig()
+		if *nodes > 0 {
+			spec.Nodes = *nodes
+		}
+		if *queries > 0 {
+			spec.Queries = *queries
+		}
+		if *procs > 0 {
+			spec.Procs = *procs
+		}
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+		if *algorithm != "" {
+			spec.Algorithm = *algorithm
+		}
+		if *addr != "" {
+			t := load.NewDaemonTarget(*addr, spec)
+			target, scale = t, t.ScaleInfo
+		} else {
+			t, err := load.NewSelfHostedTCP(spec)
+			if err != nil {
+				fail(err)
+			}
+			target, scale = t, t.ScaleInfo
+		}
+	default:
+		fail(fmt.Errorf("unknown mode %q (want sim or tcp)", *mode))
+	}
+	defer target.Close()
+
+	if *rate > 0 {
+		cfg.Rate = *rate
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
+	res, err := load.Run(target, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("cqload %s: offered %.0f/s achieved %.0f/s (%.1f%%), %d/%d published, %d errors, %d notifications\n",
+		*mode, res.Offered, res.Achieved, 100*res.AchievedRatio(),
+		res.Published, res.Total, res.Errors, res.Notifications)
+	fmt.Printf("  latency from scheduled arrival: p50 %s  p99 %s  p999 %s\n",
+		fmtLatency(res.P50), fmtLatency(res.P99), fmtLatency(res.P999))
+
+	if *manifest != "" {
+		entry := *name
+		if entry == "" {
+			entry = "cqload/" + *mode
+		}
+		c := obs.NewCollector()
+		c.Add(res.Entry(entry, scale(int(res.Total))))
+		if err := c.Manifest(*label).WriteFile(*manifest); err != nil {
+			fail(err)
+		}
+		fmt.Printf("  manifest: %s (entry %s)\n", *manifest, entry)
+	}
+
+	if *minRatio > 0 && res.AchievedRatio() < *minRatio {
+		fmt.Fprintf(os.Stderr, "cqload: rate collapse: achieved/offered %.3f < %.3f\n",
+			res.AchievedRatio(), *minRatio)
+		os.Exit(1)
+	}
+}
+
+// fmtLatency renders a nanosecond quantile, handling the -1 overflow
+// sentinel from the histogram's top bucket.
+func fmtLatency(ns float64) string {
+	if ns < 0 {
+		return ">10s"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

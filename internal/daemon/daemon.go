@@ -538,6 +538,20 @@ func (s *Server) localNode(i int) (*cqjoin.Node, error) {
 	return n, nil
 }
 
+// OwnsNode reports whether ring position i is hosted by this process
+// under its current membership view. Single-process servers own every
+// position. Load harnesses use it to route operations to the right
+// daemon without probing for "hosted by peer" errors.
+func (s *Server) OwnsNode(i int) bool {
+	if i < 0 || i >= s.cluster.Size() {
+		return false
+	}
+	if s.members == nil {
+		return true
+	}
+	return s.members.ownerOf(s.cluster.Node(i).Key()) == s.cfg.OverlayAddr
+}
+
 func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 	fail := func(err error) map[string]interface{} {
 		return map[string]interface{}{"ok": false, "error": err.Error()}

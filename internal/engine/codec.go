@@ -43,8 +43,14 @@ const (
 	tagHandoff
 )
 
-// EncodeMessage appends msg's wire form to w.
+// EncodeMessage appends msg's wire form to w. The buffer is pre-grown to
+// the arithmetic size (memoized per tuple/query, so this costs no second
+// walk), turning the append sequence into straight copies with no
+// mid-message reallocation.
 func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
+	if n := wireSize(msg); n > 0 {
+		w.Grow(n)
+	}
 	switch m := msg.(type) {
 	//wire:field enc queryMsg Q Attr Side Replica
 	case queryMsg:

@@ -33,3 +33,11 @@ func (c WireCodec) Encode(w *wire.Buffer, msg chord.Message) error {
 func (c WireCodec) Decode(r *wire.Reader) (chord.Message, error) {
 	return DecodeMessage(r, c.catalog)
 }
+
+// Size reports msg's exact encoded length (0 when unknown), satisfying
+// transport.Sizer: the transport prefixes each batch entry with this
+// size and encodes the message directly into the frame buffer, skipping
+// the per-message scratch copy.
+func (c WireCodec) Size(msg chord.Message) int {
+	return MessageSize(msg)
+}

@@ -19,6 +19,13 @@ import (
 // codec.go: deleting a directive, dropping a size term, or reordering
 // encoded fields fails the lint job.
 
+// MessageSize returns msg's exact encoded length, or 0 for message types
+// EncodeMessage does not know. The exactness contract (pinned by
+// codec_test.go and the wiresync directives) is what lets the transport
+// encode messages in place behind a length prefix — see
+// transport.Sizer.
+func MessageSize(msg chord.Message) int { return wireSize(msg) }
+
 // wireSize returns msg's exact encoded length, or 0 for message types
 // EncodeMessage does not know (mirroring encodedLen's error case).
 func wireSize(msg chord.Message) int {

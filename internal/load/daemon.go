@@ -1,0 +1,352 @@
+package load
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"cqjoin/internal/daemon"
+	"cqjoin/internal/obs"
+)
+
+// tcpSchemaDSL and tcpJoinSQL are the fixed workload of the TCP target:
+// the two-relation equi-join the daemon tests use. Products are drawn
+// from a small domain so publications actually produce join matches.
+const (
+	tcpSchemaDSL = "Orders(Id,Customer,Product);Shipments(Id,Product,Depot)"
+	tcpJoinSQL   = `SELECT O.Customer, S.Depot FROM Orders AS O, Shipments AS S WHERE O.Product = S.Product`
+	tcpDomain    = 25 // distinct product values
+)
+
+// TCPSpec configures a daemon-backed load target.
+type TCPSpec struct {
+	// Nodes is the overlay size; Procs the number of self-hosted daemon
+	// processes sharing it (1 = single-process mode, no TCP transport
+	// between ring positions).
+	Nodes int
+	Procs int
+	// Queries is how many copies of the join query Prepare subscribes,
+	// from nodes spread across the ring.
+	Queries   int
+	Algorithm string
+	Seed      int64
+}
+
+// DefaultTCPSpec is the canonical short TCP-mode configuration shared by
+// BenchmarkLoadOpenLoopTCP, the committed baseline's cqload/tcp entry and
+// the CI load-smoke job.
+func DefaultTCPSpec() TCPSpec {
+	return TCPSpec{Nodes: 48, Procs: 2, Queries: 24, Algorithm: "sai", Seed: 1}
+}
+
+// TCPConfig is the canonical TCP-mode open-loop load (see DefaultTCPSpec).
+// Each operation is a JSON round trip to a daemon plus the overlay RPCs
+// the publication fans out to, so the offered rate is far below sim's.
+func TCPConfig() Config { return Config{Rate: 400, Duration: 2 * time.Second, Workers: 4} }
+
+// pubOp is one pre-drawn publication of the TCP workload.
+type pubOp struct {
+	node     int
+	relation string
+	values   []interface{}
+}
+
+// DaemonTarget drives one or more cqjoind servers over the JSON line
+// protocol. Self-hosted targets (NewSelfHostedTCP) spin up the daemons
+// in-process around real TCP listeners — the full wire path without
+// needing external processes; NewDaemonTarget points at an already
+// running single daemon instead.
+//
+// Each worker gets its own connection to every server, so workers never
+// share a socket and need no locks; operations are routed to the server
+// hosting the publishing ring position (daemon ownership is enforced —
+// a mis-routed op fails with "hosted by peer").
+type DaemonTarget struct {
+	spec    TCPSpec
+	servers []*daemon.Server // nil entries when external
+	addrs   []string
+	owners  []int // ring position -> index into addrs
+
+	ctrl      []*jsonClient   // one control connection per server
+	conns     [][]*jsonClient // [worker][server]
+	pubs      []pubOp
+	baseNotif int
+}
+
+// NewSelfHostedTCP builds spec.Procs daemon processes sharing one
+// overlay, exactly like a multi-process deployment but inside this
+// process: pre-bound overlay listeners, a static peer list, and a
+// protocol listener per daemon.
+func NewSelfHostedTCP(spec TCPSpec) (*DaemonTarget, error) {
+	if spec.Procs < 1 {
+		spec.Procs = 1
+	}
+	t := &DaemonTarget{spec: spec}
+	lns := make([]net.Listener, spec.Procs)
+	peers := make([]string, spec.Procs)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("load: listen overlay %d: %w", i, err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	for i, ln := range lns {
+		cfg := daemon.Config{
+			Nodes:     spec.Nodes,
+			Algorithm: spec.Algorithm,
+			SchemaDSL: tcpSchemaDSL,
+			Seed:      spec.Seed,
+		}
+		if spec.Procs > 1 {
+			cfg.OverlayAddr = peers[i]
+			cfg.Peers = peers
+		}
+		srv, err := daemon.New(cfg)
+		if err != nil {
+			_ = ln.Close()
+			t.Close()
+			return nil, fmt.Errorf("load: daemon %d: %w", i, err)
+		}
+		if spec.Procs > 1 {
+			if err := srv.StartOverlay(ln); err != nil {
+				t.Close()
+				return nil, fmt.Errorf("load: overlay %d: %w", i, err)
+			}
+		} else {
+			_ = ln.Close()
+		}
+		cln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = srv.Close()
+			t.Close()
+			return nil, fmt.Errorf("load: listen protocol %d: %w", i, err)
+		}
+		go func() { _ = srv.Serve(cln) }()
+		t.servers = append(t.servers, srv)
+		t.addrs = append(t.addrs, cln.Addr().String())
+	}
+	// Ownership is successor-based over the hashed peer addresses;
+	// resolve it once so every operation dials the right daemon.
+	t.owners = make([]int, spec.Nodes)
+	for n := 0; n < spec.Nodes; n++ {
+		t.owners[n] = -1
+		for j, srv := range t.servers {
+			if srv.OwnsNode(n) {
+				t.owners[n] = j
+				break
+			}
+		}
+		if t.owners[n] < 0 {
+			t.Close()
+			return nil, fmt.Errorf("load: ring position %d owned by no daemon", n)
+		}
+	}
+	return t, nil
+}
+
+// NewDaemonTarget points the harness at one already-running daemon that
+// hosts the whole ring (single-process mode). The daemon must have been
+// started with the same schema as tcpSchemaDSL and at least spec.Nodes
+// ring positions.
+func NewDaemonTarget(addr string, spec TCPSpec) *DaemonTarget {
+	t := &DaemonTarget{spec: spec, addrs: []string{addr}}
+	t.owners = make([]int, spec.Nodes)
+	return t
+}
+
+// Prepare subscribes the join queries, snapshots the servers' baseline
+// notification counts and dials one connection per worker per server.
+func (t *DaemonTarget) Prepare(total, workers int) error {
+	t.ctrl = make([]*jsonClient, len(t.addrs))
+	for j, addr := range t.addrs {
+		c, err := dialClient(addr)
+		if err != nil {
+			return fmt.Errorf("load: dial %s: %w", addr, err)
+		}
+		t.ctrl[j] = c
+	}
+
+	rng := rand.New(rand.NewSource(t.spec.Seed + 211))
+	for q := 0; q < t.spec.Queries; q++ {
+		node := rng.Intn(t.spec.Nodes)
+		resp, err := t.ctrl[t.owners[node]].call(map[string]interface{}{
+			"op": "subscribe", "node": node, "sql": tcpJoinSQL,
+		})
+		if err != nil {
+			return fmt.Errorf("load: subscribe on node %d: %w", node, err)
+		}
+		if resp["ok"] != true {
+			return fmt.Errorf("load: subscribe on node %d: %v", node, resp["error"])
+		}
+	}
+
+	// Pre-draw the publication stream: alternating Orders/Shipments rows
+	// over a small shared product domain, so the streams join.
+	t.pubs = make([]pubOp, total)
+	for i := range t.pubs {
+		prod := fmt.Sprintf("p%d", rng.Intn(tcpDomain))
+		op := pubOp{node: rng.Intn(t.spec.Nodes)}
+		if i%2 == 0 {
+			op.relation = "Orders"
+			op.values = []interface{}{i, fmt.Sprintf("c%d", rng.Intn(tcpDomain)), prod}
+		} else {
+			op.relation = "Shipments"
+			op.values = []interface{}{i, prod, fmt.Sprintf("d%d", rng.Intn(tcpDomain))}
+		}
+		t.pubs[i] = op
+	}
+
+	base, err := t.notificationTotal()
+	if err != nil {
+		return err
+	}
+	t.baseNotif = base
+
+	t.conns = make([][]*jsonClient, workers)
+	for w := range t.conns {
+		t.conns[w] = make([]*jsonClient, len(t.addrs))
+		for j, addr := range t.addrs {
+			c, err := dialClient(addr)
+			if err != nil {
+				return fmt.Errorf("load: dial %s for worker %d: %w", addr, w, err)
+			}
+			t.conns[w][j] = c
+		}
+	}
+	return nil
+}
+
+// Publish sends the op-th pre-drawn publication on worker w's connection
+// to the daemon hosting the publishing node.
+func (t *DaemonTarget) Publish(worker, op int) error {
+	o := t.pubs[op]
+	c := t.conns[worker][t.owners[o.node]]
+	resp, err := c.call(map[string]interface{}{
+		"op": "publish", "node": o.node, "relation": o.relation, "values": o.values,
+	})
+	if err != nil {
+		return err
+	}
+	if resp["ok"] != true {
+		return fmt.Errorf("load: publish: %v", resp["error"])
+	}
+	return nil
+}
+
+// Notifications sums each server's delivered count over the run. In
+// multi-process mode a notification is recorded by the process hosting
+// the subscriber's ring position, so the per-server counts partition the
+// total.
+func (t *DaemonTarget) Notifications() (int, error) {
+	total, err := t.notificationTotal()
+	if err != nil {
+		return 0, err
+	}
+	return total - t.baseNotif, nil
+}
+
+func (t *DaemonTarget) notificationTotal() (int, error) {
+	total := 0
+	for j, c := range t.ctrl {
+		resp, err := c.call(map[string]interface{}{"op": "stats"})
+		if err != nil {
+			return 0, fmt.Errorf("load: stats from %s: %w", t.addrs[j], err)
+		}
+		n, ok := resp["notifications"].(float64)
+		if !ok {
+			return 0, fmt.Errorf("load: stats from %s: no notification count in %v", t.addrs[j], resp)
+		}
+		total += int(n)
+	}
+	return total, nil
+}
+
+// Close tears down connections and any self-hosted servers.
+func (t *DaemonTarget) Close() error {
+	for _, c := range t.ctrl {
+		if c != nil {
+			_ = c.close()
+		}
+	}
+	for _, ws := range t.conns {
+		for _, c := range ws {
+			if c != nil {
+				_ = c.close()
+			}
+		}
+	}
+	for _, srv := range t.servers {
+		if srv != nil {
+			_ = srv.Close()
+		}
+	}
+	return nil
+}
+
+// ScaleInfo reports the spec's scale for manifest entries.
+func (t *DaemonTarget) ScaleInfo(total int) obs.ScaleInfo {
+	return obs.ScaleInfo{
+		Nodes:   t.spec.Nodes,
+		Queries: t.spec.Queries,
+		Tuples:  total,
+		Seed:    t.spec.Seed,
+	}
+}
+
+var _ Target = (*DaemonTarget)(nil)
+
+// jsonClient is one connection speaking the daemon's JSON line protocol.
+// Not safe for concurrent use; the harness gives every worker its own.
+type jsonClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialClient(addr string) (*jsonClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &jsonClient{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// call sends one request and returns its response. The harness never
+// issues "listen", so no asynchronous event lines interleave; any that
+// do arrive (future protocol versions) are skipped.
+func (c *jsonClient) call(req map[string]interface{}) (map[string]interface{}, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(append(b, '\n')); err != nil {
+		return nil, err
+	}
+	for {
+		if err := c.conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			return nil, err
+		}
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		var resp map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &resp); err != nil {
+			return nil, fmt.Errorf("bad response %q: %w", line, err)
+		}
+		if _, isEvent := resp["event"]; isEvent {
+			continue
+		}
+		return resp, nil
+	}
+}
+
+func (c *jsonClient) close() error { return c.conn.Close() }

@@ -1,0 +1,204 @@
+// Package load is the open-loop load harness behind cmd/cqload and the
+// CI load-smoke job. It drives publications at a fixed arrival rate —
+// operation i is due at start + i/rate regardless of how long earlier
+// operations took — and measures latency from that scheduled arrival
+// time, not from when a worker got around to sending. A saturated target
+// therefore shows up twice: the achieved rate collapses below the offered
+// rate, and queueing delay inflates the latency tail. A closed-loop
+// harness (send, wait, send) would hide both (coordinated omission).
+//
+// The harness is target-agnostic: SimTarget runs the in-process simulator
+// engine, DaemonTarget speaks the cqjoind JSON line protocol over TCP.
+// Both present the same deterministic pre-drawn operation stream, so a
+// run is reproducible for a fixed (seed, rate, duration) triple up to
+// scheduler noise in the latency samples.
+package load
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqjoin/internal/obs"
+)
+
+// latencyBuckets is the shared histogram geometry for all load runs: the
+// 1-2-5 ladder from 10µs to 10s defined by obs.LatencyBounds.
+var latencyBuckets = obs.LatencyBounds()
+
+// Target is one system under load. Prepare installs the workload's
+// continuous queries, pre-draws the `total` publications the run will
+// issue (drawn sequentially from a seeded generator, so the operation
+// stream is identical at any worker count) and allocates any per-worker
+// resources such as connections; Publish issues the op-th publication on
+// behalf of worker w (0 <= w < workers) and returns once the target has
+// accepted it; Notifications reports the join notifications delivered
+// since Prepare.
+//
+// Publish is called concurrently from Config.Workers goroutines; targets
+// must either be concurrency-safe or serialize internally.
+type Target interface {
+	Prepare(total, workers int) error
+	Publish(worker, op int) error
+	Notifications() (int, error)
+	Close() error
+}
+
+// Config sets the offered load.
+type Config struct {
+	// Rate is the offered arrival rate in publications per second.
+	Rate float64
+	// Duration is the length of the timed run; the total operation count
+	// is Rate*Duration rounded down (minimum 1).
+	Duration time.Duration
+	// Workers is the number of concurrent publisher goroutines (default
+	// 4). Workers bound concurrency, not rate: each claims the next
+	// operation index atomically and sleeps until its scheduled arrival.
+	Workers int
+}
+
+// Result is one finished load run.
+type Result struct {
+	// Offered is Config.Rate; Achieved is successful publications divided
+	// by elapsed wall time. Achieved << Offered means the target (or the
+	// worker pool) saturated.
+	Offered  float64
+	Achieved float64
+	// Total is the number of scheduled operations, Published the number
+	// that succeeded, Errors the number that failed.
+	Total     int64
+	Published int64
+	Errors    int64
+	// Notifications is the target's delivered-notification count over the
+	// run — the proof that the workload actually exercised the join path.
+	Notifications int
+	// Elapsed is the wall time from first scheduled arrival to last
+	// completion.
+	Elapsed time.Duration
+	// P50/P99/P999 are notification-latency quantiles in nanoseconds,
+	// measured from each operation's scheduled arrival time to the
+	// completion of its (synchronous) publication. -1 means the quantile
+	// fell beyond the top histogram bucket (10s).
+	P50, P99, P999 float64
+}
+
+// Run executes one open-loop run against t. Prepare must have been called
+// by the caller if the target needs distinguishing setup; Run calls it
+// itself for convenience.
+func Run(t Target, cfg Config) (Result, error) {
+	if cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("load: rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("load: duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	total := int64(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	if err := t.Prepare(int(total), cfg.Workers); err != nil {
+		return Result{}, fmt.Errorf("load: prepare: %w", err)
+	}
+
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("load.latency_ns", latencyBuckets...)
+	interval := float64(time.Second) / cfg.Rate
+
+	var (
+		next      int64 // next unclaimed operation index
+		published int64
+		errs      int64
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= total {
+					return
+				}
+				// Open-loop schedule: op i is due at start + i/rate. Sleep
+				// until then; if we are already late the latency sample
+				// absorbs the backlog instead of the schedule slipping.
+				sched := start.Add(time.Duration(float64(i) * interval))
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				err := t.Publish(worker, int(i))
+				hist.Observe(int64(time.Since(sched)))
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+				} else {
+					atomic.AddInt64(&published, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	notifs, err := t.Notifications()
+	if err != nil {
+		return Result{}, fmt.Errorf("load: notifications: %w", err)
+	}
+	snap := reg.Snapshot()
+	res := Result{
+		Offered:       cfg.Rate,
+		Total:         total,
+		Published:     published,
+		Errors:        errs,
+		Notifications: notifs,
+		Elapsed:       elapsed,
+		P50:           snap["load.latency_ns.p50"],
+		P99:           snap["load.latency_ns.p99"],
+		P999:          snap["load.latency_ns.p999"],
+	}
+	if elapsed > 0 {
+		res.Achieved = float64(published) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// AchievedRatio is achieved/offered — the CI load-smoke job fails when it
+// drops below its -min-achieved-ratio flag (rate collapse).
+func (r Result) AchievedRatio() float64 {
+	if r.Offered <= 0 {
+		return 0
+	}
+	return r.Achieved / r.Offered
+}
+
+// p999Threshold loosens the gate for the extreme tail: p999 on shared CI
+// runners deserves a wider leash than the manifest-wide ±15%.
+const p999Threshold = 0.50
+
+// Entry renders the result as a manifest entry for BENCH_baseline.json
+// and the load-smoke artifact. Latency and rate metrics are noisy
+// (annotate-only under cmd/benchdiff's soft gate); the error count is
+// deterministic and lower-is-better, so errors appearing against a zero
+// baseline hard-fail the gate.
+func (r Result) Entry(name string, sc obs.ScaleInfo) obs.Entry {
+	return obs.Entry{
+		Name:       name,
+		Scale:      sc,
+		Iterations: 1,
+		WallNS:     int64(r.Elapsed),
+		Metrics: map[string]obs.Metric{
+			"offered_per_sec":  {Value: r.Offered, Unit: "msgs/s", Deterministic: true, LowerIsBetter: false},
+			"achieved_per_sec": {Value: r.Achieved, Unit: "msgs/s", LowerIsBetter: false},
+			"latency_p50_ns":   obs.Noisy(r.P50, "ns"),
+			"latency_p99_ns":   obs.Noisy(r.P99, "ns"),
+			"latency_p999_ns": {Value: r.P999, Unit: "ns", LowerIsBetter: true,
+				Threshold: p999Threshold},
+			"errors":        obs.Det(float64(r.Errors), "count"),
+			"notifications": {Value: float64(r.Notifications), Unit: "count", LowerIsBetter: false},
+		},
+	}
+}

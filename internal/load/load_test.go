@@ -1,0 +1,97 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"cqjoin/internal/engine"
+	"cqjoin/internal/exp"
+	"cqjoin/internal/obs"
+)
+
+func TestOpenLoopSim(t *testing.T) {
+	tgt := NewSimTarget(SimSpec{
+		Scale:     exp.Scale{Nodes: 32, Queries: 20, Seed: 1},
+		Algorithm: engine.SAI,
+	})
+	defer tgt.Close()
+	res, err := Run(tgt, Config{Rate: 500, Duration: 200 * time.Millisecond, Workers: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Total < 1 || res.Published != res.Total {
+		t.Fatalf("published %d of %d scheduled ops", res.Published, res.Total)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Notifications == 0 {
+		t.Fatalf("no notifications delivered: the workload never matched")
+	}
+	if res.Achieved <= 0 {
+		t.Fatalf("achieved rate %v", res.Achieved)
+	}
+	if res.P50 <= 0 {
+		t.Fatalf("p50 %v: no latency samples recorded", res.P50)
+	}
+	if res.P50 > res.P999 && res.P999 >= 0 {
+		t.Fatalf("p50 %v above p999 %v", res.P50, res.P999)
+	}
+}
+
+func TestOpenLoopSelfHostedTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping TCP daemon pair")
+	}
+	tgt, err := NewSelfHostedTCP(TCPSpec{Nodes: 24, Procs: 2, Queries: 12, Algorithm: "sai", Seed: 1})
+	if err != nil {
+		t.Fatalf("NewSelfHostedTCP: %v", err)
+	}
+	defer tgt.Close()
+	res, err := Run(tgt, Config{Rate: 200, Duration: 300 * time.Millisecond, Workers: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Published != res.Total {
+		t.Fatalf("published %d of %d scheduled ops (%d errors)", res.Published, res.Total, res.Errors)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Notifications == 0 {
+		t.Fatalf("no notifications delivered across the daemon pair")
+	}
+}
+
+func TestResultEntry(t *testing.T) {
+	r := Result{
+		Offered: 1000, Achieved: 990, Total: 2000, Published: 1990, Errors: 10,
+		Notifications: 42, Elapsed: 2 * time.Second, P50: 100, P99: 900, P999: 5000,
+	}
+	e := r.Entry("cqload/sim", obs.ScaleInfo{Nodes: 64})
+	if e.Metrics["errors"].Value != 10 || !e.Metrics["errors"].Deterministic {
+		t.Fatalf("errors metric must be deterministic: %+v", e.Metrics["errors"])
+	}
+	if m := e.Metrics["achieved_per_sec"]; m.LowerIsBetter {
+		t.Fatalf("achieved rate must be higher-is-better: %+v", m)
+	}
+	if m := e.Metrics["latency_p999_ns"]; m.Threshold != p999Threshold {
+		t.Fatalf("p999 must carry its loose per-metric threshold: %+v", m)
+	}
+	if m := e.Metrics["latency_p99_ns"]; m.Threshold != 0 || m.Deterministic {
+		t.Fatalf("p99 must be a plain noisy metric: %+v", m)
+	}
+	if got := r.AchievedRatio(); got != 0.99 {
+		t.Fatalf("AchievedRatio = %v, want 0.99", got)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	tgt := NewSimTarget(DefaultSimSpec())
+	if _, err := Run(tgt, Config{Rate: 0, Duration: time.Second}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Run(tgt, Config{Rate: 100, Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

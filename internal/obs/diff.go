@@ -147,7 +147,13 @@ func compareEntry(res *Result, be, ce Entry, threshold float64) {
 			})
 			continue
 		}
-		compareValue(res, be.Name, name, bm.Value, cm.Value, threshold,
+		th := threshold
+		if bm.Threshold > 0 {
+			// The baseline's per-metric override wins: tail latencies and
+			// other high-variance measurements declare their own leash.
+			th = bm.Threshold
+		}
+		compareValue(res, be.Name, name, bm.Value, cm.Value, th,
 			bm.Deterministic, bm.LowerIsBetter)
 	}
 }

@@ -70,8 +70,14 @@ type Metric struct {
 	Deterministic bool `json:"deterministic,omitempty"`
 	// LowerIsBetter is the regression direction; true for almost every
 	// metric in this repo (hops, messages, loads, allocations). Metrics
-	// where higher is better (e.g. a speedup ratio) set it to false.
+	// where higher is better (e.g. a speedup ratio or achieved msgs/sec)
+	// set it to false.
 	LowerIsBetter bool `json:"lower_is_better"`
+	// Threshold overrides the comparison's relative gate for this metric
+	// alone (0 keeps the comparison-wide default). Tail latencies use it:
+	// p999 across machines deserves a looser leash than ±15%. Additive
+	// and omitted when zero, so the manifest schema stays at version 1.
+	Threshold float64 `json:"threshold,omitempty"`
 }
 
 // Det builds a deterministic, lower-is-better metric.

@@ -403,9 +403,9 @@ func (r *Registry) CounterVec(name string) *CounterVec {
 
 // Snapshot renders every metric as a flat, sorted name→value map: counters
 // as their count, gauges as value plus a ".hwm" entry, histograms as
-// ".count"/".sum"/".p50"/".p99" entries, and counter families as one entry
-// per label ("name{kind}") plus a ".total". The flattening is what
-// manifests and tests consume.
+// ".count"/".sum"/".p50"/".p99"/".p999" entries, and counter families as
+// one entry per label ("name{kind}") plus a ".total". The flattening is
+// what manifests and tests consume.
 func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return nil
@@ -425,6 +425,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 		out[name+".sum"] = float64(h.Sum())
 		out[name+".p50"] = quantileOrZero(h, 0.50)
 		out[name+".p99"] = quantileOrZero(h, 0.99)
+		out[name+".p999"] = quantileOrZero(h, 0.999)
 	}
 	for name, v := range r.vecs {
 		for label, n := range v.Snapshot() {
@@ -433,6 +434,24 @@ func (r *Registry) Snapshot() map[string]float64 {
 		out[name+".total"] = float64(v.Total())
 	}
 	return out
+}
+
+// LatencyBounds returns a 1-2-5 log ladder from 10µs to 10s, in
+// nanoseconds — the bucket table load harnesses spread into latency
+// histograms. Quantiles resolve to a bucket upper bound, so at this
+// spacing p50/p99/p999 land within one 1-2-5 step of truth across six
+// decades; anything above 10s reports the overflow sentinel.
+func LatencyBounds() []int64 {
+	const top = int64(10_000_000_000)
+	bounds := make([]int64, 0, 19)
+	for decade := int64(10_000); decade <= top; decade *= 10 {
+		for _, m := range []int64{1, 2, 5} {
+			if b := decade * m; b <= top {
+				bounds = append(bounds, b)
+			}
+		}
+	}
+	return bounds
 }
 
 // quantileOrZero clamps the overflow sentinel so snapshots stay finite.

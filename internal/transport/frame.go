@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 
 	"cqjoin/internal/wire"
 )
@@ -21,15 +22,24 @@ import (
 //	batch   := BATCH seq:uvarint count:uvarint
 //	           { dstKey:string msg:string } * count (msg = engine codec bytes)
 //	ack     := ACK seq:uvarint status:string       (one status byte per msg)
-//	join    := JOIN addr:string                    (request to enter the overlay)
-//	view    := VIEW memberView                     (membership gossip; see wire.MemberView)
-//	viewAck := VIEW_ACK version:uvarint            (receiver's view version after apply)
+//	join    := JOIN seq:uvarint addr:string        (request to enter the overlay)
+//	view    := VIEW seq:uvarint memberView         (membership gossip; see wire.MemberView)
+//	viewAck := VIEW_ACK seq:uvarint version:uvarint (receiver's view version after apply)
 //
-// A connection is an RPC channel used by exactly one in-flight batch at a
-// time: the sender writes a batch and blocks for its ack, so seq matching
-// is a sanity check, not a demultiplexer. Acks carry one byte per message;
-// ackOK means the destination's handler ran before the ack was sent — the
-// same synchronous-ack contract the simulated transport provides.
+// A connection is a pipelined RPC channel: a sender may have up to
+// Config.MaxInflight requests outstanding on one connection at a time.
+// Every request after the hello handshake carries a connection-scoped
+// seq, and every reply echoes it: seq IS the demultiplexer. The server
+// processes pipelined frames concurrently and writes each reply as its
+// handler finishes — completion order, not arrival order. Both are
+// forced by nested RPCs: two peers whose handlers synchronously call
+// back into each other would deadlock if a blocked frame stopped later
+// frames from being read, and equally if its unfinished reply held
+// finished ones hostage in an in-order writer (the nested call's ack
+// would queue behind the very reply awaiting it). Acks carry one byte
+// per message; ackOK means the destination's handler ran before the ack
+// was sent — the same synchronous-ack contract the simulated transport
+// provides.
 //
 // Membership frames follow the same request/reply discipline: JOIN is
 // answered with a VIEW (the authoritative post-join membership), VIEW with
@@ -37,11 +47,12 @@ import (
 // only adopts strictly newer ones — so the sender's retry loop can replay
 // them safely.
 const (
-	protoVersion = 1
+	protoVersion = 2
 
 	// maxFrame bounds one frame so a corrupt length prefix cannot allocate
 	// gigabytes. 16 MiB fits any realistic multisend leg (the simulator's
-	// message sizes are hundreds of bytes).
+	// message sizes are hundreds of bytes); DeliverBatch splits larger runs
+	// across multiple frames.
 	maxFrame = 16 << 20
 
 	frameHello   = 1
@@ -54,24 +65,95 @@ const (
 
 	ackOK   byte = 1
 	ackFail byte = 0
+
+	// frameHeaderLen is the length prefix reserved at the front of a
+	// framed buffer and patched by finishFrame.
+	frameHeaderLen = 4
+
+	// maxBatchBody is where DeliverBatch cuts a run of entries into a new
+	// frame. A chunk may exceed it by one entry, so it sits far enough
+	// under maxFrame that any realistic message (the engine's are at most
+	// a few KiB) still fits.
+	maxBatchBody = 4 << 20
 )
+
+// frameBufPool recycles encode scratch across RPCs and server replies. A
+// buffer taken from the pool keeps whatever capacity its last use grew it
+// to, so steady-state encoding allocates nothing.
+var frameBufPool = sync.Pool{New: func() interface{} { return new(wire.Buffer) }}
+
+// getBuf returns an empty pooled scratch buffer (no header reservation);
+// DeliverBatch accumulates batch entries in one.
+func getBuf() *wire.Buffer {
+	w := frameBufPool.Get().(*wire.Buffer)
+	w.Reset()
+	return w
+}
+
+// putBuf returns a scratch buffer to the pool. The caller must not retain
+// any slice aliasing it afterwards.
+func putBuf(w *wire.Buffer) { frameBufPool.Put(w) }
+
+// beginFrame resets w and reserves the 4-byte frame header; build the
+// payload after it and call finishFrame.
+func beginFrame(w *wire.Buffer) {
+	w.Reset()
+	var hdr [frameHeaderLen]byte
+	w.PutRaw(hdr[:])
+}
+
+// getFrameBuf returns an empty pooled buffer with the frame header
+// already reserved.
+func getFrameBuf() *wire.Buffer {
+	w := frameBufPool.Get().(*wire.Buffer)
+	beginFrame(w)
+	return w
+}
+
+// putFrameBuf returns a framed scratch buffer to the pool.
+func putFrameBuf(w *wire.Buffer) { frameBufPool.Put(w) }
+
+// finishFrame patches the reserved header with the payload length and
+// returns the complete frame (header + payload), ready for one Write.
+func finishFrame(w *wire.Buffer) ([]byte, error) {
+	frame := w.Bytes()
+	n := len(frame) - frameHeaderLen
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	binary.BigEndian.PutUint32(frame[:frameHeaderLen], uint32(n))
+	return frame, nil
+}
 
 // writeFrame sends one length-prefixed frame in a single Write call.
 func writeFrame(c net.Conn, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(payload), maxFrame)
 	}
-	out := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(out, uint32(len(payload)))
-	copy(out[4:], payload)
-	_, err := c.Write(out)
+	w := getFrameBuf()
+	defer putFrameBuf(w)
+	w.PutRaw(payload)
+	frame, err := finishFrame(w)
+	if err != nil {
+		return err
+	}
+	_, err = c.Write(frame)
 	return err
 }
 
 // readFrame reads one length-prefixed frame, rejecting oversized lengths
-// before allocating.
+// before allocating. The payload is freshly allocated; use readFrameReuse
+// on high-volume paths.
 func readFrame(br *bufio.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var buf []byte
+	return readFrameReuse(br, &buf)
+}
+
+// readFrameReuse reads one frame into *buf, growing it only when a payload
+// exceeds every previous one on this connection. The returned slice
+// aliases *buf and is valid until the next call.
+func readFrameReuse(br *bufio.Reader, buf *[]byte) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, err
 	}
@@ -79,14 +161,17 @@ func readFrame(br *bufio.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
-	payload := make([]byte, n)
+	if uint32(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
 }
 
-// encodeHello builds the client's opening frame.
+// encodeHello builds the client's opening frame payload.
 func encodeHello(self string) []byte {
 	var w wire.Buffer
 	w.PutUvarint(frameHello)
@@ -95,66 +180,108 @@ func encodeHello(self string) []byte {
 	return w.Bytes()
 }
 
-// encodeHelloOK builds the server's hello acknowledgement.
-func encodeHelloOK() []byte {
-	var w wire.Buffer
+// helloOKInto appends the server's hello acknowledgement payload.
+func helloOKInto(w *wire.Buffer) {
 	w.PutUvarint(frameHelloOK)
 	w.PutUvarint(protoVersion)
-	return w.Bytes()
 }
 
-// encodeBatch builds a batch frame from pre-encoded message payloads, one
-// destination key per message.
-func encodeBatch(seq uint64, dstKeys []string, msgs [][]byte) []byte {
-	var w wire.Buffer
+// batchHeaderInto appends the batch payload prefix (ftype, seq, count);
+// the pre-encoded entries follow it verbatim.
+func batchHeaderInto(w *wire.Buffer, seq uint64, count int) {
 	w.PutUvarint(frameBatch)
 	w.PutUvarint(seq)
-	w.PutUvarint(uint64(len(dstKeys)))
-	for i := range dstKeys {
-		w.PutString(dstKeys[i])
-		w.PutString(string(msgs[i]))
-	}
-	return w.Bytes()
+	w.PutUvarint(uint64(count))
 }
 
-// encodeAck builds the ack for a batch: the echoed seq plus one status
-// byte per message, in batch order.
-func encodeAck(seq uint64, statuses []byte) []byte {
-	var w wire.Buffer
+// appendBatchEntry appends one {dstKey, msg} entry to a batch body being
+// accumulated in w, where msg is already in codec form.
+func appendBatchEntry(w *wire.Buffer, dstKey string, msg []byte) {
+	w.PutString(dstKey)
+	w.PutBytes(msg)
+}
+
+// ackInto appends the ack payload for a batch: the echoed seq plus one
+// status byte per message, in batch order.
+func ackInto(w *wire.Buffer, seq uint64, statuses []byte) {
 	w.PutUvarint(frameAck)
 	w.PutUvarint(seq)
-	w.PutString(string(statuses))
+	w.PutBytes(statuses)
+}
+
+// encodeAck builds a standalone ack payload (tests and docs; the server
+// reply path uses ackInto on a reused buffer).
+func encodeAck(seq uint64, statuses []byte) []byte {
+	var w wire.Buffer
+	ackInto(&w, seq, statuses)
 	return w.Bytes()
 }
 
-// encodeJoin builds a join request carrying the joiner's advertised
+// joinInto appends a join request carrying the joiner's advertised
 // overlay address.
-func encodeJoin(addr string) []byte {
-	var w wire.Buffer
+func joinInto(w *wire.Buffer, seq uint64, addr string) {
 	w.PutUvarint(frameJoin)
+	w.PutUvarint(seq)
 	w.PutString(addr)
+}
+
+// encodeJoin builds a standalone join request (tests).
+func encodeJoin(seq uint64, addr string) []byte {
+	var w wire.Buffer
+	joinInto(&w, seq, addr)
 	return w.Bytes()
 }
 
-// encodeView builds a membership gossip frame.
-func encodeView(v *wire.MemberView) []byte {
-	var w wire.Buffer
+// viewInto appends a membership gossip payload. As a request seq is the
+// sender's; as the reply to a join it echoes the join's seq.
+func viewInto(w *wire.Buffer, seq uint64, v *wire.MemberView) {
 	w.PutUvarint(frameView)
-	wire.EncodeMemberView(&w, v)
+	w.PutUvarint(seq)
+	wire.EncodeMemberView(w, v)
+}
+
+// encodeView builds a standalone membership gossip payload (tests).
+func encodeView(seq uint64, v *wire.MemberView) []byte {
+	var w wire.Buffer
+	viewInto(&w, seq, v)
 	return w.Bytes()
 }
 
-// encodeViewAck builds the reply to a view frame: the receiver's view
-// version after applying (or ignoring) the gossip.
-func encodeViewAck(version uint64) []byte {
-	var w wire.Buffer
+// viewAckInto appends the reply to a view frame: the echoed seq plus the
+// receiver's view version after applying (or ignoring) the gossip.
+func viewAckInto(w *wire.Buffer, seq, version uint64) {
 	w.PutUvarint(frameViewAck)
+	w.PutUvarint(seq)
 	w.PutUvarint(version)
+}
+
+// encodeViewAck builds a standalone view ack (tests).
+func encodeViewAck(seq, version uint64) []byte {
+	var w wire.Buffer
+	viewAckInto(&w, seq, version)
 	return w.Bytes()
+}
+
+// replySeq extracts the demux seq from a reply frame without consuming
+// the payload: every reply type a client read loop can see (ack, view,
+// viewAck) carries it directly after the frame type.
+func replySeq(payload []byte) (uint64, error) {
+	r := wire.NewReader(payload)
+	ftype, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	switch ftype {
+	case frameAck, frameView, frameViewAck:
+		return r.Uvarint()
+	default:
+		return 0, fmt.Errorf("transport: reply frame type %d carries no seq", ftype)
+	}
 }
 
 // decodeAck parses an ack frame (sans the already-consumed ftype) and
-// validates it against the batch it answers.
+// validates it against the batch it answers. The returned statuses alias
+// the reader's backing bytes.
 func decodeAck(r *wire.Reader, wantSeq uint64, wantCount int) ([]byte, error) {
 	seq, err := r.Uvarint()
 	if err != nil {
@@ -163,12 +290,12 @@ func decodeAck(r *wire.Reader, wantSeq uint64, wantCount int) ([]byte, error) {
 	if seq != wantSeq {
 		return nil, fmt.Errorf("transport: ack for seq %d, want %d", seq, wantSeq)
 	}
-	statuses, err := r.String()
+	statuses, err := r.Bytes()
 	if err != nil {
 		return nil, err
 	}
 	if len(statuses) != wantCount {
 		return nil, fmt.Errorf("transport: ack carries %d statuses, want %d", len(statuses), wantCount)
 	}
-	return []byte(statuses), nil
+	return statuses, nil
 }

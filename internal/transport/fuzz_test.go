@@ -53,15 +53,16 @@ func (m *fuzzMembership) HandleView(v *wire.MemberView) uint64 {
 // an error, never a panic, and any payload that parses as a MemberView
 // must re-encode to exactly the bytes that were consumed.
 func FuzzMembershipFrames(f *testing.F) {
-	f.Add(encodeJoin("127.0.0.1:9001"))
-	f.Add(encodeView(&wire.MemberView{Version: 3, Procs: []string{"127.0.0.1:9001", "127.0.0.1:9002"}}))
-	f.Add(encodeView(&wire.MemberView{Version: 0, Procs: nil}))
-	f.Add(encodeViewAck(7))
+	f.Add(encodeJoin(1, "127.0.0.1:9001"))
+	f.Add(encodeView(2, &wire.MemberView{Version: 3, Procs: []string{"127.0.0.1:9001", "127.0.0.1:9002"}}))
+	f.Add(encodeView(3, &wire.MemberView{Version: 0, Procs: nil}))
+	f.Add(encodeViewAck(4, 7))
 	f.Add(encodeHello("127.0.0.1:9001"))
 	f.Add([]byte{})
 	{ // view frame with a forged member count
 		var w wire.Buffer
 		w.PutUvarint(frameView)
+		w.PutUvarint(1) // seq
 		w.PutUvarint(1)
 		w.PutUvarint(1 << 40)
 		f.Add(w.Bytes())

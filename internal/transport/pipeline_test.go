@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/obs"
+	"cqjoin/internal/wire"
+)
+
+// sizedTestCodec is testCodec plus the Sizer extension, so batches take
+// the in-place encode path (size-prefixed entry written directly into
+// the pooled frame buffer) instead of the scratch-copy fallback.
+type sizedTestCodec struct{ testCodec }
+
+func (sizedTestCodec) Size(msg chord.Message) int {
+	tm, ok := msg.(*testMsg)
+	if !ok {
+		return 0
+	}
+	return uvarintLen(uint64(len(tm.Body))) + len(tm.Body)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// TestSizedCodecMatchesEncode pins the Sizer contract the in-place path
+// relies on: Size must equal the encoded length exactly.
+func TestSizedCodecMatchesEncode(t *testing.T) {
+	var c sizedTestCodec
+	for _, body := range []string{"", "x", "hello world", string(make([]byte, 200))} {
+		msg := &testMsg{Body: body}
+		var w wire.Buffer
+		if err := c.Encode(&w, msg); err != nil {
+			t.Fatalf("encode %q: %v", body, err)
+		}
+		if got, want := c.Size(msg), w.Len(); got != want {
+			t.Fatalf("Size(%q) = %d, encoded length %d", body, got, want)
+		}
+	}
+}
+
+// TestPooledEncodeConcurrentNoAliasing hammers the pooled encode path
+// from 8 goroutines. Frame buffers come from a sync.Pool and entries are
+// encoded in place, so any cross-request buffer aliasing shows up as a
+// corrupted, missing or duplicated delivery; under -race it also trips
+// the race detector. The delivered multiset must equal the sent multiset
+// exactly.
+func TestPooledEncodeConcurrentNoAliasing(t *testing.T) {
+	from, dst := testNodes(t)
+	remote := &testLocal{}
+	_, addrB := startTransport(t, Config{Local: remote, Codec: sizedTestCodec{}})
+
+	trA, _ := startTransport(t, Config{
+		Local:   &testLocal{},
+		Codec:   sizedTestCodec{},
+		OwnerOf: func(string) string { return addrB },
+	})
+
+	const workers = 8
+	const rounds = 25
+	const perBatch = 16
+	var want []string
+	for w := 0; w < workers; w++ {
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < perBatch; i++ {
+				want = append(want, fmt.Sprintf("%s:w%d-r%d-i%d", dst.Key(), w, r, i))
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				msgs := make([]chord.Message, perBatch)
+				for i := range msgs {
+					msgs[i] = &testMsg{Body: fmt.Sprintf("w%d-r%d-i%d", worker, r, i)}
+				}
+				acks := trA.DeliverBatch(from, dst, msgs)
+				for i, ok := range acks {
+					if !ok {
+						t.Errorf("worker %d round %d msg %d not acked", worker, r, i)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got := remote.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d messages, want %d", len(got), len(want))
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery multiset diverged at %d: got %q, want %q (buffer aliasing?)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPipelinedSharedConn proves concurrent RPCs share one pipelined
+// connection instead of dialing per request: after a warm-up dial, 8
+// concurrent batches at MaxInflight 8 must not add a second dial.
+func TestPipelinedSharedConn(t *testing.T) {
+	from, dst := testNodes(t)
+	remote := &testLocal{}
+	_, addrB := startTransport(t, Config{Local: remote})
+
+	reg := obs.NewRegistry()
+	trA, _ := startTransport(t, Config{
+		Local:       &testLocal{},
+		OwnerOf:     func(string) string { return addrB },
+		Obs:         reg,
+		MaxInflight: 8,
+	})
+
+	if !trA.Deliver(from, dst, &testMsg{Body: "warmup"}) {
+		t.Fatalf("warm-up Deliver failed")
+	}
+
+	const concurrent = 8
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if !trA.Deliver(from, dst, &testMsg{Body: fmt.Sprintf("m%d", i)}) {
+				t.Errorf("Deliver %d failed", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if v := reg.Counter("transport.dials").Value(); v != 1 {
+		t.Fatalf("dials = %d, want 1: concurrent RPCs should pipeline on the shared conn", v)
+	}
+	if got := len(remote.snapshot()); got != concurrent+1 {
+		t.Fatalf("delivered %d messages, want %d", got, concurrent+1)
+	}
+}
+
+// TestPoolChecksIdleAgeAtGet is the regression test for checkout
+// trusting the reaper: get used to hand back the MRU idle conn without
+// re-checking the reap cutoff, so a conn idle past the timeout — whose
+// peer may long since have dropped it — could be checked out in the
+// window before the next reaper pass. get must validate age itself.
+func TestPoolChecksIdleAgeAtGet(t *testing.T) {
+	const idleTimeout = 50 * time.Millisecond
+	p := newPool(4, 4, idleTimeout)
+
+	c, peer := net.Pipe()
+	t.Cleanup(func() { _ = peer.Close() })
+	pc := newPooledConn("addr", c, 4)
+	if !p.register(pc) {
+		t.Fatalf("register refused")
+	}
+	now := time.Now()
+	p.release(pc, now)
+
+	// Fresh idle conn: reused.
+	if got := p.get("addr", now.Add(idleTimeout/2)); got != pc {
+		t.Fatalf("get = %v, want the fresh idle conn", got)
+	}
+	p.release(pc, now)
+
+	// Same conn past the cutoff: refused and poisoned, never handed out.
+	if got := p.get("addr", now.Add(2*idleTimeout)); got != nil {
+		t.Fatalf("get handed out a conn idle past the reap cutoff")
+	}
+	if pc.broken() == nil {
+		t.Fatalf("stale conn was not poisoned at checkout")
+	}
+	if n := p.idleCount(); n != 0 {
+		t.Fatalf("idleCount = %d after stale checkout, want 0", n)
+	}
+}

@@ -2,70 +2,296 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"net"
 	"sync"
 	"time"
 )
 
-// pooledConn is one established, hello-verified connection to a peer. A
-// connection is checked out exclusively for the duration of one RPC
-// (write batch, read ack), so none of its fields need locking.
+var (
+	errPoolClosed     = errors.New("transport: pool closed")
+	errConnIdleReaped = errors.New("transport: connection reaped after idle timeout")
+)
+
+// call is one in-flight request on a pipelined connection: the writer
+// enqueues it under the request's seq and the connection's read loop
+// completes it with the reply frame echoing that seq. Replies
+// demultiplex purely by seq — the server answers pipelined frames in
+// completion order, not arrival order (nested RPCs between mutually
+// calling peers forbid in-order replies) — so FIFO position means
+// nothing.
+//
+// Calls recycle through callPool: done is a one-slot channel completed
+// by a single send (never closed), each call is completed exactly once
+// (take/failAll remove it from the map under errMu first), and the
+// waiter drains the token before the call is reset and pooled.
+type call struct {
+	payload []byte  // reply frame payload; aliases *buf
+	buf     *[]byte // pooled backing array, returned via replyBufPool
+	err     error
+	done    chan struct{}
+}
+
+var callPool = sync.Pool{New: func() interface{} {
+	return &call{done: make(chan struct{}, 1)}
+}}
+
+func getCall() *call { return callPool.Get().(*call) }
+
+// finish extracts a completed call's results, resets it and returns it
+// to the pool. The payload remains valid until its buffer is released
+// with putReplyBuf.
+func (cl *call) finish() (payload []byte, buf *[]byte, err error) {
+	payload, buf, err = cl.payload, cl.buf, cl.err
+	cl.payload, cl.buf, cl.err = nil, nil, nil
+	callPool.Put(cl)
+	return payload, buf, err
+}
+
+// replyBufPool recycles reply payload read buffers across RPCs; each
+// in-flight reply owns its buffer, so concurrent calls on one connection
+// never alias.
+var replyBufPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+func putReplyBuf(buf *[]byte) {
+	if buf != nil {
+		replyBufPool.Put(buf)
+	}
+}
+
+// pooledConn is one established, hello-verified connection to a peer,
+// shared by up to maxInflight concurrent RPCs (pipelined frames instead
+// of exclusive checkout per RPC). Writers serialize on wmu; a dedicated
+// read loop (TCP.readLoop) completes calls by the seq their replies
+// echo.
+//
+// inflight and idleSince are pool bookkeeping, guarded by the pool's
+// mutex — a pooledConn never changes pools.
 type pooledConn struct {
-	c         net.Conn
-	br        *bufio.Reader
-	seq       uint64
+	addr string
+	c    net.Conn
+	br   *bufio.Reader
+
+	// wmu serializes seq assignment, call enqueueing and frame writes;
+	// the request frame carrying a seq is on the wire before any later
+	// seq can be assigned.
+	wmu sync.Mutex
+	seq uint64
+
+	// errMu guards werr and calls. calls holds in-flight requests keyed
+	// by seq; poison stores the first fatal error and closes the socket,
+	// which unblocks the read loop to fail every remaining call. enqueue
+	// runs under errMu, so no call can slip in after that final drain.
+	errMu sync.Mutex
+	werr  error
+	calls map[uint64]*call
+
+	inflight  int
 	idleSince time.Time
 }
 
-// pool keeps idle connections per peer address. Checkout pops the most
-// recently used connection (LIFO, so the oldest ones go cold and get
-// reaped); when the pool is empty the transport dials a fresh one, so the
-// number of active connections tracks the RPC concurrency and only idle
-// ones are bounded.
+// newPooledConn wraps a freshly dialed connection. The caller performs
+// the hello exchange before registering it with the pool.
+func newPooledConn(addr string, c net.Conn, maxInflight int) *pooledConn {
+	return &pooledConn{
+		addr:  addr,
+		c:     c,
+		br:    bufio.NewReader(c),
+		calls: make(map[uint64]*call, maxInflight),
+	}
+}
+
+// poison marks the connection fatally broken and closes the socket,
+// which unblocks the read loop so every pending call fails fast.
+// Idempotent; the first error wins.
+func (pc *pooledConn) poison(err error) {
+	pc.errMu.Lock()
+	if pc.werr == nil {
+		pc.werr = err
+	}
+	pc.errMu.Unlock()
+	_ = pc.c.Close()
+}
+
+// broken returns the poison error, or nil while the connection is usable.
+func (pc *pooledConn) broken() error {
+	pc.errMu.Lock()
+	defer pc.errMu.Unlock()
+	return pc.werr
+}
+
+// enqueue registers a call under its request seq, failing instead of
+// enqueueing on a poisoned connection so the read loop's final drain
+// cannot miss it.
+func (pc *pooledConn) enqueue(seq uint64, cl *call) error {
+	pc.errMu.Lock()
+	defer pc.errMu.Unlock()
+	if pc.werr != nil {
+		return pc.werr
+	}
+	pc.calls[seq] = cl
+	return nil
+}
+
+// take removes and returns the call awaiting seq, or nil when no such
+// request is in flight (a protocol violation the read loop treats as
+// fatal).
+func (pc *pooledConn) take(seq uint64) *call {
+	pc.errMu.Lock()
+	defer pc.errMu.Unlock()
+	cl := pc.calls[seq]
+	delete(pc.calls, seq)
+	return cl
+}
+
+// failAll fails every in-flight call with the poison error. The caller
+// must poison first; enqueue checks the poison error under the same lock
+// this drain holds, so nothing can be queued afterwards.
+func (pc *pooledConn) failAll() {
+	pc.errMu.Lock()
+	err := pc.werr
+	calls := pc.calls
+	pc.calls = nil
+	pc.errMu.Unlock()
+	for _, cl := range calls {
+		cl.err = err
+		cl.done <- struct{}{}
+	}
+}
+
+// pool tracks every client connection per peer address. get hands out a
+// connection with spare pipeline capacity — preferring an idle one (its
+// server loop is free to answer immediately), then the least-loaded — and
+// returns nil when all are saturated so the caller dials another; the
+// number of connections tracks RPC concurrency / MaxInflight.
+//
+// Idle age is validated both by the background reaper and again at
+// checkout: a connection idle past idleTimeout is never handed out (the
+// peer may already have dropped its end), it is closed on the spot and
+// the caller dials fresh.
 type pool struct {
-	mu      sync.Mutex
-	idle    map[string][]*pooledConn
-	maxIdle int
+	mu          sync.Mutex
+	conns       map[string][]*pooledConn
+	maxIdle     int
+	maxInflight int
+	idleTimeout time.Duration
+	// wg tracks read-loop goroutines. Add happens in register under mu,
+	// mutually exclusive with closeAll, so it cannot race wait.
+	wg sync.WaitGroup
 	// everConnected distinguishes a first dial from a re-dial after a
 	// connection was torn down, for the reconnect metric.
 	everConnected map[string]bool
 	closed        bool
 }
 
-func newPool(maxIdle int) *pool {
+func newPool(maxIdle, maxInflight int, idleTimeout time.Duration) *pool {
 	return &pool{
-		idle:          make(map[string][]*pooledConn),
+		conns:         make(map[string][]*pooledConn),
 		maxIdle:       maxIdle,
+		maxInflight:   maxInflight,
+		idleTimeout:   idleTimeout,
 		everConnected: make(map[string]bool),
 	}
 }
 
-// get pops an idle connection to addr, or returns nil when the caller
-// must dial.
-func (p *pool) get(addr string) *pooledConn {
+// get returns a connection to addr with capacity for one more in-flight
+// RPC (already counted), or nil when the caller must dial. Broken and
+// stale-idle connections are pruned here — the checkout-time reap-cutoff
+// check — so a conn idle past the deadline can never be handed out only
+// to fail mid-RPC.
+func (p *pool) get(addr string, now time.Time) *pooledConn {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	conns := p.idle[addr]
-	if len(conns) == 0 {
-		return nil
+	conns := p.conns[addr]
+	kept := conns[:0]
+	var (
+		best       *pooledConn
+		bestLoad   int
+		bestIdleAt time.Time
+	)
+	for _, pc := range conns {
+		if pc.broken() != nil {
+			continue // read loop already failed it; drop our reference
+		}
+		if pc.inflight == 0 && now.Sub(pc.idleSince) >= p.idleTimeout {
+			pc.poison(errConnIdleReaped)
+			continue
+		}
+		kept = append(kept, pc)
+		if pc.inflight == 0 {
+			// Prefer the most recently used idle connection (LIFO), so
+			// the oldest go cold and get reaped.
+			if best == nil || bestLoad > 0 || pc.idleSince.After(bestIdleAt) {
+				best, bestLoad, bestIdleAt = pc, 0, pc.idleSince
+			}
+		} else if pc.inflight < p.maxInflight && (best == nil || (bestLoad > 0 && pc.inflight < bestLoad)) {
+			best, bestLoad = pc, pc.inflight
+		}
 	}
-	pc := conns[len(conns)-1]
-	p.idle[addr] = conns[:len(conns)-1]
-	return pc
+	p.conns[addr] = kept
+	if best != nil {
+		best.inflight++
+	}
+	return best
 }
 
-// put returns a healthy connection to the pool. A false return means the
-// pool refused it (closed, or idle limit reached) and the caller must
-// close it.
-func (p *pool) put(addr string, pc *pooledConn) bool {
+// register adds a freshly dialed, hello-verified connection — already
+// counted as one in-flight holder — and reserves its read-loop slot.
+// False means the pool is closed and the caller must tear the connection
+// down without starting a read loop.
+func (p *pool) register(pc *pooledConn) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed || len(p.idle[addr]) >= p.maxIdle {
+	if p.closed {
 		return false
 	}
-	pc.idleSince = time.Now()
-	p.idle[addr] = append(p.idle[addr], pc)
+	pc.inflight = 1
+	p.conns[pc.addr] = append(p.conns[pc.addr], pc)
+	p.wg.Add(1)
 	return true
+}
+
+// release returns an RPC slot. A broken connection is dropped from the
+// pool; a connection going idle is timestamped, and the per-peer idle
+// bound enforced by closing the least recently used idle one.
+func (p *pool) release(pc *pooledConn, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pc.inflight--
+	if pc.broken() != nil || p.closed {
+		p.remove(pc)
+		pc.poison(errPoolClosed) // no-op when already poisoned
+		return
+	}
+	if pc.inflight > 0 {
+		return
+	}
+	pc.idleSince = now
+	idle := 0
+	var lru *pooledConn
+	for _, other := range p.conns[pc.addr] {
+		if other.inflight == 0 && other.broken() == nil {
+			idle++
+			if lru == nil || other.idleSince.Before(lru.idleSince) {
+				lru = other
+			}
+		}
+	}
+	if idle > p.maxIdle && lru != nil {
+		lru.poison(errConnIdleReaped)
+		p.remove(lru)
+	}
+}
+
+// remove drops pc from its address list. Callers hold p.mu.
+func (p *pool) remove(pc *pooledConn) {
+	conns := p.conns[pc.addr]
+	for i, other := range conns {
+		if other == pc {
+			p.conns[pc.addr] = append(conns[:i], conns[i+1:]...)
+			return
+		}
+	}
 }
 
 // markConnected records a successful dial to addr and reports whether the
@@ -84,46 +310,54 @@ func (p *pool) reap(cutoff time.Time) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	reaped := 0
-	for addr, conns := range p.idle {
+	for addr, conns := range p.conns {
 		kept := conns[:0]
 		for _, pc := range conns {
-			if pc.idleSince.Before(cutoff) {
-				_ = pc.c.Close()
-				reaped++
-			} else {
-				kept = append(kept, pc)
+			if pc.broken() != nil {
+				continue
 			}
+			if pc.inflight == 0 && pc.idleSince.Before(cutoff) {
+				pc.poison(errConnIdleReaped)
+				reaped++
+				continue
+			}
+			kept = append(kept, pc)
 		}
-		p.idle[addr] = kept
+		p.conns[addr] = kept
 	}
 	return reaped
 }
 
-// idleCount returns the total idle connections across peers.
+// idleCount returns the total idle (zero in-flight) connections across
+// peers.
 func (p *pool) idleCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n := 0
-	for _, conns := range p.idle {
-		n += len(conns)
+	for _, conns := range p.conns {
+		for _, pc := range conns {
+			if pc.inflight == 0 && pc.broken() == nil {
+				n++
+			}
+		}
 	}
 	return n
 }
 
-// closeAll closes every idle connection and refuses future puts.
+// closeAll poisons every connection and refuses future registers.
 func (p *pool) closeAll() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.closed = true
-	for _, conns := range p.idle {
-		for _, pc := range conns {
-			_ = pc.c.Close()
-		}
+	var all []*pooledConn
+	for _, conns := range p.conns {
+		all = append(all, conns...)
 	}
-	p.idle = make(map[string][]*pooledConn)
+	p.conns = make(map[string][]*pooledConn)
+	p.mu.Unlock()
+	for _, pc := range all {
+		pc.poison(errPoolClosed)
+	}
 }
 
-// newPooledConn wraps a freshly dialed, hello-verified connection.
-func newPooledConn(c net.Conn) *pooledConn {
-	return &pooledConn{c: c, br: bufio.NewReader(c), idleSince: time.Now()}
-}
+// wait blocks until every read loop has exited; call after closeAll.
+func (p *pool) wait() { p.wg.Wait() }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cqjoin/internal/wire"
@@ -31,124 +33,250 @@ func (t *TCP) acceptLoop(ln net.Listener) {
 	}
 }
 
+// serveState is the scratch for processing one inbound frame: the frame
+// read buffer, the reply buffer (header reserved by beginFrame each
+// frame), the ack status array, wire readers for the frame and for
+// message bodies, and an intern table for destination keys. States are
+// recycled through a sync.Pool across frames and connections, so
+// steady-state traffic allocates only what the codec's Decode must.
+type serveState struct {
+	readBuf  []byte
+	reply    wire.Buffer
+	statuses []byte
+	rd       wire.Reader // frame fields
+	msgRd    wire.Reader // message bodies (zero-copy views of readBuf)
+	keys     map[string]string
+}
+
+var serveStatePool = sync.Pool{New: func() interface{} { return new(serveState) }}
+
+// serveQueueDepth bounds how many pipelined frames one connection may
+// have in flight server-side. Beyond it the reader stops reading — the
+// backpressure a pipelining sender sees as a slow ack.
+const serveQueueDepth = 64
+
 // handleConn answers frames from one peer connection: hello with helloOK,
-// batches with acks. Messages are decoded and handed to the local
-// deliverer before the ack goes out, preserving the synchronous-ack
-// contract end to end. Processing is sequential per connection — the
-// sender holds a connection exclusively per RPC — but nested sends
-// triggered by handlers arrive on other connections served by their own
-// goroutines, so reentrant traffic cannot deadlock.
+// batches with acks, join/view with view/viewAck. Messages are decoded
+// and handed to the local deliverer before the ack goes out, preserving
+// the synchronous-ack contract end to end.
+//
+// Pipelined frames are processed concurrently (one goroutine per frame,
+// at most serveQueueDepth in flight) and each handler writes its own
+// reply the moment it finishes, in completion order, not arrival order.
+// Both halves matter: a handler blocking on a nested RPC — proc A's
+// batch handler delivering into an engine that synchronously calls back
+// to proc B, whose handler does the same toward A — must neither stop
+// later frames on this connection from being read nor hold their
+// finished replies hostage. In-order replies deadlock such mutual
+// traffic: the nested call's ack would queue behind the very reply that
+// is waiting on it. Senders demultiplex replies by the echoed seq, so no
+// ordering is owed.
 func (t *TCP) handleConn(c net.Conn) {
 	defer t.wg.Done()
+	cs := &connServer{t: t, c: c, sem: make(chan struct{}, serveQueueDepth)}
 	defer func() {
+		cs.handlers.Wait()
 		t.mu.Lock()
 		delete(t.serverConns, c)
 		t.mu.Unlock()
 		_ = c.Close()
 	}()
+
 	br := bufio.NewReader(c)
 	for {
-		payload, err := readFrame(br)
+		st := serveStatePool.Get().(*serveState)
+		payload, err := readFrameReuse(br, &st.readBuf)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !t.isClosed() {
+			serveStatePool.Put(st)
+			if !errors.Is(err, io.EOF) && !cs.dead.Load() && !t.isClosed() {
 				t.cfg.Logf("transport: read from %s: %v", c.RemoteAddr(), err)
 			}
 			return
 		}
 		t.obs.framesIn.Inc()
 		t.obs.frameBytesIn.Add(int64(len(payload)))
-		reply, err := t.handleFrame(payload)
-		if err != nil {
-			t.cfg.Logf("transport: bad frame from %s: %v", c.RemoteAddr(), err)
-			return
-		}
-		if reply == nil {
-			continue
-		}
-		_ = c.SetWriteDeadline(time.Now().Add(t.cfg.IOTimeout))
-		err = t.writeFrameCounted(c, reply)
-		_ = c.SetWriteDeadline(time.Time{})
-		if err != nil {
-			if !t.isClosed() {
-				t.cfg.Logf("transport: write to %s: %v", c.RemoteAddr(), err)
-			}
-			return
-		}
+		cs.sem <- struct{}{}
+		cs.handlers.Add(1)
+		// A method with plain arguments, not a closure: the spawn copies
+		// st and payload to the new goroutine without a per-frame
+		// allocation.
+		go cs.serveFrame(st, payload)
 	}
 }
 
-// handleFrame processes one inbound frame and returns the reply frame (or
-// nil for none). An error tears the connection down.
-func (t *TCP) handleFrame(payload []byte) ([]byte, error) {
-	r := wire.NewReader(payload)
+// connServer is the shared state of one server-side connection's
+// concurrent frame handlers: the write lock replies serialize on, the
+// dead flag the first fatal error sets (so later handlers fail quietly),
+// and the semaphore/WaitGroup bounding and draining the handlers.
+type connServer struct {
+	t        *TCP
+	c        net.Conn
+	wmu      sync.Mutex
+	dead     atomic.Bool
+	sem      chan struct{}
+	handlers sync.WaitGroup
+}
+
+// serveFrame handles one inbound frame and writes its reply (if any)
+// under the connection's write lock. The first fatal condition — bad
+// frame, oversized reply, failed write — marks the connection dead and
+// closes it.
+func (cs *connServer) serveFrame(st *serveState, payload []byte) {
+	defer func() {
+		serveStatePool.Put(st)
+		<-cs.sem
+		cs.handlers.Done()
+	}()
+	t := cs.t
+	beginFrame(&st.reply)
+	hasReply, err := t.handleFrameInto(st, payload)
+	if err != nil {
+		if cs.dead.CompareAndSwap(false, true) {
+			t.cfg.Logf("transport: bad frame from %s: %v", cs.c.RemoteAddr(), err)
+		}
+		_ = cs.c.Close()
+		return
+	}
+	if !hasReply {
+		return
+	}
+	frame, err := finishFrame(&st.reply)
+	if err != nil {
+		if cs.dead.CompareAndSwap(false, true) {
+			t.cfg.Logf("transport: reply to %s: %v", cs.c.RemoteAddr(), err)
+		}
+		_ = cs.c.Close()
+		return
+	}
+	cs.wmu.Lock()
+	_ = cs.c.SetWriteDeadline(time.Now().Add(t.cfg.IOTimeout))
+	_, werr := cs.c.Write(frame)
+	_ = cs.c.SetWriteDeadline(time.Time{})
+	cs.wmu.Unlock()
+	if werr != nil {
+		if cs.dead.CompareAndSwap(false, true) && !t.isClosed() {
+			t.cfg.Logf("transport: write to %s: %v", cs.c.RemoteAddr(), werr)
+		}
+		_ = cs.c.Close()
+		return
+	}
+	t.obs.framesOut.Inc()
+	t.obs.frameBytesOut.Add(int64(len(frame) - frameHeaderLen))
+}
+
+// handleFrameInto processes one inbound frame, building any reply in
+// st.reply (after its reserved header), and reports whether there is one.
+// An error tears the connection down.
+func (t *TCP) handleFrameInto(st *serveState, payload []byte) (bool, error) {
+	r := &st.rd
+	r.Reset(payload)
 	ftype, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return false, err
 	}
 	switch ftype {
 	case frameHello:
 		if _, err := r.Uvarint(); err != nil { // version; any is answered with ours
-			return nil, err
+			return false, err
 		}
-		return encodeHelloOK(), nil
+		helloOKInto(&st.reply)
+		return true, nil
 	case frameBatch:
-		return t.handleBatch(r)
+		return true, t.handleBatchInto(st, r)
 	case frameJoin:
+		seq, err := r.Uvarint()
+		if err != nil {
+			return false, err
+		}
 		addr, err := r.String()
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		if t.cfg.Membership == nil {
-			return nil, errors.New("transport: membership frames not enabled")
+			return false, errors.New("transport: membership frames not enabled")
 		}
 		v, err := t.cfg.Membership.HandleJoin(addr)
 		if err != nil {
-			return nil, err
+			return false, err
 		}
-		return encodeView(v), nil
+		viewInto(&st.reply, seq, v)
+		return true, nil
 	case frameView:
+		seq, err := r.Uvarint()
+		if err != nil {
+			return false, err
+		}
 		v, err := wire.DecodeMemberView(r)
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		if t.cfg.Membership == nil {
-			return nil, errors.New("transport: membership frames not enabled")
+			return false, errors.New("transport: membership frames not enabled")
 		}
-		return encodeViewAck(t.cfg.Membership.HandleView(v)), nil
+		viewAckInto(&st.reply, seq, t.cfg.Membership.HandleView(v))
+		return true, nil
 	default:
-		return nil, errors.New("transport: unknown frame type")
+		return false, errors.New("transport: unknown frame type")
 	}
 }
 
-// handleBatch decodes and delivers each message of a batch frame in
-// order, returning the ack. A message that fails to decode gets ackFail
-// without killing the rest of the batch: the sender's retry will re-offer
-// it, and the engine's dedup makes the repeats harmless.
-func (t *TCP) handleBatch(r *wire.Reader) ([]byte, error) {
+// handleFrame processes one standalone frame and returns the reply
+// payload (or nil for none). Production connections run handleFrameInto
+// over per-connection scratch; this wrapper serves tests and the fuzz
+// harness.
+func (t *TCP) handleFrame(payload []byte) ([]byte, error) {
+	st := &serveState{}
+	beginFrame(&st.reply)
+	hasReply, err := t.handleFrameInto(st, payload)
+	if err != nil || !hasReply {
+		return nil, err
+	}
+	return append([]byte(nil), st.reply.Bytes()[frameHeaderLen:]...), nil
+}
+
+// handleBatchInto decodes and delivers each message of a batch frame in
+// order, appending the ack to st.reply. A message that fails to decode
+// gets ackFail without killing the rest of the batch: the sender's retry
+// will re-offer it, and the engine's dedup makes the repeats harmless.
+// Message bodies are decoded from zero-copy views of the read buffer, and
+// destination keys interned so steady-state traffic allocates no strings.
+func (t *TCP) handleBatchInto(st *serveState, r *wire.Reader) error {
 	seq, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	count, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if count > uint64(r.Remaining()) {
 		// Every entry occupies at least one byte; a larger count is a
 		// forged prefix, not a short read.
-		return nil, errors.New("transport: implausible batch count")
+		return errors.New("transport: implausible batch count")
 	}
-	statuses := make([]byte, count)
+	if uint64(cap(st.statuses)) < count {
+		st.statuses = make([]byte, count)
+	}
+	statuses := st.statuses[:count]
 	for i := range statuses {
-		dstKey, err := r.String()
+		keyBytes, err := r.Bytes()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		body, err := r.String()
+		dstKey, ok := st.keys[string(keyBytes)] // no alloc on hit
+		if !ok {
+			dstKey = string(keyBytes)
+			if st.keys == nil {
+				st.keys = make(map[string]string)
+			}
+			st.keys[dstKey] = dstKey
+		}
+		body, err := r.Bytes()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		msg, err := t.cfg.Codec.Decode(wire.NewReader([]byte(body)))
+		st.msgRd.Reset(body)
+		msg, err := t.cfg.Codec.Decode(&st.msgRd)
 		if err != nil {
 			t.obs.decodeErrors.Inc()
 			t.cfg.Logf("transport: decode message for %s: %v", dstKey, err)
@@ -161,7 +289,8 @@ func (t *TCP) handleBatch(r *wire.Reader) ([]byte, error) {
 			statuses[i] = ackFail
 		}
 	}
-	return encodeAck(seq, statuses), nil
+	ackInto(&st.reply, seq, statuses)
+	return nil
 }
 
 // reapLoop closes idle pooled connections past their idle timeout.

@@ -28,6 +28,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,6 +47,15 @@ import (
 type Codec interface {
 	Encode(w *wire.Buffer, msg chord.Message) error
 	Decode(r *wire.Reader) (chord.Message, error)
+}
+
+// Sizer is an optional Codec extension reporting the exact encoded length
+// of a message (0 when unknown). A sizing codec lets DeliverBatch encode
+// each message directly into the batch frame behind a length prefix — no
+// per-message scratch buffer or copy. engine.WireCodec implements it with
+// the same arithmetic the wiresync analyzer pins to the encoders.
+type Sizer interface {
+	Size(msg chord.Message) int
 }
 
 // LocalDeliverer hands a decoded message to a node hosted on this
@@ -92,6 +102,12 @@ type Config struct {
 	// track RPC concurrency.
 	IdleTimeout    time.Duration
 	MaxIdlePerPeer int
+
+	// MaxInflight is how many RPCs may share one connection concurrently
+	// (pipelined frames; default 4). The server answers frames in
+	// completion order and replies demultiplex by the echoed seq. 1
+	// restores exclusive checkout per RPC.
+	MaxInflight int
 
 	// Attempts is the RPC attempt budget including the first try (default
 	// 4). BackoffBase doubles per retry up to BackoffMax (defaults 25ms
@@ -157,6 +173,7 @@ type TCP struct {
 
 	mu          sync.Mutex
 	ln          net.Listener
+	lnAddr      string
 	serverConns map[net.Conn]struct{}
 	closed      bool
 
@@ -192,6 +209,9 @@ func New(cfg Config) (*TCP, error) {
 	if cfg.MaxIdlePerPeer <= 0 {
 		cfg.MaxIdlePerPeer = 4
 	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
 	if cfg.Attempts <= 0 {
 		cfg.Attempts = 4
 	}
@@ -206,7 +226,7 @@ func New(cfg Config) (*TCP, error) {
 	}
 	t := &TCP{
 		cfg:         cfg,
-		pool:        newPool(cfg.MaxIdlePerPeer),
+		pool:        newPool(cfg.MaxIdlePerPeer, cfg.MaxInflight, cfg.IdleTimeout),
 		obs:         newTObs(cfg.Obs),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		serverConns: make(map[net.Conn]struct{}),
@@ -220,6 +240,7 @@ func New(cfg Config) (*TCP, error) {
 func (t *TCP) Start(ln net.Listener) {
 	t.mu.Lock()
 	t.ln = ln
+	t.lnAddr = ln.Addr().String()
 	t.mu.Unlock()
 	t.wg.Add(2)
 	go t.acceptLoop(ln)
@@ -270,6 +291,7 @@ func (t *TCP) Close() error {
 	}
 	t.pool.closeAll()
 	t.wg.Wait()
+	t.pool.wait()
 	return nil
 }
 
@@ -280,7 +302,10 @@ func (t *TCP) Deliver(from, dst *chord.Node, msg chord.Message) bool {
 }
 
 // DeliverBatch implements chord.Transport: one RPC moves the whole run of
-// messages bound for dst's owning process.
+// messages bound for dst's owning process. Entries are encoded exactly
+// once, directly into a pooled buffer (zero per-message copies when the
+// codec implements Sizer); a run whose encoding approaches the frame cap
+// is split across multiple frames.
 func (t *TCP) DeliverBatch(from, dst *chord.Node, msgs []chord.Message) []bool {
 	acks := make([]bool, len(msgs))
 	if len(msgs) == 0 {
@@ -300,39 +325,64 @@ func (t *TCP) DeliverBatch(from, dst *chord.Node, msgs []chord.Message) []bool {
 			return acks
 		}
 	}
-	dstKeys := make([]string, len(msgs))
-	payloads := make([][]byte, len(msgs))
-	var w wire.Buffer
+	sizer, _ := t.cfg.Codec.(Sizer)
+	entries := getBuf()
+	defer putBuf(entries)
+	start := 0
 	for i, m := range msgs {
-		w.Reset()
-		if err := t.cfg.Codec.Encode(&w, m); err != nil {
+		if err := t.appendMsgEntry(entries, dst.Key(), m, sizer); err != nil {
 			// An unencodable message can never be delivered; report the
-			// miss without burning the RPC budget.
+			// miss without burning the RPC budget. Chunks already sent
+			// keep their acks.
 			t.cfg.Logf("transport: encode %s for %s: %v", m.Kind(), dst.Key(), err)
 			return acks
 		}
-		dstKeys[i] = dst.Key()
-		payloads[i] = append([]byte(nil), w.Bytes()...)
+		if entries.Len() >= maxBatchBody {
+			t.rpcInto(addr, entries.Bytes(), acks[start:i+1])
+			start = i + 1
+			entries.Reset()
+		}
 	}
-	statuses := t.rpc(addr, dstKeys, payloads)
-	for i := range statuses {
-		acks[i] = statuses[i] == ackOK
+	if start < len(msgs) {
+		t.rpcInto(addr, entries.Bytes(), acks[start:])
 	}
 	return acks
 }
 
-func (t *TCP) listenAddr() string {
-	if a := t.Addr(); a != nil {
-		return a.String()
+// appendMsgEntry appends one {dstKey, msg} batch entry. With a sizing
+// codec the message is encoded in place behind an exact length prefix;
+// otherwise it goes through a pooled scratch buffer and one copy. Both
+// paths produce bytes identical to the historical PutString encoding.
+func (t *TCP) appendMsgEntry(entries *wire.Buffer, dstKey string, msg chord.Message, sizer Sizer) error {
+	entries.PutString(dstKey)
+	if sizer != nil {
+		if sz := sizer.Size(msg); sz > 0 {
+			entries.PutUvarint(uint64(sz))
+			before := entries.Len()
+			if err := t.cfg.Codec.Encode(entries, msg); err != nil {
+				return err
+			}
+			if got := entries.Len() - before; got != sz {
+				return fmt.Errorf("transport: codec sized %s at %d bytes but encoded %d", msg.Kind(), sz, got)
+			}
+			return nil
+		}
 	}
-	return ""
+	scratch := getBuf()
+	defer putBuf(scratch)
+	if err := t.cfg.Codec.Encode(scratch, msg); err != nil {
+		return err
+	}
+	entries.PutBytes(scratch.Bytes())
+	return nil
 }
 
-// rpc sends one batch to addr and returns its per-message statuses,
-// retrying with backoff on connection-level failures. A nil-ish all-fail
-// result after the attempt budget is the remote analogue of a dropped
-// packet: the caller's reliability layer may retry the whole delivery.
-func (t *TCP) rpc(addr string, dstKeys []string, payloads [][]byte) []byte {
+// rpcInto sends one batch body to addr and maps its per-message statuses
+// onto acks, retrying with backoff on connection-level failures. Acks
+// left all-false after the attempt budget are the remote analogue of a
+// dropped packet: the caller's reliability layer may retry the whole
+// delivery.
+func (t *TCP) rpcInto(addr string, entries []byte, acks []bool) {
 	var lastErr error
 	for attempt := 0; attempt < t.cfg.Attempts; attempt++ {
 		if attempt > 0 {
@@ -347,29 +397,34 @@ func (t *TCP) rpc(addr string, dstKeys []string, payloads [][]byte) []byte {
 			lastErr = err
 			continue
 		}
-		statuses, err := t.roundTrip(pc, dstKeys, payloads)
+		err = t.roundTrip(pc, entries, acks)
+		t.pool.release(pc, time.Now())
+		t.obs.idleConns.Set(int64(t.pool.idleCount()))
 		if err != nil {
-			_ = pc.c.Close()
 			lastErr = err
 			continue
 		}
-		if !t.pool.put(addr, pc) {
-			_ = pc.c.Close()
-		}
-		t.obs.idleConns.Set(int64(t.pool.idleCount()))
-		return statuses
+		return
 	}
 	t.obs.rpcFailures.Inc()
 	if lastErr != nil {
 		t.cfg.Logf("transport: rpc to %s failed after %d attempts: %v", addr, t.cfg.Attempts, lastErr)
 	}
-	return make([]byte, len(dstKeys)) // all ackFail
 }
 
-// checkout returns a ready connection to addr, dialing one (with the
-// hello exchange) when the pool is empty.
+// listenAddr returns the started listener's address, cached by Start so
+// the per-batch ForceLoopback lookup does not re-render it.
+func (t *TCP) listenAddr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lnAddr
+}
+
+// checkout returns a connection to addr with a reserved in-flight slot,
+// dialing a fresh one (with the hello exchange) when every pooled
+// connection is saturated or stale.
 func (t *TCP) checkout(addr string) (*pooledConn, error) {
-	if pc := t.pool.get(addr); pc != nil {
+	if pc := t.pool.get(addr, time.Now()); pc != nil {
 		t.obs.idleConns.Set(int64(t.pool.idleCount()))
 		return pc, nil
 	}
@@ -381,12 +436,55 @@ func (t *TCP) checkout(addr string) (*pooledConn, error) {
 	if t.pool.markConnected(addr) {
 		t.obs.reconnects.Inc()
 	}
-	pc := newPooledConn(c)
+	pc := newPooledConn(addr, c, t.cfg.MaxInflight)
 	if err := t.hello(pc); err != nil {
 		_ = c.Close()
 		return nil, err
 	}
+	if !t.pool.register(pc) {
+		_ = c.Close()
+		return nil, errPoolClosed
+	}
+	go t.readLoop(pc)
 	return pc, nil
+}
+
+// readLoop completes this connection's in-flight calls: read a reply
+// frame, extract the echoed seq, hand the payload to the matching call.
+// Replies arrive in the server's completion order, not request order —
+// seq is the demultiplexer. On any read error or poisoning (which closes
+// the socket, unblocking the read) it fails every remaining call, so no
+// caller waits past the connection's death.
+func (t *TCP) readLoop(pc *pooledConn) {
+	defer t.pool.wg.Done()
+	for {
+		buf := replyBufPool.Get().(*[]byte)
+		payload, err := readFrameReuse(pc.br, buf)
+		if err != nil {
+			putReplyBuf(buf)
+			pc.poison(err)
+			pc.failAll()
+			return
+		}
+		t.obs.framesIn.Inc()
+		t.obs.frameBytesIn.Add(int64(len(payload)))
+		seq, err := replySeq(payload)
+		if err != nil {
+			putReplyBuf(buf)
+			pc.poison(err)
+			pc.failAll()
+			return
+		}
+		cl := pc.take(seq)
+		if cl == nil {
+			putReplyBuf(buf)
+			pc.poison(fmt.Errorf("transport: reply for unknown seq %d", seq))
+			pc.failAll()
+			return
+		}
+		cl.payload, cl.buf = payload, buf
+		cl.done <- struct{}{}
+	}
 }
 
 // hello performs the version handshake on a fresh connection.
@@ -421,31 +519,118 @@ func (t *TCP) hello(pc *pooledConn) error {
 	return nil
 }
 
-// roundTrip runs one RPC on an exclusively held connection: write the
-// batch frame, block for its ack.
-func (t *TCP) roundTrip(pc *pooledConn, dstKeys []string, payloads [][]byte) ([]byte, error) {
+// roundTrip runs one batch RPC on a (possibly shared) pipelined
+// connection: build the frame from a pooled buffer around the
+// pre-encoded entries, write it and enqueue the call under the write
+// lock, block for the ack matching its seq, then map its statuses onto
+// acks before the pooled reply buffer goes back.
+func (t *TCP) roundTrip(pc *pooledConn, entries []byte, acks []bool) error {
+	w := getFrameBuf()
+	defer putFrameBuf(w)
+	cl := getCall()
+	pc.wmu.Lock()
 	pc.seq++
-	deadline := time.Now().Add(t.cfg.IOTimeout)
-	_ = pc.c.SetDeadline(deadline)
-	defer func() { _ = pc.c.SetDeadline(time.Time{}) }()
-	if err := t.writeFrameCounted(pc.c, encodeBatch(pc.seq, dstKeys, payloads)); err != nil {
-		return nil, err
-	}
-	payload, err := readFrame(pc.br)
+	seq := pc.seq
+	batchHeaderInto(w, seq, len(acks))
+	w.PutRaw(entries)
+	frame, err := finishFrame(w)
 	if err != nil {
-		return nil, err
+		pc.wmu.Unlock()
+		callPool.Put(cl)
+		return err
 	}
-	t.obs.framesIn.Inc()
-	t.obs.frameBytesIn.Add(int64(len(payload)))
+	payload, buf, err := t.writeAndAwait(pc, cl, seq, frame)
+	if err != nil {
+		return err
+	}
+	defer putReplyBuf(buf)
 	r := wire.NewReader(payload)
 	ftype, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ftype != frameAck {
-		return nil, fmt.Errorf("transport: unexpected frame type %d, want ack", ftype)
+		return fmt.Errorf("transport: unexpected frame type %d, want ack", ftype)
 	}
-	return decodeAck(r, pc.seq, len(dstKeys))
+	statuses, err := decodeAck(r, seq, len(acks))
+	if err != nil {
+		return err
+	}
+	for i := range statuses {
+		acks[i] = statuses[i] == ackOK
+	}
+	return nil
+}
+
+// errAckTimeout poisons a connection whose reply outlived IOTimeout.
+var errAckTimeout = errors.New("transport: timed out waiting for reply")
+
+// writeAndAwait enqueues cl under its seq, writes the finished frame —
+// both under the connection's write lock, which the caller already holds
+// and which this function releases — then blocks for the reply. The call
+// is enqueued before the write so the read loop owns its completion from
+// that point on: a failed write poisons the connection and the read loop
+// fails the call, never leaving a waiter stuck.
+func (t *TCP) writeAndAwait(pc *pooledConn, cl *call, seq uint64, frame []byte) ([]byte, *[]byte, error) {
+	if err := pc.enqueue(seq, cl); err != nil {
+		pc.wmu.Unlock()
+		callPool.Put(cl) // never enqueued; nothing will complete it
+		return nil, nil, err
+	}
+	_ = pc.c.SetWriteDeadline(time.Now().Add(t.cfg.IOTimeout))
+	_, werr := pc.c.Write(frame)
+	_ = pc.c.SetWriteDeadline(time.Time{})
+	if werr != nil {
+		pc.poison(werr)
+		pc.wmu.Unlock()
+		<-cl.done
+		_, buf, _ := cl.finish()
+		putReplyBuf(buf)
+		return nil, nil, werr
+	}
+	t.obs.framesOut.Inc()
+	t.obs.frameBytesOut.Add(int64(len(frame) - frameHeaderLen))
+	pc.wmu.Unlock()
+
+	timer := getTimer(t.cfg.IOTimeout)
+	select {
+	case <-cl.done:
+	case <-timer.C:
+		// Poisoning closes the socket, so the read loop unblocks and
+		// completes every pending call (this one included) promptly.
+		pc.poison(errAckTimeout)
+		<-cl.done
+	}
+	putTimer(timer)
+	payload, buf, err := cl.finish()
+	if err != nil {
+		putReplyBuf(buf)
+		return nil, nil, err
+	}
+	return payload, buf, nil
+}
+
+// timerPool recycles RPC ack timers; getTimer/putTimer follow the
+// stop-and-drain discipline so a pooled timer's channel is always empty.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		tm := v.(*time.Timer)
+		tm.Reset(d)
+		return tm
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(tm *time.Timer) {
+	if !tm.Stop() {
+		select {
+		case <-tm.C:
+		default:
+		}
+	}
+	timerPool.Put(tm)
 }
 
 // SendJoin asks the overlay process at addr to admit this process and
@@ -453,7 +638,9 @@ func (t *TCP) roundTrip(pc *pooledConn, dstKeys []string, payloads [][]byte) ([]
 // delivery RPC; the join is idempotent on the receiver (re-admitting an
 // already-listed address just returns the current view).
 func (t *TCP) SendJoin(addr string) (*wire.MemberView, error) {
-	payload, err := t.controlRPC(addr, encodeJoin(t.cfg.Self), frameView)
+	payload, err := t.controlRPC(addr, frameView, func(w *wire.Buffer, seq uint64) {
+		joinInto(w, seq, t.cfg.Self)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +650,9 @@ func (t *TCP) SendJoin(addr string) (*wire.MemberView, error) {
 // SendView gossips a membership view to the process at addr and returns
 // the receiver's view version after it applied (or ignored) the gossip.
 func (t *TCP) SendView(addr string, v *wire.MemberView) (uint64, error) {
-	payload, err := t.controlRPC(addr, encodeView(v), frameViewAck)
+	payload, err := t.controlRPC(addr, frameViewAck, func(w *wire.Buffer, seq uint64) {
+		viewInto(w, seq, v)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -471,10 +660,12 @@ func (t *TCP) SendView(addr string, v *wire.MemberView) (uint64, error) {
 }
 
 // controlRPC runs one membership request/reply exchange on a pooled
-// connection, retrying with the same backoff schedule as deliveries. It
-// returns the reply payload with the frame type already consumed and
-// verified against wantReply.
-func (t *TCP) controlRPC(addr string, req []byte, wantReply uint64) ([]byte, error) {
+// connection, retrying with the same backoff schedule as deliveries.
+// build appends the request payload — it receives the connection-scoped
+// seq because the frame must carry it for reply demux. The returned
+// reply payload has the frame type (verified against wantReply) and the
+// echoed seq already consumed.
+func (t *TCP) controlRPC(addr string, wantReply uint64, build func(w *wire.Buffer, seq uint64)) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < t.cfg.Attempts; attempt++ {
 		if attempt > 0 {
@@ -489,16 +680,13 @@ func (t *TCP) controlRPC(addr string, req []byte, wantReply uint64) ([]byte, err
 			lastErr = err
 			continue
 		}
-		payload, err := t.controlRoundTrip(pc, req, wantReply)
+		payload, err := t.controlRoundTrip(pc, wantReply, build)
+		t.pool.release(pc, time.Now())
+		t.obs.idleConns.Set(int64(t.pool.idleCount()))
 		if err != nil {
-			_ = pc.c.Close()
 			lastErr = err
 			continue
 		}
-		if !t.pool.put(addr, pc) {
-			_ = pc.c.Close()
-		}
-		t.obs.idleConns.Set(int64(t.pool.idleCount()))
 		return payload, nil
 	}
 	t.obs.rpcFailures.Inc()
@@ -508,19 +696,28 @@ func (t *TCP) controlRPC(addr string, req []byte, wantReply uint64) ([]byte, err
 	return nil, fmt.Errorf("transport: control rpc to %s failed after %d attempts: %w", addr, t.cfg.Attempts, lastErr)
 }
 
-func (t *TCP) controlRoundTrip(pc *pooledConn, req []byte, wantReply uint64) ([]byte, error) {
-	deadline := time.Now().Add(t.cfg.IOTimeout)
-	_ = pc.c.SetDeadline(deadline)
-	defer func() { _ = pc.c.SetDeadline(time.Time{}) }()
-	if err := t.writeFrameCounted(pc.c, req); err != nil {
+// controlRoundTrip shares the delivery path's pipelined channel: control
+// frames and batches interleave freely on one connection because every
+// reply demultiplexes by its echoed seq.
+func (t *TCP) controlRoundTrip(pc *pooledConn, wantReply uint64, build func(w *wire.Buffer, seq uint64)) ([]byte, error) {
+	w := getFrameBuf()
+	defer putFrameBuf(w)
+	cl := getCall()
+	pc.wmu.Lock()
+	pc.seq++
+	seq := pc.seq
+	build(w, seq)
+	frame, err := finishFrame(w)
+	if err != nil {
+		pc.wmu.Unlock()
+		callPool.Put(cl)
 		return nil, err
 	}
-	payload, err := readFrame(pc.br)
+	payload, buf, err := t.writeAndAwait(pc, cl, seq, frame)
 	if err != nil {
 		return nil, err
 	}
-	t.obs.framesIn.Inc()
-	t.obs.frameBytesIn.Add(int64(len(payload)))
+	defer putReplyBuf(buf)
 	r := wire.NewReader(payload)
 	ftype, err := r.Uvarint()
 	if err != nil {
@@ -529,7 +726,14 @@ func (t *TCP) controlRoundTrip(pc *pooledConn, req []byte, wantReply uint64) ([]
 	if ftype != wantReply {
 		return nil, fmt.Errorf("transport: unexpected control reply frame type %d, want %d", ftype, wantReply)
 	}
-	return payload[len(payload)-r.Remaining():], nil
+	if got, err := r.Uvarint(); err != nil {
+		return nil, err
+	} else if got != seq {
+		return nil, fmt.Errorf("transport: control reply for seq %d, want %d", got, seq)
+	}
+	// Control RPCs are rare (membership churn only); copy the body so the
+	// pooled reply buffer can go back immediately.
+	return append([]byte(nil), payload[len(payload)-r.Remaining():]...), nil
 }
 
 func (t *TCP) writeFrameCounted(c net.Conn, payload []byte) error {

@@ -63,6 +63,32 @@ func (w *Buffer) PutString(s string) {
 	w.b = append(w.b, s...)
 }
 
+// PutBytes appends a length-prefixed byte slice. It is the []byte twin of
+// PutString: the two produce identical encodings, so a receiver may read
+// either with String or Bytes.
+func (w *Buffer) PutBytes(b []byte) {
+	w.PutUvarint(uint64(len(b)))
+	w.b = append(w.b, b...)
+}
+
+// PutRaw appends bytes verbatim, with no length prefix. Framing layers use
+// it to reserve header space they patch after the payload is built.
+func (w *Buffer) PutRaw(b []byte) {
+	w.b = append(w.b, b...)
+}
+
+// Grow ensures the buffer has capacity for at least n more bytes, so a
+// caller that knows an encoding's size up front (the Size* functions
+// below) can avoid growth copies on the hot path.
+func (w *Buffer) Grow(n int) {
+	if cap(w.b)-len(w.b) >= n {
+		return
+	}
+	nb := make([]byte, len(w.b), len(w.b)+n)
+	copy(nb, w.b)
+	w.b = nb
+}
+
 // PutValue appends one attribute value.
 func (w *Buffer) PutValue(v relation.Value) {
 	if v.Kind() == relation.String {
@@ -82,6 +108,13 @@ type Reader struct {
 
 // NewReader wraps an encoded byte slice.
 func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Reset repoints the reader at b, so a long-lived Reader can decode many
+// payloads without reallocating.
+func (r *Reader) Reset(b []byte) {
+	r.b = b
+	r.off = 0
+}
 
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.b) - r.off }
@@ -118,6 +151,24 @@ func (r *Reader) String() (string, error) {
 	s := string(r.b[r.off : r.off+int(n)])
 	r.off += int(n)
 	return s, nil
+}
+
+// Bytes reads a length-prefixed byte slice without copying: the returned
+// slice aliases the reader's backing array and is only valid while those
+// bytes are. Callers that retain the data past the backing buffer's reuse
+// must copy; transient consumers (decode-and-deliver paths) avoid the
+// per-message allocation String pays.
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("wire: bytes of %d exceeds remaining %d", n, r.Remaining())
+	}
+	b := r.b[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
 }
 
 // Value reads one attribute value.
