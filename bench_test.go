@@ -21,7 +21,9 @@ package cqjoin_test
 import (
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -32,6 +34,7 @@ import (
 	"cqjoin/internal/exp"
 	"cqjoin/internal/id"
 	"cqjoin/internal/load"
+	"cqjoin/internal/metrics"
 	"cqjoin/internal/obs"
 	"cqjoin/internal/workload"
 )
@@ -197,6 +200,93 @@ func BenchmarkHeadlineSAI(b *testing.B) {
 			"tf_total":       obs.Det(m.TF.Total, "ops"),
 			"ts_total":       obs.Det(m.TS.Total, "items"),
 			"notifications":  {Value: float64(m.Notifications), Deterministic: true, LowerIsBetter: false},
+		},
+	})
+}
+
+// BenchmarkSkewedHotKeys is the skewed bench cell gating the adaptive
+// hot-key sharding layer (DESIGN.md §13). Each iteration drives a Zipf
+// θ=1.1 workload through SAI twice — sharding off, then on — and enforces
+// the tentpole's promise in-bench: identical delivered notifications, the
+// hottest evaluator shedding at least half its filtering load, and a
+// lower evaluator Gini. The manifest records both arms plus the max-load
+// ratio so benchdiff gates regressions of the rebalancing itself.
+//
+// The cell's scale differs from benchScale deliberately: a longer stream
+// on a larger overlay lets the Zipf head tower over the warm tail (load
+// grows superlinearly in key frequency), and the threshold promotes only
+// that head. Promoting the warm tail too would scatter hundreds of
+// low-heat replica buckets whose collisions rebuild the hotspot — the
+// regime the detector's threshold exists to avoid.
+func BenchmarkSkewedHotKeys(b *testing.B) {
+	sc := exp.Scale{Nodes: 384, Queries: 60, Tuples: 1000, Seed: 1}
+	type arm struct {
+		eval   metrics.Distribution
+		notifs []string
+	}
+	// Threshold 32 promotes the head (a few dozen inputs at this scale)
+	// and leaves the tail cold; the infinite window keeps promotion a pure
+	// function of the per-input event count.
+	run := func(threshold int) arm {
+		r := exp.Setup(engine.Config{
+			Algorithm:       engine.SAI,
+			HotKeyThreshold: threshold,
+			HotKeyReplicas:  4,
+			HotKeyWindow:    1 << 20,
+		}, sc, workload.Params{Theta: load.SkewTheta})
+		r.SubscribeT1(sc.Queries)
+		r.ResetMeters()
+		r.PublishTuples(sc.Tuples)
+		keys := make([]string, 0, len(r.Eng.Notifications()))
+		for _, n := range r.Eng.Notifications() {
+			keys = append(keys, n.ContentKey())
+		}
+		sort.Strings(keys)
+		if threshold > 0 && len(r.Eng.HotKeys()) == 0 {
+			b.Fatalf("skewed workload promoted nothing at threshold %d", threshold)
+		}
+		return arm{eval: metrics.SummarizeInt(r.Eng.RoleLoads(metrics.Evaluator, false)), notifs: keys}
+	}
+	mem := startMem()
+	b.ResetTimer()
+	var off, on arm
+	for i := 0; i < b.N; i++ {
+		off = run(0)
+		on = run(32)
+	}
+	b.StopTimer()
+	allocs, bytes := mem.perOp(2 * b.N)
+	if len(off.notifs) == 0 {
+		b.Fatal("skewed workload produced no notifications")
+	}
+	if !reflect.DeepEqual(off.notifs, on.notifs) {
+		b.Fatalf("sharding changed results: %d vs %d notifications", len(on.notifs), len(off.notifs))
+	}
+	ratio := 0.0
+	if on.eval.Max > 0 {
+		ratio = off.eval.Max / on.eval.Max
+	}
+	if ratio < 2 {
+		b.Fatalf("max evaluator load ratio %.2f < 2 (off %.0f, on %.0f)", ratio, off.eval.Max, on.eval.Max)
+	}
+	if on.eval.Gini >= off.eval.Gini {
+		b.Fatalf("evaluator Gini %.3f did not drop from %.3f", on.eval.Gini, off.eval.Gini)
+	}
+	b.ReportMetric(ratio, "max-load-ratio")
+	b.ReportMetric(on.eval.Gini, "TF-gini-on")
+	benchManifest.Add(obs.Entry{
+		Name:        b.Name(),
+		Scale:       scaleInfo(sc),
+		Iterations:  int64(b.N),
+		WallNS:      b.Elapsed().Nanoseconds() / int64(b.N),
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Metrics: map[string]obs.Metric{
+			"eval_max_off":   obs.Det(off.eval.Max, "ops"),
+			"eval_max_on":    obs.Det(on.eval.Max, "ops"),
+			"eval_gini_off":  obs.Det(off.eval.Gini, ""),
+			"eval_gini_on":   obs.Det(on.eval.Gini, ""),
+			"max_load_ratio": {Value: ratio, Unit: "x", Deterministic: true, LowerIsBetter: false},
 		},
 	})
 }
@@ -389,6 +479,34 @@ func BenchmarkLoadOpenLoopSim(b *testing.B) {
 	}
 	b.StopTimer()
 	benchLoadRecord(b, "cqload/sim", res, scale)
+}
+
+// BenchmarkLoadOpenLoopSimSkewed is the skewed counterpart of the sim
+// smoke: the canonical Zipf θ=1.1 spec with hot-key sharding armed, under
+// the same open-loop rate. Its "cqload/sim-skew" entry is what the CI
+// load-smoke job's skew run gates against.
+func BenchmarkLoadOpenLoopSimSkewed(b *testing.B) {
+	var (
+		res   load.Result
+		scale obs.ScaleInfo
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tgt := load.NewSimTarget(load.SkewedSimSpec())
+		r, err := load.Run(tgt, load.SimConfig())
+		if err == nil {
+			if n, herr := tgt.HotKeys(); herr == nil && n == 0 {
+				err = fmt.Errorf("skewed smoke promoted no hot keys")
+			}
+		}
+		_ = tgt.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, scale = r, tgt.ScaleInfo(int(r.Total))
+	}
+	b.StopTimer()
+	benchLoadRecord(b, "cqload/sim-skew", res, scale)
 }
 
 func BenchmarkLoadOpenLoopTCP(b *testing.B) {

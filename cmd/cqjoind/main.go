@@ -59,6 +59,8 @@ func main() {
 		schema    = flag.String("schema", "", `catalog, e.g. "R(A,B);S(D,E)"`)
 		jfrt      = flag.Bool("jfrt", true, "enable the Join Fingers Routing Table")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
+		hotThresh = flag.Int("hot-threshold", 0, "arm adaptive hot-key sharding at this per-window event count (0 disables; SAI only)")
+		hotRepl   = flag.Int("hot-replicas", 0, "hot-key replica-group size (0 = default)")
 		overlay   = flag.String("overlay", "", "inter-node transport listen address (multi-process mode)")
 		peers     = flag.String("peers", "", "comma-separated overlay addresses of every process, identical order everywhere")
 		join      = flag.String("join", "", "client address of a running peer to copy the overlay configuration from (and enter its overlay when -overlay is set)")
@@ -73,12 +75,14 @@ func main() {
 		return
 	}
 	cfg := daemon.Config{
-		Nodes:       *nodes,
-		Algorithm:   *algorithm,
-		SchemaDSL:   *schema,
-		UseJFRT:     *jfrt,
-		Seed:        *seed,
-		OverlayAddr: *overlay,
+		Nodes:           *nodes,
+		Algorithm:       *algorithm,
+		SchemaDSL:       *schema,
+		UseJFRT:         *jfrt,
+		Seed:            *seed,
+		HotKeyThreshold: *hotThresh,
+		HotKeyReplicas:  *hotRepl,
+		OverlayAddr:     *overlay,
 	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {
@@ -185,14 +189,16 @@ func copyOverlayConfig(peer string, cfg *daemon.Config) error {
 		return err
 	}
 	var resp struct {
-		OK        bool     `json:"ok"`
-		Error     string   `json:"error"`
-		Nodes     int      `json:"nodes"`
-		Algorithm string   `json:"algorithm"`
-		Schema    string   `json:"schema"`
-		JFRT      bool     `json:"jfrt"`
-		Seed      int64    `json:"seed"`
-		Peers     []string `json:"peers"`
+		OK           bool     `json:"ok"`
+		Error        string   `json:"error"`
+		Nodes        int      `json:"nodes"`
+		Algorithm    string   `json:"algorithm"`
+		Schema       string   `json:"schema"`
+		JFRT         bool     `json:"jfrt"`
+		Seed         int64    `json:"seed"`
+		HotThreshold int      `json:"hot_threshold"`
+		HotReplicas  int      `json:"hot_replicas"`
+		Peers        []string `json:"peers"`
 	}
 	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
 		return err
@@ -205,6 +211,8 @@ func copyOverlayConfig(peer string, cfg *daemon.Config) error {
 	cfg.SchemaDSL = resp.Schema
 	cfg.UseJFRT = resp.JFRT
 	cfg.Seed = resp.Seed
+	cfg.HotKeyThreshold = resp.HotThreshold
+	cfg.HotKeyReplicas = resp.HotReplicas
 	cfg.Peers = resp.Peers
 	return nil
 }

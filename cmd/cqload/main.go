@@ -6,6 +6,7 @@
 // cmd/benchdiff can gate load results against the committed baseline.
 //
 //	cqload -mode sim                          # in-process simulator engine
+//	cqload -mode sim -skewed                  # canonical Zipf-hot smoke, hot-key sharding armed
 //	cqload -mode tcp                          # self-hosted two-daemon TCP overlay
 //	cqload -mode tcp -addr 127.0.0.1:7744     # externally running cqjoind
 //
@@ -41,6 +42,8 @@ func main() {
 	procs := flag.Int("procs", 0, "tcp mode: self-hosted daemon count (0 = mode default)")
 	algorithm := flag.String("algorithm", "", "indexing algorithm (empty = mode default)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = mode default)")
+	theta := flag.Float64("theta", 0, "Zipf skew of attribute values (0 = mode default, negative = uniform)")
+	skewed := flag.Bool("skewed", false, "use the canonical skewed smoke spec: Zipf theta 1.1 with hot-key sharding armed")
 	label := flag.String("label", "load", "manifest label")
 	name := flag.String("name", "", "manifest entry name (empty = cqload/<mode>)")
 	manifest := flag.String("manifest", "", "write a run manifest to this path")
@@ -65,7 +68,13 @@ func main() {
 	switch *mode {
 	case "sim":
 		spec := load.DefaultSimSpec()
+		if *skewed {
+			spec = load.SkewedSimSpec()
+		}
 		cfg = load.SimConfig()
+		if *theta != 0 {
+			spec.Theta = *theta
+		}
 		if *nodes > 0 {
 			spec.Scale.Nodes = *nodes
 		}
@@ -86,7 +95,13 @@ func main() {
 		target, scale = t, t.ScaleInfo
 	case "tcp":
 		spec := load.DefaultTCPSpec()
+		if *skewed {
+			spec = load.SkewedTCPSpec()
+		}
 		cfg = load.TCPConfig()
+		if *theta != 0 {
+			spec.Theta = *theta
+		}
 		if *nodes > 0 {
 			spec.Nodes = *nodes
 		}
@@ -137,6 +152,11 @@ func main() {
 		res.Published, res.Total, res.Errors, res.Notifications)
 	fmt.Printf("  latency from scheduled arrival: p50 %s  p99 %s  p999 %s\n",
 		fmtLatency(res.P50), fmtLatency(res.P99), fmtLatency(res.P999))
+	if hk, ok := target.(interface{ HotKeys() (int, error) }); ok {
+		if n, err := hk.HotKeys(); err == nil && n > 0 {
+			fmt.Printf("  hot keys promoted: %d\n", n)
+		}
+	}
 
 	if *manifest != "" {
 		entry := *name

@@ -68,6 +68,9 @@ type (
 	Traffic = metrics.Traffic
 	// Distribution summarizes how load spreads across nodes.
 	Distribution = metrics.Distribution
+	// HotKeyState describes one value-level input promoted by adaptive
+	// hot-key sharding.
+	HotKeyState = engine.HotKeyState
 )
 
 // The available algorithms (Chapter 4).
@@ -134,6 +137,18 @@ type Config struct {
 	Window int64
 	// Seed makes runs reproducible.
 	Seed int64
+
+	// HotKeyThreshold arms adaptive hot-key sharding (SAI only): a
+	// value-level input whose event count crosses the threshold within one
+	// detection window is promoted to a replica group. 0 disables the
+	// layer.
+	HotKeyThreshold int
+	// HotKeyReplicas is the promoted replica-group size; values < 2
+	// default to 4.
+	HotKeyReplicas int
+	// HotKeyWindow is the detection window in logical time units; 0
+	// defaults to 64.
+	HotKeyWindow int64
 }
 
 // Cluster is a simulated overlay network running the continuous-join
@@ -162,6 +177,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		ReplicationFactor: cfg.ReplicationFactor,
 		Window:            cfg.Window,
 		Seed:              cfg.Seed,
+		HotKeyThreshold:   cfg.HotKeyThreshold,
+		HotKeyReplicas:    cfg.HotKeyReplicas,
+		HotKeyWindow:      cfg.HotKeyWindow,
 	})
 	return &Cluster{net: net, eng: eng, catalog: cfg.Catalog}, nil
 }
@@ -224,6 +242,17 @@ func (c *Cluster) Traffic() *Traffic { return c.net.Traffic() }
 func (c *Cluster) FilteringLoad() Distribution {
 	return metrics.SummarizeInt(c.eng.FilteringLoads())
 }
+
+// EvaluatorLoad summarizes the filtering-load distribution over evaluator
+// nodes only — the population hot-key sharding rebalances. Its Max and
+// Gini are what the daemon's stats op and the skewed bench cell report.
+func (c *Cluster) EvaluatorLoad() Distribution {
+	return metrics.SummarizeInt(c.eng.RoleLoads(metrics.Evaluator, false))
+}
+
+// HotKeys lists the currently promoted value-level inputs, sorted by
+// input; nil when hot-key sharding is disabled.
+func (c *Cluster) HotKeys() []HotKeyState { return c.eng.HotKeys() }
 
 // StorageLoad summarizes the per-node storage load (TS) distribution.
 func (c *Cluster) StorageLoad() Distribution {

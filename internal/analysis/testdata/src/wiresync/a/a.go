@@ -64,6 +64,20 @@ type sub struct {
 	B string
 }
 
+// msgEpochFrame mirrors the hot-key sharding frames: a multi-scalar epoch
+// header (Input Shard Version K) followed by two repeated payload fields,
+// all in sync — no diagnostics.
+type msgEpochFrame struct {
+	Input   string
+	Shard   int
+	Version int
+	K       int
+	Entries []sub
+	Tuples  []string
+}
+
+func (msgEpochFrame) tag() byte { return 8 }
+
 func encode(w *buffer, msg message) {
 	switch m := msg.(type) {
 	//wire:field enc msgGood X Y
@@ -87,6 +101,20 @@ func encode(w *buffer, msg message) {
 	case msgMissing:
 		w.putInt(m.X)
 		w.putString(m.Y)
+	//wire:field enc msgEpochFrame Input Shard Version K Entries Tuples
+	case msgEpochFrame:
+		w.putString(m.Input)
+		w.putInt(m.Shard)
+		w.putInt(m.Version)
+		w.putInt(m.K)
+		w.putInt(len(m.Entries))
+		for _, e := range m.Entries {
+			encodeSub(w, &e)
+		}
+		w.putInt(len(m.Tuples))
+		for _, t := range m.Tuples {
+			w.putString(t)
+		}
 	default:
 		_ = m
 	}
@@ -115,6 +143,17 @@ func size(msg message) int {
 	//wire:field size msgMissing X Y
 	case msgMissing: // want "msgMissing size function has no size term for declared field Y"
 		return zero(m.X)
+	//wire:field size msgEpochFrame Input Shard Version K Entries Tuples
+	case msgEpochFrame:
+		n := len(m.Input) + zero(m.Shard) + zero(m.Version) + zero(m.K) + 8
+		for _, e := range m.Entries {
+			n += sizeSub(&e)
+		}
+		n += 8
+		for _, t := range m.Tuples {
+			n += len(t)
+		}
+		return n
 	default:
 		return 0
 	}

@@ -35,6 +35,14 @@ type Config struct {
 	UseJFRT bool
 	// Seed drives deterministic behaviour.
 	Seed int64
+	// HotKeyThreshold arms adaptive hot-key sharding (SAI only); 0
+	// disables it. Every process of a multi-process overlay must agree on
+	// the hot-key configuration — shard frames land on whichever process
+	// owns the replica id — so overlay-config propagates it to joiners.
+	HotKeyThreshold int
+	// HotKeyReplicas is the promoted replica-group size (< 2 defaults
+	// to 4).
+	HotKeyReplicas int
 
 	// OverlayAddr is this process's inter-node transport address
 	// ("host:port"). Empty runs the classic single-process mode with
@@ -99,11 +107,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.Algorithm = algorithmName(alg)
 	cluster, err := cqjoin.NewCluster(cqjoin.Config{
-		Nodes:     cfg.Nodes,
-		Catalog:   catalog,
-		Algorithm: alg,
-		UseJFRT:   cfg.UseJFRT,
-		Seed:      cfg.Seed,
+		Nodes:           cfg.Nodes,
+		Catalog:         catalog,
+		Algorithm:       alg,
+		UseJFRT:         cfg.UseJFRT,
+		Seed:            cfg.Seed,
+		HotKeyThreshold: cfg.HotKeyThreshold,
+		HotKeyReplicas:  cfg.HotKeyReplicas,
 	})
 	if err != nil {
 		return nil, err
@@ -625,6 +635,7 @@ func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 	case "stats":
 		tr := s.cluster.Traffic()
 		ring := chord.CheckRing(s.cluster.Overlay())
+		eval := s.cluster.EvaluatorLoad()
 		resp := map[string]interface{}{
 			"ok":            true,
 			"nodes":         s.cluster.Size(),
@@ -634,6 +645,9 @@ func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 			"bytes":         tr.TotalBytes(),
 			"ring":          ring.String(),
 			"ring_ok":       ring.OK(),
+			"eval_load_max": eval.Max,
+			"eval_load_gini": eval.Gini,
+			"hot_keys":      len(s.cluster.HotKeys()),
 		}
 		if s.reg != nil {
 			resp["transport"] = s.reg.Snapshot()
@@ -660,13 +674,15 @@ func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 			peers = s.members.view().Procs
 		}
 		return map[string]interface{}{
-			"ok":        true,
-			"nodes":     s.cfg.Nodes,
-			"algorithm": s.cfg.Algorithm,
-			"schema":    s.cfg.SchemaDSL,
-			"jfrt":      s.cfg.UseJFRT,
-			"seed":      s.cfg.Seed,
-			"peers":     peers,
+			"ok":            true,
+			"nodes":         s.cfg.Nodes,
+			"algorithm":     s.cfg.Algorithm,
+			"schema":        s.cfg.SchemaDSL,
+			"jfrt":          s.cfg.UseJFRT,
+			"seed":          s.cfg.Seed,
+			"hot_threshold": s.cfg.HotKeyThreshold,
+			"hot_replicas":  s.cfg.HotKeyReplicas,
+			"peers":         peers,
 		}
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))

@@ -146,6 +146,16 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if stats["hops"].(float64) <= 0 || stats["bytes"].(float64) <= 0 {
 		t.Fatalf("stats missing traffic: %v", stats)
 	}
+	// Evaluator-load summary: one match means some evaluator filtered.
+	if stats["eval_load_max"].(float64) <= 0 {
+		t.Fatalf("stats missing evaluator load: %v", stats)
+	}
+	if _, ok := stats["eval_load_gini"].(float64); !ok {
+		t.Fatalf("stats missing evaluator Gini: %v", stats)
+	}
+	if stats["hot_keys"].(float64) != 0 {
+		t.Fatalf("hot keys promoted with sharding disabled: %v", stats)
+	}
 
 	// Retraction through the protocol.
 	if resp := c.call(map[string]interface{}{"op": "unsubscribe", "key": key}); resp["ok"] != true {

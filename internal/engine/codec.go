@@ -41,6 +41,11 @@ const (
 	tagMQuery
 	tagMJoin
 	tagHandoff
+	tagHotJoin
+	tagHotVLIndex
+	tagHotMigrate
+	tagHotRecall
+	tagHotHandoff
 )
 
 // EncodeMessage appends msg's wire form to w. The buffer is pre-grown to
@@ -180,6 +185,53 @@ func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
 		w.PutUvarint(uint64(len(m.Notifs)))
 		for _, sec := range m.Notifs {
 			encodeNotifSection(w, sec)
+		}
+	//wire:field enc hotJoinMsg Input Shard Version K Rewrites
+	case hotJoinMsg:
+		w.PutUvarint(uint64(tagHotJoin))
+		w.PutString(m.Input)
+		w.PutUvarint(uint64(m.Shard))
+		w.PutUvarint(uint64(m.Version))
+		w.PutUvarint(uint64(m.K))
+		w.PutUvarint(uint64(len(m.Rewrites)))
+		for _, rw := range m.Rewrites {
+			encodeRewritten(w, rw)
+		}
+	//wire:field enc hotVLIndexMsg Input Shard Version K T
+	case hotVLIndexMsg:
+		w.PutUvarint(uint64(tagHotVLIndex))
+		w.PutString(m.Input)
+		w.PutUvarint(uint64(m.Shard))
+		w.PutUvarint(uint64(m.Version))
+		w.PutUvarint(uint64(m.K))
+		wire.EncodeTuple(w, m.T)
+	//wire:field enc hotMigrateMsg Input Version K
+	case hotMigrateMsg:
+		w.PutUvarint(uint64(tagHotMigrate))
+		w.PutString(m.Input)
+		w.PutUvarint(uint64(m.Version))
+		w.PutUvarint(uint64(m.K))
+	//wire:field enc hotRecallMsg Input Shard Version K
+	case hotRecallMsg:
+		w.PutUvarint(uint64(tagHotRecall))
+		w.PutString(m.Input)
+		w.PutUvarint(uint64(m.Shard))
+		w.PutUvarint(uint64(m.Version))
+		w.PutUvarint(uint64(m.K))
+	//wire:field enc hotHandoffMsg Input Shard Version K Entries Tuples
+	case hotHandoffMsg:
+		w.PutUvarint(uint64(tagHotHandoff))
+		w.PutString(m.Input)
+		w.PutUvarint(uint64(m.Shard))
+		w.PutUvarint(uint64(m.Version))
+		w.PutUvarint(uint64(m.K))
+		w.PutUvarint(uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			encodeVQEntry(w, e)
+		}
+		w.PutUvarint(uint64(len(m.Tuples)))
+		for _, t := range m.Tuples {
+			wire.EncodeTuple(w, t)
 		}
 	default:
 		return fmt.Errorf("engine: no codec for message type %T", msg)
@@ -596,9 +648,120 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 		return mJoinMsg{Rewrites: rws}, nil
 	case tagHandoff:
 		return decodeHandoff(r, catalog)
+	case tagHotJoin:
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		shard, version, k, err := decodeHotHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		rws, err := decodeRewrittens(r, catalog)
+		if err != nil {
+			return nil, err
+		}
+		return hotJoinMsg{Input: input, Shard: shard, Version: version, K: k, Rewrites: rws}, nil
+	case tagHotVLIndex:
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		shard, version, k, err := decodeHotHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		t, err := wire.DecodeTuple(r)
+		if err != nil {
+			return nil, err
+		}
+		return hotVLIndexMsg{Input: input, Shard: shard, Version: version, K: k, T: t}, nil
+	case tagHotMigrate:
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		version, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		k, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return hotMigrateMsg{Input: input, Version: int(version), K: int(k)}, nil
+	case tagHotRecall:
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		shard, version, k, err := decodeHotHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		return hotRecallMsg{Input: input, Shard: shard, Version: version, K: k}, nil
+	case tagHotHandoff:
+		input, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		shard, version, k, err := decodeHotHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		ne, err := decodeCount(r)
+		if err != nil {
+			return nil, err
+		}
+		entries := make([]vqEntry, ne)
+		for i := range entries {
+			e := &entries[i]
+			if e.Rw, err = decodeRewritten(r, catalog); err != nil {
+				return nil, err
+			}
+			nt, err := decodeCount(r)
+			if err != nil {
+				return nil, err
+			}
+			e.Times = make([]int64, nt)
+			for j := range e.Times {
+				if e.Times[j], err = r.Varint(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		nt, err := decodeCount(r)
+		if err != nil {
+			return nil, err
+		}
+		tuples := make([]*relation.Tuple, nt)
+		for i := range tuples {
+			if tuples[i], err = wire.DecodeTuple(r); err != nil {
+				return nil, err
+			}
+		}
+		return hotHandoffMsg{Input: input, Shard: shard, Version: version, K: k, Entries: entries, Tuples: tuples}, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown message tag %d", tag)
 	}
+}
+
+// decodeHotHeader reads the Shard/Version/K triple shared by the hot-key
+// frames.
+func decodeHotHeader(r *wire.Reader) (shard, version, k int, err error) {
+	s, err := r.Uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	v, err := r.Uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	kk, err := r.Uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return int(s), int(v), int(kk), nil
 }
 
 func decodeRewrittens(r *wire.Reader, catalog *relation.Catalog) ([]*rewritten, error) {

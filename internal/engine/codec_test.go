@@ -80,6 +80,13 @@ func codecFixtures(t testing.TB) (*relation.Catalog, []chord.Message) {
 			DV:     []dvSection{{Input: "7", Entries: []dvEntry{{Cond: q.ConditionKey(), Left: []*relation.Tuple{tu}, Right: []*relation.Tuple{su}}}}},
 			Notifs: []notifSection{{Subscriber: q.Subscriber(), Batch: []Notification{notif}}},
 		},
+		hotJoinMsg{Input: "S+E+7", Shard: 2, Version: 3, K: 4, Rewrites: []*rewritten{rw, rw}},
+		hotVLIndexMsg{Input: "S+E+7", Shard: 1, Version: 3, K: 4, T: su},
+		hotMigrateMsg{Input: "S+E+7", Version: 3, K: 4},
+		hotRecallMsg{Input: "S+E+7", Shard: 3, Version: 4, K: 0},
+		hotHandoffMsg{Input: "S+E+7", Shard: 2, Version: 3, K: 4,
+			Entries: []vqEntry{{Rw: rw, Times: []int64{9, 11}}},
+			Tuples:  []*relation.Tuple{su}},
 	}
 	return full, msgs
 }
@@ -294,6 +301,46 @@ func assertSemanticEqual(t *testing.T, want, got chord.Message) {
 				gn.Batch[0].ContentKey() != wn.Batch[0].ContentKey() ||
 				gn.Batch[0].subscriberIP != wn.Batch[0].subscriberIP {
 				t.Fatalf("notifSection %d mismatch: %+v", i, gn)
+			}
+		}
+	case hotJoinMsg:
+		g := got.(hotJoinMsg)
+		if g.Input != w.Input || g.Shard != w.Shard || g.Version != w.Version ||
+			g.K != w.K || len(g.Rewrites) != len(w.Rewrites) {
+			t.Fatalf("hotJoinMsg mismatch: %+v", g)
+		}
+		for i := range g.Rewrites {
+			assertRewrittenEqual(t, w.Rewrites[i], g.Rewrites[i])
+		}
+	case hotVLIndexMsg:
+		g := got.(hotVLIndexMsg)
+		if g.Input != w.Input || g.Shard != w.Shard || g.Version != w.Version ||
+			g.K != w.K || g.T.String() != w.T.String() || g.T.PubT() != w.T.PubT() {
+			t.Fatalf("hotVLIndexMsg mismatch: %+v", g)
+		}
+	case hotMigrateMsg:
+		if got.(hotMigrateMsg) != w {
+			t.Fatal("hotMigrateMsg mismatch")
+		}
+	case hotRecallMsg:
+		if got.(hotRecallMsg) != w {
+			t.Fatal("hotRecallMsg mismatch")
+		}
+	case hotHandoffMsg:
+		g := got.(hotHandoffMsg)
+		if g.Input != w.Input || g.Shard != w.Shard || g.Version != w.Version ||
+			g.K != w.K || len(g.Entries) != len(w.Entries) || len(g.Tuples) != len(w.Tuples) {
+			t.Fatalf("hotHandoffMsg mismatch: %+v", g)
+		}
+		for i := range g.Entries {
+			assertRewrittenEqual(t, w.Entries[i].Rw, g.Entries[i].Rw)
+			if !reflect.DeepEqual(g.Entries[i].Times, w.Entries[i].Times) {
+				t.Fatalf("hotHandoffMsg entry %d times mismatch", i)
+			}
+		}
+		for i := range g.Tuples {
+			if g.Tuples[i].String() != w.Tuples[i].String() || g.Tuples[i].PubT() != w.Tuples[i].PubT() {
+				t.Fatalf("hotHandoffMsg tuple %d mismatch", i)
 			}
 		}
 	default:

@@ -122,6 +122,32 @@ type Config struct {
 	// layer drains its delay queue on clock listeners), so a retry races
 	// its own delayed original only briefly. Zero means 1.
 	RetryBackoff int64
+	// HotKeyThreshold enables adaptive hot-key sharding (DESIGN.md §13)
+	// when positive: a value-level input receiving at least this many
+	// arrivals within one HotKeyWindow promotes, sharding its evaluator
+	// across HotKeyReplicas deterministic replica identifiers. Zero — the
+	// default — disables the layer entirely. Only SAI shards (its
+	// evaluators store both rewrites and tuples, which transition-time
+	// state recovery relies on); other algorithms ignore these knobs.
+	HotKeyThreshold int
+	// HotKeyReplicas is the shard count k of a promoted input. Values < 2
+	// default to 4.
+	HotKeyReplicas int
+	// HotKeyWindow is the logical-time length of the detector's counting
+	// window. Values <= 0 default to 64.
+	HotKeyWindow int64
+	// HotKeyExtremeThreshold, when positive, escalates an already-promoted
+	// input crossing this per-window rate to HotKeyExtremeReplicas shards —
+	// the broadcast-style fallback for extreme keys. Zero disables
+	// escalation.
+	HotKeyExtremeThreshold int
+	// HotKeyExtremeReplicas is the escalated shard count. Values <=
+	// HotKeyReplicas default to 4× HotKeyReplicas.
+	HotKeyExtremeReplicas int
+	// HotKeyDemoteBelow, when positive, demotes a promoted input whose
+	// completed-window arrival count falls below it. Zero disables
+	// demotion (promoted inputs stay sharded).
+	HotKeyDemoteBelow int
 	// Obs receives the engine's metrics (message dispatch, notification
 	// outcomes, retry/loss counts). Nil — the default — disables recording
 	// at zero cost; because recording never influences protocol decisions,
@@ -136,6 +162,12 @@ type Engine struct {
 	catalog *relation.Catalog
 	obs     engObs
 	ids     idCache
+	hot     *hotTracker // non-nil iff hot-key sharding is configured
+
+	// multiOn flags a registered multi-way pipeline: partial matches route
+	// through value-level identifiers without shard awareness, so hot-key
+	// sharding is suspended while set (see hotState).
+	multiOn atomic.Bool
 
 	// frozen is set while PublishBatch executes cascades: logical time then
 	// belongs to the batch's pre-stamped sequence, so the retry-backoff
@@ -180,6 +212,9 @@ func New(net *chord.Network, catalog *relation.Catalog, cfg Config) *Engine {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		delivered: make(map[string]bool),
 		condSeen:  make(map[string]bool),
+	}
+	if cfg.HotKeyThreshold > 0 && cfg.Algorithm == SAI {
+		e.hot = newHotTracker(cfg)
 	}
 	for _, n := range net.Nodes() {
 		e.Attach(n)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"cqjoin/internal/chord"
 	"cqjoin/internal/metrics"
 	"cqjoin/internal/relation"
 )
@@ -26,6 +27,14 @@ func (st *nodeState) handleJoin(m joinMsg) {
 	var notifs []Notification
 	work := 1
 	stored := 0
+
+	// Hot-key sharding (DESIGN.md §13): count the arrivals, and scatter the
+	// groups bound for promoted inputs to their shards after this bucket —
+	// shard 0 — has stored them below.
+	var scatter []chord.Deliverable
+	if hot := st.engine.hotState(); hot != nil {
+		scatter = st.hotScatterJoins(hot, m.Rewrites)
+	}
 
 	st.mu.Lock()
 	for _, rw := range m.Rewrites {
@@ -70,6 +79,7 @@ func (st *nodeState) handleJoin(m joinMsg) {
 	if stored > 0 {
 		st.load.AddStorage(metrics.Evaluator, stored)
 	}
+	_ = st.engine.dispatch(st.node, scatter)
 	st.sendNotifications(notifs)
 }
 
@@ -85,6 +95,20 @@ func (st *nodeState) handleVLIndex(m vlIndexMsg) {
 	alg := st.engine.cfg.Algorithm
 	t := m.T
 	input := vlInput(t.Relation(), m.Attr, t.MustValue(m.Attr))
+
+	// Hot-key sharding (DESIGN.md §13): count the arrival; when the input
+	// is promoted and the tuple's content hashes to a foreign shard, relay
+	// it there instead of evaluating here. Shard 0 is this bucket.
+	if hot := st.engine.hotState(); hot != nil {
+		st.runHotTransition(hot.bump(input, t.PubT()))
+		if entry, promoted := hot.lookup(input); promoted {
+			if s := shardOf(t, entry.k); s != 0 {
+				st.forwardHotTuple(input, s, entry, t)
+				return
+			}
+		}
+	}
+
 	var notifs []Notification
 	var outs []outbound
 	work := 1

@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"cqjoin/internal/metrics"
+)
+
+// Tests for adaptive hot-key sharding (DESIGN.md §13). Every scenario runs
+// the same publish sequence against a sharding engine and an unsharded
+// oracle engine and requires identical notification content — sharding may
+// only move work, never change results.
+
+func hotConfig(on bool) Config {
+	cfg := Config{Algorithm: SAI, Seed: 7}
+	if on {
+		cfg.HotKeyThreshold = 8
+		cfg.HotKeyReplicas = 4
+		cfg.HotKeyWindow = 1 << 20
+	}
+	return cfg
+}
+
+// publishHotPair inserts nS S-tuples and nR R-tuples that all join on one
+// hot value (R.B = S.E = 7) with otherwise distinct attributes, so exactly
+// one value-level input per side concentrates the traffic.
+func publishHotPair(t *testing.T, env *testEnv, nS, nR int) {
+	t.Helper()
+	for i := 0; i < nS; i++ {
+		env.publish(t, 1+i, sTuple(env, float64(i), 7, float64(i)))
+	}
+	for i := 0; i < nR; i++ {
+		env.publish(t, 2+i, rTuple(env, float64(i), 7, float64(i)))
+	}
+}
+
+func TestHotKeyShardingReducesMaxLoad(t *testing.T) {
+	run := func(on bool) (*testEnv, metrics.Distribution) {
+		env := newTestEnv(t, 64, hotConfig(on))
+		env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+		publishHotPair(t, env, 120, 30)
+		return env, metrics.SummarizeInt(env.eng.RoleLoads(metrics.Evaluator, false))
+	}
+	envOff, distOff := run(false)
+	envOn, distOn := run(true)
+
+	if got, want := contentKeys(envOn.eng.Notifications()), contentKeys(envOff.eng.Notifications()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded run delivered %d notifications, oracle %d", len(got), len(want))
+	}
+	if len(envOff.eng.Notifications()) != 120*30 {
+		t.Fatalf("oracle delivered %d notifications, want %d", len(envOff.eng.Notifications()), 120*30)
+	}
+	hot := envOn.eng.HotKeys()
+	if len(hot) == 0 {
+		t.Fatal("no promoted inputs after a skewed stream")
+	}
+	for _, h := range hot {
+		if h.Replicas != 4 || h.Version == 0 {
+			t.Fatalf("unexpected hot-key state: %+v", h)
+		}
+	}
+	if keys := envOff.eng.HotKeys(); keys != nil {
+		t.Fatalf("disabled engine reports hot keys: %v", keys)
+	}
+	// The point of the layer: the hottest evaluator sheds at least half its
+	// filtering load, and the load spread tightens.
+	if 2*distOn.Max > distOff.Max {
+		t.Fatalf("max evaluator load %.0f not halved from %.0f", distOn.Max, distOff.Max)
+	}
+	if distOn.Gini >= distOff.Gini {
+		t.Fatalf("evaluator Gini %.3f did not drop from %.3f", distOn.Gini, distOff.Gini)
+	}
+}
+
+func TestHotKeyUniformWorkloadIdentical(t *testing.T) {
+	// Values spread wide: no input crosses the threshold, so the layer must
+	// be a strict no-op — same notifications in the same order, same loads.
+	run := func(on bool) *testEnv {
+		env := newTestEnv(t, 64, hotConfig(on))
+		env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+		for i := 0; i < 60; i++ {
+			env.publish(t, 1+i, sTuple(env, float64(i), float64(i%20), float64(i)))
+			env.publish(t, 2+i, rTuple(env, float64(i), float64(i%20), float64(i)))
+		}
+		return env
+	}
+	envOff := run(false)
+	envOn := run(true)
+	if len(envOn.eng.HotKeys()) != 0 {
+		t.Fatalf("uniform workload promoted inputs: %v", envOn.eng.HotKeys())
+	}
+	if got, want := envOn.eng.DeliveredContentKeys(), envOff.eng.DeliveredContentKeys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivery sequences diverge: %d vs %d", len(got), len(want))
+	}
+	if got, want := envOn.eng.FilteringLoads(), envOff.eng.FilteringLoads(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("filtering loads diverge:\n on=%v\noff=%v", got, want)
+	}
+	if got, want := envOn.eng.StorageLoads(), envOff.eng.StorageLoads(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("storage loads diverge:\n on=%v\noff=%v", got, want)
+	}
+}
+
+func TestHotKeyDemotion(t *testing.T) {
+	run := func(on bool) *testEnv {
+		cfg := Config{Algorithm: SAI, Seed: 7}
+		if on {
+			cfg.HotKeyThreshold = 8
+			cfg.HotKeyReplicas = 4
+			cfg.HotKeyWindow = 16
+			cfg.HotKeyDemoteBelow = 4
+		}
+		env := newTestEnv(t, 64, cfg)
+		env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+		// Burst: promotes S+E+7 (or R+B+7, depending on the index side).
+		for i := 0; i < 20; i++ {
+			env.publish(t, 1+i, sTuple(env, float64(i), 7, float64(i)))
+		}
+		// Cool-down: distinct cold values roll the hot input's window with
+		// sparse counts until a completed window falls below the demotion
+		// floor. Two rounds: the first completed window still holds the
+		// burst's tail.
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 20; i++ {
+				v := float64(100 + round*40 + i)
+				env.publish(t, 3+i, sTuple(env, v, 1000+v, 2000+v))
+			}
+			env.publish(t, 5, sTuple(env, float64(500+round), 7, float64(500+round)))
+		}
+		// Post-demotion matching must see every stored hot tuple.
+		for i := 0; i < 5; i++ {
+			env.publish(t, 7+i, rTuple(env, float64(i), 7, float64(i)))
+		}
+		return env
+	}
+	envOff := run(false)
+	envOn := run(true)
+	if keys := envOn.eng.HotKeys(); len(keys) != 0 {
+		t.Fatalf("inputs still promoted after cool-down: %v", keys)
+	}
+	if got, want := contentKeys(envOn.eng.Notifications()), contentKeys(envOff.eng.Notifications()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("demotion lost or duplicated matches: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestHotKeyEscalation(t *testing.T) {
+	run := func(on bool) *testEnv {
+		cfg := Config{Algorithm: SAI, Seed: 7}
+		if on {
+			cfg.HotKeyThreshold = 8
+			cfg.HotKeyReplicas = 4
+			cfg.HotKeyWindow = 1 << 20
+			cfg.HotKeyExtremeThreshold = 25
+			cfg.HotKeyExtremeReplicas = 6
+		}
+		env := newTestEnv(t, 64, cfg)
+		env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+		publishHotPair(t, env, 60, 15)
+		return env
+	}
+	envOff := run(false)
+	envOn := run(true)
+	hot := envOn.eng.HotKeys()
+	if len(hot) == 0 {
+		t.Fatal("no promoted inputs")
+	}
+	escalated := false
+	for _, h := range hot {
+		if h.Replicas == 6 {
+			escalated = true
+		}
+	}
+	if !escalated {
+		t.Fatalf("no input escalated to 6 replicas: %+v", hot)
+	}
+	if got, want := contentKeys(envOn.eng.Notifications()), contentKeys(envOff.eng.Notifications()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("escalation lost or duplicated matches: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestHotKeyUnsubscribePurgesShards(t *testing.T) {
+	env := newTestEnv(t, 64, hotConfig(true))
+	q := env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+	publishHotPair(t, env, 30, 10)
+	if len(env.eng.HotKeys()) == 0 {
+		t.Fatal("no promoted inputs")
+	}
+	before := len(env.eng.Notifications())
+	if before == 0 {
+		t.Fatal("no notifications before retraction")
+	}
+	if err := env.eng.Unsubscribe(env.node(0), q); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	// New arrivals on the hot value: rewrite copies at every shard bucket
+	// must be gone, or the stale copies would keep matching.
+	for i := 0; i < 20; i++ {
+		env.publish(t, 3+i, sTuple(env, float64(200+i), 7, float64(200+i)))
+	}
+	for i := 0; i < 5; i++ {
+		env.publish(t, 4+i, rTuple(env, float64(200+i), 7, float64(200+i)))
+	}
+	if after := len(env.eng.Notifications()); after != before {
+		t.Fatalf("%d notifications after retraction, want %d", after, before)
+	}
+}
+
+func TestHotKeyBatchParallelDeterminism(t *testing.T) {
+	build := func() (*testEnv, []PublishOp) {
+		env := newTestEnv(t, 64, hotConfig(true))
+		env.subscribe(t, 0, `SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)
+		var ops []PublishOp
+		for i := 0; i < 60; i++ {
+			ops = append(ops, PublishOp{From: env.node(1 + i), T: sTuple(env, float64(i), 7, float64(i))})
+			if i%3 == 0 {
+				ops = append(ops, PublishOp{From: env.node(2 + i), T: rTuple(env, float64(i), 7, float64(i))})
+			}
+			ops = append(ops, PublishOp{From: env.node(3 + i), T: sTuple(env, float64(i), float64(100+i), 0)})
+		}
+		return env, ops
+	}
+	run := func(workers int) *testEnv {
+		env, ops := build()
+		if err := env.eng.PublishBatch(ops, workers); err != nil {
+			t.Fatalf("PublishBatch(workers=%d): %v", workers, err)
+		}
+		return env
+	}
+	env1 := run(1)
+	env8 := run(8)
+	if len(env1.eng.HotKeys()) == 0 {
+		t.Fatal("batched skew promoted nothing")
+	}
+	if !reflect.DeepEqual(env1.eng.HotKeys(), env8.eng.HotKeys()) {
+		t.Fatalf("hot-key registries diverge:\n w1=%v\n w8=%v", env1.eng.HotKeys(), env8.eng.HotKeys())
+	}
+	if got, want := env8.eng.DeliveredContentKeys(), env1.eng.DeliveredContentKeys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivery sequences diverge across worker counts: %d vs %d", len(got), len(want))
+	}
+	if got, want := env8.eng.FilteringLoads(), env1.eng.FilteringLoads(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("filtering loads diverge across worker counts")
+	}
+}

@@ -80,6 +80,9 @@ func (e *Engine) SubscribeMulti(from *chord.Node, mq *query.MultiQuery) (*query.
 	// PublishBatch falls back to sequential publishes from here on.
 	e.hasMulti = true
 	e.mu.Unlock()
+	// Partial matches route through value-level identifiers without shard
+	// awareness, so hot-key sharding is suspended from here on (hotState).
+	e.multiOn.Store(true)
 
 	keyed := mq.WithIdentity(from.Key(), from.IP(), seq).WithInsT(e.net.Clock().Tick())
 	oriented, err := e.chooseOrientation(from, keyed)

@@ -23,6 +23,12 @@ type engObs struct {
 	// exhausted-budget losses, by message kind.
 	retries *obs.CounterVec
 	lost    *obs.CounterVec
+	// Hot-key sharding (DESIGN.md §13): registry transitions and the relay
+	// frames the base evaluator emits for promoted inputs, by kind.
+	hotPromotions  *obs.Counter
+	hotDemotions   *obs.Counter
+	hotEscalations *obs.Counter
+	hotForwards    *obs.CounterVec
 }
 
 // newEngObs registers the engine's metric families on reg; a nil registry
@@ -38,5 +44,9 @@ func newEngObs(reg *obs.Registry) engObs {
 		notifyReplayed:  reg.Counter("engine.notify.replayed"),
 		retries:         reg.CounterVec("engine.retries"),
 		lost:            reg.CounterVec("engine.lost"),
+		hotPromotions:   reg.Counter("engine.hotkey.promotions"),
+		hotDemotions:    reg.Counter("engine.hotkey.demotions"),
+		hotEscalations:  reg.Counter("engine.hotkey.escalations"),
+		hotForwards:     reg.CounterVec("engine.hotkey.forwards"),
 	}
 }

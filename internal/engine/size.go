@@ -53,3 +53,18 @@ func (m mJoinMsg) Size() int { return wireSize(m) }
 
 // Size reports a process-migration hand-off message's wire size.
 func (m handoffMsg) Size() int { return wireSize(m) }
+
+// Size reports a hot-key rewrite-scatter message's wire size.
+func (m hotJoinMsg) Size() int { return wireSize(m) }
+
+// Size reports a hot-key tuple-relay message's wire size.
+func (m hotVLIndexMsg) Size() int { return wireSize(m) }
+
+// Size reports a hot-key promotion/escalation migrate message's wire size.
+func (m hotMigrateMsg) Size() int { return wireSize(m) }
+
+// Size reports a hot-key shard-recall message's wire size.
+func (m hotRecallMsg) Size() int { return wireSize(m) }
+
+// Size reports a hot-key state hand-off message's wire size.
+func (m hotHandoffMsg) Size() int { return wireSize(m) }

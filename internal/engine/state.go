@@ -206,6 +206,16 @@ func (st *nodeState) HandleMessage(on *chord.Node, msg chord.Message) {
 		st.handleMJoin(m)
 	case handoffMsg:
 		st.handleHandoff(on, m)
+	case hotJoinMsg:
+		st.handleHotJoin(m)
+	case hotVLIndexMsg:
+		st.handleHotVLIndex(m)
+	case hotMigrateMsg:
+		st.handleHotMigrate(m)
+	case hotRecallMsg:
+		st.handleHotRecall(m)
+	case hotHandoffMsg:
+		st.handleHotHandoff(m)
 	}
 }
 

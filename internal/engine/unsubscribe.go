@@ -153,12 +153,27 @@ func (st *nodeState) handleUnsub(m unsubMsg) {
 	if len(targets) == 0 {
 		return
 	}
+	hot := st.engine.hotState()
 	batch := make([]chord.Deliverable, 0, len(targets))
 	for _, input := range targets {
 		batch = append(batch, chord.Deliverable{
 			Target: id.Hash(input),
 			Msg:    purgeMsg{QueryKey: m.QueryKey, Input: input},
 		})
+		if hot == nil {
+			continue
+		}
+		// A promoted target holds rewrite copies at every shard bucket; the
+		// purge fans out to them too (DESIGN.md §13).
+		if entry, promoted := hot.lookup(input); promoted {
+			for s := 1; s < entry.k; s++ {
+				shard := hotShardInput(input, s)
+				batch = append(batch, chord.Deliverable{
+					Target: id.Hash(shard),
+					Msg:    purgeMsg{QueryKey: m.QueryKey, Input: shard},
+				})
+			}
+		}
 	}
 	if st.engine.cfg.IterativeMultisend {
 		_, _, _ = st.node.MultisendIterative(batch)

@@ -29,7 +29,7 @@ func MessageSize(msg chord.Message) int { return wireSize(msg) }
 // wireSize returns msg's exact encoded length, or 0 for message types
 // EncodeMessage does not know (mirroring encodedLen's error case).
 func wireSize(msg chord.Message) int {
-	// Every tag is a single-byte uvarint (1..16).
+	// Every tag is a single-byte uvarint (1..21).
 	const tagLen = 1
 	switch m := msg.(type) {
 	//wire:field size queryMsg Q Attr Side Replica
@@ -134,6 +134,41 @@ func wireSize(msg chord.Message) int {
 		n += wire.SizeUvarint(uint64(len(m.Notifs)))
 		for _, sec := range m.Notifs {
 			n += sizeNotifSection(sec)
+		}
+		return n
+	//wire:field size hotJoinMsg Input Shard Version K Rewrites
+	case hotJoinMsg:
+		n := tagLen + wire.SizeString(m.Input) + wire.SizeUvarint(uint64(m.Shard)) +
+			wire.SizeUvarint(uint64(m.Version)) + wire.SizeUvarint(uint64(m.K)) +
+			wire.SizeUvarint(uint64(len(m.Rewrites)))
+		for _, rw := range m.Rewrites {
+			n += sizeRewritten(rw)
+		}
+		return n
+	//wire:field size hotVLIndexMsg Input Shard Version K T
+	case hotVLIndexMsg:
+		return tagLen + wire.SizeString(m.Input) + wire.SizeUvarint(uint64(m.Shard)) +
+			wire.SizeUvarint(uint64(m.Version)) + wire.SizeUvarint(uint64(m.K)) +
+			wire.SizeTuple(m.T)
+	//wire:field size hotMigrateMsg Input Version K
+	case hotMigrateMsg:
+		return tagLen + wire.SizeString(m.Input) + wire.SizeUvarint(uint64(m.Version)) +
+			wire.SizeUvarint(uint64(m.K))
+	//wire:field size hotRecallMsg Input Shard Version K
+	case hotRecallMsg:
+		return tagLen + wire.SizeString(m.Input) + wire.SizeUvarint(uint64(m.Shard)) +
+			wire.SizeUvarint(uint64(m.Version)) + wire.SizeUvarint(uint64(m.K))
+	//wire:field size hotHandoffMsg Input Shard Version K Entries Tuples
+	case hotHandoffMsg:
+		n := tagLen + wire.SizeString(m.Input) + wire.SizeUvarint(uint64(m.Shard)) +
+			wire.SizeUvarint(uint64(m.Version)) + wire.SizeUvarint(uint64(m.K)) +
+			wire.SizeUvarint(uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			n += sizeVQEntry(e)
+		}
+		n += wire.SizeUvarint(uint64(len(m.Tuples)))
+		for _, t := range m.Tuples {
+			n += wire.SizeTuple(t)
 		}
 		return n
 	default:

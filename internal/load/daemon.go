@@ -10,6 +10,7 @@ import (
 
 	"cqjoin/internal/daemon"
 	"cqjoin/internal/obs"
+	"cqjoin/internal/workload"
 )
 
 // tcpSchemaDSL and tcpJoinSQL are the fixed workload of the TCP target:
@@ -33,6 +34,13 @@ type TCPSpec struct {
 	Queries   int
 	Algorithm string
 	Seed      int64
+	// Theta is the Zipf exponent of the product-value draw; 0 keeps the
+	// uniform default. Skewed draws make one product a hot join key.
+	Theta float64
+	// HotKeyThreshold arms adaptive hot-key sharding in the self-hosted
+	// daemons (SAI only); 0 leaves it off.
+	HotKeyThreshold int
+	HotKeyReplicas  int
 }
 
 // DefaultTCPSpec is the canonical short TCP-mode configuration shared by
@@ -40,6 +48,20 @@ type TCPSpec struct {
 // the CI load-smoke job.
 func DefaultTCPSpec() TCPSpec {
 	return TCPSpec{Nodes: 48, Procs: 2, Queries: 24, Algorithm: "sai", Seed: 1}
+}
+
+// SkewedTCPSpec is the canonical skewed TCP-mode smoke configuration:
+// DefaultTCPSpec with Zipf θ=1.1 product draws and hot-key sharding armed
+// in the self-hosted daemons. The threshold is calibrated for this
+// workload's bump rate — each publication fans its grouped rewrites
+// (spec.Queries copies of the join) into the matching value input — so
+// only the top-ranked products promote within the canonical 2-second run.
+func SkewedTCPSpec() TCPSpec {
+	spec := DefaultTCPSpec()
+	spec.Theta = SkewTheta
+	spec.HotKeyThreshold = 64
+	spec.HotKeyReplicas = 4
+	return spec
 }
 
 // TCPConfig is the canonical TCP-mode open-loop load (see DefaultTCPSpec).
@@ -98,10 +120,12 @@ func NewSelfHostedTCP(spec TCPSpec) (*DaemonTarget, error) {
 	}
 	for i, ln := range lns {
 		cfg := daemon.Config{
-			Nodes:     spec.Nodes,
-			Algorithm: spec.Algorithm,
-			SchemaDSL: tcpSchemaDSL,
-			Seed:      spec.Seed,
+			Nodes:           spec.Nodes,
+			Algorithm:       spec.Algorithm,
+			SchemaDSL:       tcpSchemaDSL,
+			Seed:            spec.Seed,
+			HotKeyThreshold: spec.HotKeyThreshold,
+			HotKeyReplicas:  spec.HotKeyReplicas,
 		}
 		if spec.Procs > 1 {
 			cfg.OverlayAddr = peers[i]
@@ -187,10 +211,17 @@ func (t *DaemonTarget) Prepare(total, workers int) error {
 	}
 
 	// Pre-draw the publication stream: alternating Orders/Shipments rows
-	// over a small shared product domain, so the streams join.
+	// over a small shared product domain, so the streams join. A positive
+	// Theta draws products Zipf-skewed (rank 1 = "p0" hottest); the
+	// default stays the uniform stream the committed baseline measured.
+	product := func() int { return rng.Intn(tcpDomain) }
+	if t.spec.Theta > 0 {
+		sk := workload.NewSkew(tcpDomain, t.spec.Theta)
+		product = func() int { return sk.Sample(rng) - 1 }
+	}
 	t.pubs = make([]pubOp, total)
 	for i := range t.pubs {
-		prod := fmt.Sprintf("p%d", rng.Intn(tcpDomain))
+		prod := fmt.Sprintf("p%d", product())
 		op := pubOp{node: rng.Intn(t.spec.Nodes)}
 		if i%2 == 0 {
 			op.relation = "Orders"
@@ -263,6 +294,24 @@ func (t *DaemonTarget) notificationTotal() (int, error) {
 			return 0, fmt.Errorf("load: stats from %s: no notification count in %v", t.addrs[j], resp)
 		}
 		total += int(n)
+	}
+	return total, nil
+}
+
+// HotKeys sums the promoted-input counts across the daemons' stats. Each
+// promoted input is registered on every process that handled one of its
+// frames, so the sum can over-count in multi-process mode; it still
+// answers the smoke question — did anything promote at all.
+func (t *DaemonTarget) HotKeys() (int, error) {
+	total := 0
+	for j, c := range t.ctrl {
+		resp, err := c.call(map[string]interface{}{"op": "stats"})
+		if err != nil {
+			return 0, fmt.Errorf("load: stats from %s: %w", t.addrs[j], err)
+		}
+		if n, ok := resp["hot_keys"].(float64); ok {
+			total += int(n)
+		}
 	}
 	return total, nil
 }

@@ -17,6 +17,13 @@ import (
 type SimSpec struct {
 	Scale     exp.Scale
 	Algorithm engine.Algorithm
+	// Theta is the Zipf exponent of the workload's attribute values; 0
+	// keeps the workload default (0.9), negative draws uniformly.
+	Theta float64
+	// HotKeyThreshold arms adaptive hot-key sharding (SAI only); 0
+	// leaves it off. HotKeyReplicas < 2 defaults to 4.
+	HotKeyThreshold int
+	HotKeyReplicas  int
 }
 
 // DefaultSimSpec is the canonical short sim-mode configuration shared by
@@ -28,6 +35,23 @@ func DefaultSimSpec() SimSpec {
 		Scale:     exp.Scale{Nodes: 64, Queries: 60, Seed: 1},
 		Algorithm: engine.SAI,
 	}
+}
+
+// SkewTheta is the Zipf exponent of the canonical skewed smoke runs: hot
+// enough that the top-ranked value concentrates a clear hotspot, within
+// the θ≈0.9–1.2 band the hot-key bench cell gates on.
+const SkewTheta = 1.1
+
+// SkewedSimSpec is the canonical skewed sim-mode smoke configuration:
+// DefaultSimSpec's scale with Zipf θ=1.1 traffic and the hot-key sharding
+// layer armed, so the CI skew smoke exercises promotion under open-loop
+// load.
+func SkewedSimSpec() SimSpec {
+	spec := DefaultSimSpec()
+	spec.Theta = SkewTheta
+	spec.HotKeyThreshold = 16
+	spec.HotKeyReplicas = 4
+	return spec
 }
 
 // SimConfig is the canonical sim-mode open-loop load (see DefaultSimSpec).
@@ -72,7 +96,11 @@ type SimTarget struct {
 
 // NewSimTarget builds the overlay and engine for spec.
 func NewSimTarget(spec SimSpec) *SimTarget {
-	r := exp.Setup(engine.Config{Algorithm: spec.Algorithm}, spec.Scale, workload.Params{})
+	r := exp.Setup(engine.Config{
+		Algorithm:       spec.Algorithm,
+		HotKeyThreshold: spec.HotKeyThreshold,
+		HotKeyReplicas:  spec.HotKeyReplicas,
+	}, spec.Scale, workload.Params{Theta: spec.Theta})
 	return &SimTarget{run: r, spec: spec}
 }
 
@@ -106,6 +134,15 @@ func (t *SimTarget) Notifications() (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.run.Eng.Notifications()), nil
+}
+
+// HotKeys reports how many value-level inputs the engine currently holds
+// promoted — non-zero only when the spec armed hot-key sharding and the
+// workload actually skewed.
+func (t *SimTarget) HotKeys() (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.run.Eng.HotKeys()), nil
 }
 
 // Close releases nothing: the simulator is garbage-collected state.
