@@ -59,6 +59,10 @@ type Prog struct {
 	// //cqlint:sink directive. Calls to these are order-sensitive
 	// consumers for maporder and network sends for sendunderlock.
 	sinks map[types.Object]bool
+
+	// cg caches the interprocedural call graph; built lazily by
+	// CallGraph() the first time an interprocedural analyzer runs.
+	cg *CallGraph
 }
 
 // NewProg assembles a program from loaded packages and scans declaration

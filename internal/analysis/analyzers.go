@@ -1,6 +1,8 @@
 package analysis
 
-// All returns the full cqlint suite in reporting order.
+// All returns the full cqlint suite in reporting order. The first five
+// are the per-function PR-4 analyzers; lockorder, goroleak, poolsafe and
+// wiretag are the interprocedural v2 additions built on the call graph.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -8,5 +10,9 @@ func All() []*Analyzer {
 		WireSyncAnalyzer,
 		SendUnderLockAnalyzer,
 		ObsRegisterAnalyzer,
+		LockOrderAnalyzer,
+		GoroLeakAnalyzer,
+		PoolSafeAnalyzer,
+		WireTagAnalyzer,
 	}
 }

@@ -1,0 +1,636 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// callgraph.go is the interprocedural layer under lockorder, goroleak and
+// poolsafe: an intra-module call graph over every fully loaded package,
+// with a per-function summary of lock effects, send reachability and
+// goroutine stop paths. The graph is built lazily, once per Prog, from
+// the loader's full-package set (the module or fixture packages — stdlib
+// imports are signature-only and contribute no nodes).
+//
+// The summaries are deliberately branch-insensitive: lock effects are the
+// net sum of Lock/Unlock tokens in source order, so a function whose
+// branches disagree (one path unlocks, another returns locked) summarizes
+// to whichever direction releases more. Callers clamp the held count at
+// zero, which biases every approximation toward fewer findings — the
+// analyzers built on the graph are gates, and a gate that cries wolf gets
+// deleted.
+
+// blockingTransportCalls are the internal/transport entry points that
+// block on sockets (dial, frame write, ack wait). Together with the
+// chord overlay sends in networkSends they form lockorder's sink set.
+var blockingTransportCalls = map[string]bool{
+	"cqjoin/internal/transport.TCP.Deliver":      true,
+	"cqjoin/internal/transport.TCP.DeliverBatch": true,
+	"cqjoin/internal/transport.TCP.SendJoin":     true,
+	"cqjoin/internal/transport.TCP.SendView":     true,
+}
+
+func isBlockingSend(fn *types.Func) bool {
+	k := funcKey(fn)
+	return networkSends[k] || blockingTransportCalls[k]
+}
+
+// FuncNode is one declared function or method with a body, plus the
+// summary facts the interprocedural analyzers consume.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// NetLocks is the net Lock/Unlock count per lock class over the
+	// body in source order (deferred unlocks included, closure bodies
+	// excluded). A lock-balanced function nets zero; a function that
+	// releases a caller-held lock (transport's writeAndAwait) nets
+	// negative.
+	NetLocks map[types.Object]int
+	// Acquires are the lock classes this body locks directly.
+	Acquires map[types.Object]bool
+	// TransitiveAcquires adds every class any callee chain acquires.
+	TransitiveAcquires map[types.Object]bool
+
+	// DirectSend marks a body that calls a blocking send sink itself;
+	// ReachesSend adds sends reached through callees. sendHop/sendSink
+	// remember one representative path for diagnostics.
+	DirectSend  bool
+	ReachesSend bool
+	sendHop     *FuncNode
+	sendSink    *types.Func
+
+	// HasStop marks a body containing a goroutine stop marker (WaitGroup
+	// Done, select with a receive, channel receive or range); deferred
+	// closures count, since they run in this function's extent.
+	// HasStopReach adds markers reached through same-package callees
+	// only: a receive buried in another subsystem (a transport RPC's
+	// reply select) is incidental blocking, not this goroutine's
+	// shutdown discipline.
+	HasStop      bool
+	HasStopReach bool
+
+	calls        []*FuncNode // resolved calls outside closure bodies
+	closureCalls []*FuncNode // resolved calls inside closure bodies
+	valueRefs    []*FuncNode // method/function values referenced, not called
+	guarded      []guardedCall
+}
+
+// guardedCall is a resolved call made while at least one lock class
+// acquired in the same function is still held. targets carries the
+// graph nodes the call can reach (several, for interface dispatch).
+type guardedCall struct {
+	pos     token.Pos
+	fn      *types.Func
+	targets []*FuncNode
+	held    []types.Object
+}
+
+// Callees returns every function this node references (calls, deferred
+// calls, closure-interior calls and method values), deduplicated, in
+// funcKey order.
+func (n *FuncNode) Callees() []*FuncNode {
+	seen := make(map[*FuncNode]bool)
+	var out []*FuncNode
+	for _, group := range [][]*FuncNode{n.calls, n.closureCalls, n.valueRefs} {
+		for _, c := range group {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return funcKey(out[i].Fn) < funcKey(out[j].Fn) })
+	return out
+}
+
+// CalleeKeys renders Callees as funcKey strings (test helper).
+func (n *FuncNode) CalleeKeys() []string {
+	callees := n.Callees()
+	keys := make([]string, len(callees))
+	for i, c := range callees {
+		keys[i] = funcKey(c.Fn)
+	}
+	return keys
+}
+
+// NetLockNames renders NetLocks keyed by display name (test helper).
+func (n *FuncNode) NetLockNames(g *CallGraph) map[string]int {
+	out := make(map[string]int, len(n.NetLocks))
+	for obj, net := range n.NetLocks {
+		out[g.LockName(obj)] = net
+	}
+	return out
+}
+
+// TransitiveAcquireNames renders TransitiveAcquires as sorted display
+// names (test helper).
+func (n *FuncNode) TransitiveAcquireNames(g *CallGraph) []string {
+	out := make([]string, 0, len(n.TransitiveAcquires))
+	for obj := range n.TransitiveAcquires {
+		out = append(out, g.LockName(obj))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// finding is a pre-rendered diagnostic owned by a package; the lockorder
+// pass re-reports it through its own Pass so //lint:allow applies.
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+// lockEdge records "to was acquired while from was held" with the
+// acquisition (or summary-carrying call) that created it.
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Pos
+	pkg      *Package
+}
+
+// CallGraph is the whole-program graph plus the lockorder facts derived
+// from it.
+type CallGraph struct {
+	prog     *Prog
+	nodes    map[*types.Func]*FuncNode
+	ordered  []*FuncNode // deterministic iteration order
+	lockName map[types.Object]string
+
+	edges      []lockEdge
+	edgeSet    map[[2]types.Object]bool
+	lockDiags  map[*Package][]finding
+	ifaceImpls map[*types.Func][]*FuncNode // interface method -> implementations
+}
+
+// CallGraph returns the lazily built interprocedural graph for the
+// program's full package set.
+func (prog *Prog) CallGraph() *CallGraph {
+	if prog.cg == nil {
+		prog.cg = buildCallGraph(prog)
+	}
+	return prog.cg
+}
+
+// Node returns the graph node for a declared function, or nil.
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// NodeByKey looks a node up by its funcKey ("pkgpath.Recv.Name").
+func (g *CallGraph) NodeByKey(key string) *FuncNode {
+	for _, n := range g.ordered {
+		if funcKey(n.Fn) == key {
+			return n
+		}
+	}
+	return nil
+}
+
+// LockName is the human display name of a lock class: "pooledConn.wmu"
+// for struct fields, the variable name otherwise.
+func (g *CallGraph) LockName(obj types.Object) string {
+	if name, ok := g.lockName[obj]; ok {
+		return name
+	}
+	return obj.Name()
+}
+
+func buildCallGraph(prog *Prog) *CallGraph {
+	g := &CallGraph{
+		prog:      prog,
+		nodes:     make(map[*types.Func]*FuncNode),
+		lockName:  make(map[types.Object]string),
+		edgeSet:   make(map[[2]types.Object]bool),
+		lockDiags: make(map[*Package][]finding),
+	}
+	pkgs := prog.Loader.FullPackages()
+
+	// Nodes: every declared function or method with a body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &FuncNode{
+					Fn: fn, Decl: fd, Pkg: pkg,
+					NetLocks:           make(map[types.Object]int),
+					Acquires:           make(map[types.Object]bool),
+					TransitiveAcquires: make(map[types.Object]bool),
+				}
+				g.ordered = append(g.ordered, g.nodes[fn])
+			}
+		}
+	}
+	sort.Slice(g.ordered, func(i, j int) bool {
+		return g.ordered[i].Fn.Pos() < g.ordered[j].Fn.Pos()
+	})
+
+	g.resolveInterfaces(pkgs)
+	for _, n := range g.ordered {
+		g.summarizeBody(n)
+	}
+	g.fixpoint()
+	g.deriveLockDiags()
+	return g
+}
+
+// resolveInterfaces precomputes class-hierarchy dispatch targets, but only
+// for interfaces declared in analyzed packages (chord.Transport,
+// transport.Codec, ...). Stdlib interfaces (io.Writer et al) would fan
+// out to every buffer in the module and drown the summaries in noise.
+func (g *CallGraph) resolveInterfaces(pkgs []*Package) {
+	g.ifaceImpls = make(map[*types.Func][]*FuncNode)
+	var ifaces []*types.Named
+	var concretes []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				if iface.NumMethods() > 0 {
+					ifaces = append(ifaces, named)
+				}
+				continue
+			}
+			concretes = append(concretes, named)
+		}
+	}
+	for _, iface := range ifaces {
+		it := iface.Underlying().(*types.Interface)
+		for _, impl := range concretes {
+			recv := types.Type(impl)
+			if !types.Implements(recv, it) {
+				recv = types.NewPointer(impl)
+				if !types.Implements(recv, it) {
+					continue
+				}
+			}
+			for i := 0; i < it.NumMethods(); i++ {
+				m := it.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(recv, true, impl.Obj().Pkg(), m.Name())
+				if concrete, ok := obj.(*types.Func); ok {
+					if node := g.nodes[concrete]; node != nil {
+						g.ifaceImpls[m] = append(g.ifaceImpls[m], node)
+					}
+				}
+			}
+		}
+	}
+}
+
+// mutexClass resolves the lock-class object of a sync.(RW)Mutex method
+// call: the struct-field object for x.mu.Lock() (unique per named type
+// and field), the variable object for mu.Lock(). Returns nil and 0 for
+// non-mutex calls; delta is +1 for Lock/RLock, -1 for Unlock/RUnlock.
+func (g *CallGraph) mutexClass(info *types.Info, call *ast.CallExpr) (types.Object, int) {
+	delta := mutexMethod(info, call)
+	if delta == 0 {
+		return nil, 0
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	var obj types.Object
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		obj = info.Uses[recv]
+	case *ast.SelectorExpr:
+		obj = info.Uses[recv.Sel]
+		if obj != nil {
+			if _, known := g.lockName[obj]; !known {
+				if tv, ok := info.Types[recv.X]; ok {
+					g.lockName[obj] = namedTypeName(tv.Type) + "." + obj.Name()
+				}
+			}
+		}
+	}
+	if obj == nil {
+		return nil, 0
+	}
+	return obj, delta
+}
+
+// namedTypeName strips pointers and renders the named type's bare name.
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// resolveCallees expands one call expression to its possible targets:
+// the statically resolved function, plus every module-declared
+// implementation when the static target is an interface method.
+func (g *CallGraph) resolveCallees(info *types.Info, call *ast.CallExpr) (*types.Func, []*FuncNode) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		return fn, g.ifaceImpls[fn]
+	}
+	if node := g.nodes[fn]; node != nil {
+		return fn, []*FuncNode{node}
+	}
+	return fn, nil
+}
+
+// summarizeBody runs the single source-order walk that fills a node's
+// direct facts: lock effects, guarded calls, call edges, stop markers and
+// lock-order edges for acquisitions made while another class is held.
+func (g *CallGraph) summarizeBody(n *FuncNode) {
+	info := n.Pkg.Info
+	held := make(map[types.Object]int)
+	pinned := make(map[types.Object]bool)
+	heldSnapshot := func() []types.Object {
+		var out []types.Object
+		for obj, count := range held {
+			if count > 0 {
+				out = append(out, obj)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Name() != out[j].Name() {
+				return out[i].Name() < out[j].Name()
+			}
+			return out[i].Pos() < out[j].Pos()
+		})
+		return out
+	}
+
+	walkStack(n.Decl.Body, func(node ast.Node, stack []ast.Node) bool {
+		inClosure := false
+		for _, anc := range stack {
+			if _, ok := anc.(*ast.FuncLit); ok {
+				inClosure = true
+				break
+			}
+		}
+		switch node := node.(type) {
+		case *ast.SelectStmt:
+			for _, clause := range node.Body.List {
+				if comm, ok := clause.(*ast.CommClause); ok && isReceiveComm(comm.Comm) {
+					n.HasStop = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				n.HasStop = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					n.HasStop = true
+				}
+			}
+		case *ast.Ident:
+			if fn, ok := info.Uses[node].(*types.Func); ok {
+				if callee := g.nodes[fn]; callee != nil {
+					n.valueRefs = append(n.valueRefs, callee)
+				}
+			}
+		case *ast.CallExpr:
+			deferred := len(stack) > 0 && isDeferOf(stack[len(stack)-1], node)
+			fn, targets := g.resolveCallees(info, node)
+			if fn != nil && isStopMarkerFunc(fn) {
+				n.HasStop = true
+			}
+			if obj, delta := g.mutexClass(info, node); obj != nil {
+				if inClosure {
+					return true // a closure's lock discipline is its own
+				}
+				n.NetLocks[obj] += delta
+				if delta > 0 {
+					n.Acquires[obj] = true
+					if !deferred {
+						for _, h := range heldSnapshot() {
+							if h != obj {
+								g.addEdge(h, obj, node.Pos(), n.Pkg)
+							}
+						}
+						held[obj]++
+					}
+				} else if deferred {
+					pinned[obj] = true
+				} else if !pinned[obj] && held[obj] > 0 {
+					held[obj]--
+				}
+				return true
+			}
+			if fn == nil {
+				return true
+			}
+			switch {
+			case inClosure:
+				n.closureCalls = append(n.closureCalls, targets...)
+			default:
+				n.calls = append(n.calls, targets...)
+				if !deferred {
+					if snapshot := heldSnapshot(); len(snapshot) > 0 {
+						n.guarded = append(n.guarded, guardedCall{pos: node.Pos(), fn: fn, targets: targets, held: snapshot})
+					}
+				}
+			}
+			if isBlockingSend(fn) && !inClosure {
+				n.DirectSend = true
+				if n.sendSink == nil {
+					n.sendSink = fn
+				}
+			}
+		}
+		return true
+	})
+	for obj := range n.Acquires {
+		n.TransitiveAcquires[obj] = true
+	}
+}
+
+// isDeferOf reports whether parent is a DeferStmt whose call is exactly
+// this expression (as opposed to a call nested in a deferred call's
+// arguments).
+func isDeferOf(parent ast.Node, call *ast.CallExpr) bool {
+	d, ok := parent.(*ast.DeferStmt)
+	return ok && d.Call == call
+}
+
+// isReceiveComm reports whether a select comm statement is a receive.
+func isReceiveComm(comm ast.Stmt) bool {
+	switch comm := comm.(type) {
+	case *ast.ExprStmt:
+		u, ok := comm.X.(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			u, ok := comm.Rhs[0].(*ast.UnaryExpr)
+			return ok && u.Op == token.ARROW
+		}
+	}
+	return false
+}
+
+// isStopMarkerFunc recognizes sync.WaitGroup.Done (the other markers are
+// syntactic: selects, receives, channel ranges).
+func isStopMarkerFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Done" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// fixpoint propagates TransitiveAcquires, ReachesSend and HasStopReach
+// over the call edges until nothing changes. Recursion terminates because
+// every fact only ever grows.
+func (g *CallGraph) fixpoint() {
+	for _, n := range g.ordered {
+		n.ReachesSend = n.DirectSend
+		n.HasStopReach = n.HasStop
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.ordered {
+			for _, c := range n.calls {
+				for obj := range c.TransitiveAcquires {
+					if !n.TransitiveAcquires[obj] {
+						n.TransitiveAcquires[obj] = true
+						changed = true
+					}
+				}
+				if !n.ReachesSend && c.ReachesSend {
+					n.ReachesSend = true
+					n.sendHop = c
+					changed = true
+				}
+			}
+			if !n.HasStopReach {
+				for _, c := range append(n.calls, n.closureCalls...) {
+					if c.HasStopReach && c.Pkg == n.Pkg {
+						n.HasStopReach = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// sendPath renders the representative call chain from n to its blocking
+// send for diagnostics: "a -> b -> chord.Node.Send".
+func (n *FuncNode) sendPath() string {
+	var parts []string
+	cur := n
+	for depth := 0; cur != nil && depth < 32; depth++ {
+		parts = append(parts, funcKey(cur.Fn))
+		if cur.DirectSend {
+			if cur.sendSink != nil {
+				parts = append(parts, funcKey(cur.sendSink))
+			}
+			break
+		}
+		cur = cur.sendHop
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func (g *CallGraph) addEdge(from, to types.Object, pos token.Pos, pkg *Package) {
+	key := [2]types.Object{from, to}
+	if from == to || g.edgeSet[key] {
+		return
+	}
+	g.edgeSet[key] = true
+	g.edges = append(g.edges, lockEdge{from: from, to: to, pos: pos, pkg: pkg})
+}
+
+// deriveLockDiags materializes lockorder's findings now that the
+// fixpoint is known: transitive sends under held locks, summary-derived
+// lock-order edges, and cycles over the class graph.
+func (g *CallGraph) deriveLockDiags() {
+	report := func(pkg *Package, pos token.Pos, format string, args ...any) {
+		g.lockDiags[pkg] = append(g.lockDiags[pkg], finding{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+	for _, n := range g.ordered {
+		for _, gc := range n.guarded {
+			heldNames := make([]string, len(gc.held))
+			for i, obj := range gc.held {
+				heldNames[i] = g.LockName(obj)
+			}
+			heldText := strings.Join(heldNames, ", ")
+			if isBlockingSend(gc.fn) {
+				report(n.Pkg, gc.pos, "%s blocks on the overlay/transport while mutex %s is held; release it before sending", gc.fn.Name(), heldText)
+			} else {
+				for _, target := range gc.targets {
+					if target.ReachesSend {
+						report(n.Pkg, gc.pos, "call to %s reaches a blocking send (%s) while mutex %s is held; release it before sending", gc.fn.Name(), target.sendPath(), heldText)
+						break
+					}
+				}
+			}
+			for _, target := range gc.targets {
+				for obj := range target.TransitiveAcquires {
+					for _, h := range gc.held {
+						g.addEdge(h, obj, gc.pos, n.Pkg)
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection: an edge A->B closes a cycle iff B reaches A.
+	adj := make(map[types.Object][]types.Object)
+	for _, e := range g.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to types.Object) bool {
+		seen := map[types.Object]bool{from: true}
+		stack := []types.Object{from}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == to {
+				return true
+			}
+			for _, next := range adj[cur] {
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range g.edges {
+		if reaches(e.to, e.from) {
+			report(e.pkg, e.pos, "acquiring %s while %s is held closes a lock-order cycle (%s is also acquired, possibly transitively, under %s)",
+				g.LockName(e.to), g.LockName(e.from), g.LockName(e.from), g.LockName(e.to))
+		}
+	}
+	for _, diags := range g.lockDiags {
+		sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+	}
+}
+
+// LockFindings returns the lockorder findings owned by pkg.
+func (g *CallGraph) LockFindings(pkg *Package) []finding { return g.lockDiags[pkg] }

@@ -7,7 +7,7 @@ import (
 	"cqjoin/internal/analysis/analysistest"
 )
 
-// The five analyzer suites run against golden fixtures under
+// The analyzer suites run against golden fixtures under
 // testdata/src, each with positive (diagnostic expected) and suppressed
 // (//lint:allow) cases. The determinism fixture lives under the
 // cqjoin/internal/sim fixture path so the analyzer's package scope
@@ -50,6 +50,26 @@ func TestSendUnderLockAnalyzer(t *testing.T) {
 
 func TestObsRegisterAnalyzer(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.ObsRegisterAnalyzer, "obsregister/a")
+}
+
+func TestLockOrderAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.LockOrderAnalyzer, "lockorder/a")
+}
+
+// TestGoroLeakAnalyzer runs the goroleak fixture under a fixture path
+// inside the analyzer's production scope (a transport subpackage), so the
+// same filter that gates the real tree gates the fixture.
+func TestGoroLeakAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.GoroLeakAnalyzer,
+		"cqjoin/internal/transport/goroleakfix")
+}
+
+func TestPoolSafeAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.PoolSafeAnalyzer, "poolsafe/a")
+}
+
+func TestWireTagAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.WireTagAnalyzer, "wiretag/a", "wiretag/b")
 }
 
 // TestSuiteCleanOnTree is the in-repo form of the CI gate: the full suite

@@ -1,0 +1,8 @@
+// Package b is the cross-package half of the stop-path fixture: Wait has
+// a stop marker, but callers in package a must not inherit it — stop
+// reachability propagates through same-package callees only.
+package b
+
+func Wait(ch chan struct{}) {
+	<-ch
+}

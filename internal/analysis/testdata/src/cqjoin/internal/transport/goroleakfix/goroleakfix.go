@@ -1,0 +1,67 @@
+// Package goroleakfix exercises the goroleak analyzer from inside its
+// production scope (the package path sits under cqjoin/internal/transport,
+// which the analyzer's filter covers): every go statement must have a
+// provable stop path — a WaitGroup Done, a select with a receive, a
+// channel receive or range — in the spawned body or its same-package
+// callees.
+package goroleakfix
+
+import "sync"
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// leakyLoop has no stop marker anywhere: spawning it is a leak.
+func (s *server) leakyLoop() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// stoppedLoop pairs a Done with a receive-terminated select.
+func (s *server) stoppedLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// runHelper proves its stop path one call away: HasStopReach propagates
+// through same-package callees.
+func (s *server) runHelper() {
+	s.run()
+}
+
+func (s *server) run() {
+	<-s.done
+}
+
+// drain ranges over a channel, the third marker kind.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func spawns(s *server, ch chan int) {
+	go s.leakyLoop() // want "goroutine leakyLoop has no provable stop path"
+	go s.stoppedLoop()
+	go s.runHelper()
+	go drain(ch)
+	go func() { // want "goroutine has no provable stop path"
+		for {
+		}
+	}()
+	go func() {
+		defer s.wg.Done()
+		<-s.done
+	}()
+	f := func() { <-s.done }
+	go f() // want "goroutine target cannot be resolved statically"
+	//lint:allow goroleak fixture documents the intentionally unbounded spawn
+	go s.leakyLoop()
+}

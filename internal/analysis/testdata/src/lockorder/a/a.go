@@ -1,0 +1,76 @@
+// Package a exercises the lockorder analyzer: transitive sends reached
+// through a call chain while a mutex is held, direct sends under a lock,
+// lock-order cycles between two classes, and the //lint:allow escape
+// hatch. The chord import resolves to the fixture fake under this
+// testdata root, whose Node.Send et al carry the production funcKeys the
+// analyzer's sink set matches on.
+package a
+
+import (
+	"sync"
+
+	"cqjoin/internal/chord"
+)
+
+type state struct {
+	mu   sync.Mutex
+	ack  sync.Mutex
+	node *chord.Node
+}
+
+// sendHelper is the sink end of the transitive chain: it sends directly.
+func (s *state) sendHelper() {
+	s.node.Send(nil, 0)
+}
+
+// hop is the middle of the chain; it holds no lock itself.
+func (s *state) hop() {
+	s.sendHelper()
+}
+
+// transitiveSendUnderLock calls into a chain that reaches chord.Node.Send
+// while mu is pinned by the deferred unlock.
+func (s *state) transitiveSendUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hop() // want "call to hop reaches a blocking send .lockorder/a.state.hop -> lockorder/a.state.sendHelper -> cqjoin/internal/chord.Node.Send. while mutex state.mu is held"
+}
+
+// directSendUnderLock sends on the overlay with mu still held.
+func (s *state) directSendUnderLock() {
+	s.mu.Lock()
+	s.node.Send(nil, 0) // want "Send blocks on the overlay/transport while mutex state.mu is held"
+	s.mu.Unlock()
+}
+
+// sendAfterUnlock is the clean shape: the lock is released first.
+func (s *state) sendAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.node.Send(nil, 0)
+}
+
+// lockAThenB and lockBThenA disagree on acquisition order, closing a
+// cycle between the two classes; each inner acquisition is reported.
+func (s *state) lockAThenB() {
+	s.mu.Lock()
+	s.ack.Lock() // want "acquiring state.ack while state.mu is held closes a lock-order cycle"
+	s.ack.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *state) lockBThenA() {
+	s.ack.Lock()
+	s.mu.Lock() // want "acquiring state.mu while state.ack is held closes a lock-order cycle"
+	s.mu.Unlock()
+	s.ack.Unlock()
+}
+
+// suppressed documents the escape hatch: the finding on the next line is
+// swallowed by the allow directive.
+func (s *state) suppressed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockorder fixture documents the intentional-send escape hatch
+	s.node.Send(nil, 0)
+}

@@ -1,0 +1,123 @@
+// Package a exercises the poolsafe analyzer: single-accessor routing,
+// Reset coverage for pooled types that have one, path-sensitive double
+// Put and use-after-Put, receiver-releasing methods, and the retained
+// alias rule for returns under a deferred Put.
+package a
+
+import "sync"
+
+// bufPool: accessor discipline. getBuf/putBuf are the accessors because
+// they contain the first Get/Put sites in file order; every other direct
+// call is a violation.
+var bufPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
+func rogueGet() *[]byte {
+	return bufPool.Get().(*[]byte) // want "bufPool.Get called in rogueGet; route every Get through the single accessor getBuf"
+}
+
+func roguePut(b *[]byte) {
+	bufPool.Put(b) // want "bufPool.Put called in roguePut; route every Put through the single accessor putBuf"
+}
+
+// framePool: its pooled type has a Reset method that neither accessor
+// calls, so recycled frames leak their previous contents.
+type frame struct{ data []byte }
+
+func (f *frame) Reset() { f.data = f.data[:0] }
+
+var framePool = sync.Pool{New: func() interface{} { return new(frame) }}
+
+func getFrame() *frame { return framePool.Get().(*frame) }
+
+func putFrame(f *frame) { // want "has a Reset method but neither the Get nor the Put accessor of framePool calls it"
+	framePool.Put(f)
+}
+
+// scratchPool: the fixed twin of framePool — the put accessor resets.
+type scratch struct{ data []byte }
+
+func (s *scratch) Reset() { s.data = s.data[:0] }
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func putScratch(s *scratch) {
+	s.Reset()
+	scratchPool.Put(s)
+}
+
+// itemPool: release tracking through the accessor and through a
+// receiver-releasing method.
+type item struct{ n int }
+
+var itemPool = sync.Pool{New: func() interface{} { return new(item) }}
+
+func getItem() *item   { return itemPool.Get().(*item) }
+func putItem(it *item) { itemPool.Put(it) }
+
+// recycle releases its own receiver, so calling it counts as a Put.
+func (it *item) recycle() { putItem(it) }
+
+func doublePut(it *item) {
+	putItem(it)
+	putItem(it) // want "pooled it is released twice on this path"
+}
+
+func doubleViaMethod(it *item) {
+	it.recycle()
+	putItem(it) // want "pooled it is released twice on this path"
+}
+
+func useAfterPut(it *item) int {
+	putItem(it)
+	return it.n // want "pooled it used after Put"
+}
+
+// branchHygiene is clean: the releasing branch returns, so the fallthrough
+// path still owns the object.
+func branchHygiene(it *item, ok bool) {
+	if ok {
+		putItem(it)
+		return
+	}
+	putItem(it)
+}
+
+// reassigned is clean: after a fresh Get the variable is a new object.
+func reassigned(it *item) int {
+	putItem(it)
+	it = getItem()
+	return it.n
+}
+
+// dataPool pools plain byte slices for the retained-alias rule.
+var dataPool = sync.Pool{New: func() interface{} { return []byte(nil) }}
+
+func getData() []byte  { return dataPool.Get().([]byte) }
+func putData(b []byte) { dataPool.Put(b) }
+
+func retained(n int) []byte {
+	b := getData()
+	defer putData(b)
+	return b[:n] // want "returning pooled b while a deferred Put of it is pending"
+}
+
+// copied is the clean shape: the bytes leave the pooled buffer before it
+// is recycled.
+func copied(n int) []byte {
+	b := getData()
+	defer putData(b)
+	out := make([]byte, n)
+	copy(out, b[:n])
+	return out
+}
+
+func suppressed(it *item) {
+	putItem(it)
+	//lint:allow poolsafe fixture re-gets the object before any reuse
+	putItem(it)
+}

@@ -1,12 +1,19 @@
 // Package a exercises the wiresync analyzer: paired //wire:field
-// directives between an encoder type switch and a size type switch, with
-// every drift direction represented.
+// directives between an encoder type switch, a size type switch and a
+// decode tag switch, with every drift direction represented.
 package a
 
 type buffer struct{ n int }
 
 func (b *buffer) putInt(v int)       { b.n += 8 }
 func (b *buffer) putString(s string) { b.n += len(s) }
+
+type reader struct{}
+
+func (r *reader) tag() byte    { return 0 }
+func (r *reader) rint() int    { return 0 }
+func (r *reader) rstr() string { return "" }
+func (r *reader) rcount() int  { return 0 }
 
 type message interface{ tag() byte }
 
@@ -98,7 +105,7 @@ func encode(w *buffer, msg message) {
 	case msgUnannotated: // want "case msgUnannotated has no //wire:field directive"
 		w.putInt(m.X)
 	//wire:field enc msgMissing X Y
-	case msgMissing:
+	case msgMissing: // want "type msgMissing has encoder and size directives but no decoder //wire:field dec msgMissing"
 		w.putInt(m.X)
 		w.putString(m.Y)
 	//wire:field enc msgEpochFrame Input Shard Version K Entries Tuples
@@ -208,6 +215,85 @@ func sizeHelperDrift(h *helperDrift) int { // want "wire fields of helperDrift d
 }
 
 func zero(int) int { return 8 }
+
+// decode mirrors the engine codec's DecodeMessage: a tag-valued switch
+// whose arms carry dec directives or delegate to dec-annotated helpers.
+// Annotating any arm makes the whole switch (and the pairing check)
+// demand decode coverage, which is what pins msgMissing's missing dec
+// directive above.
+func decode(r *reader) message {
+	switch r.tag() {
+	//wire:field dec msgGood X Y
+	case 1:
+		return msgGood{X: r.rint(), Y: r.rstr()}
+	//wire:field dec msgBadBody X Y
+	case 5: // want "msgBadBody decoder fills fields .Y X. but //wire:field declares .X Y."
+		return msgBadBody{Y: r.rstr(), X: r.rint()}
+	case 6: // want "decode arm has no //wire:field dec directive"
+		return msgUnannotated{X: r.rint()}
+	case 8:
+		return decodeEpochFrame(r)
+	}
+	return nil
+}
+
+// decodeEpochFrame fills its fields through a var subject; the accessed
+// field order must match the directive (and so the encoder's wire order).
+//
+//wire:field dec msgEpochFrame Input Shard Version K Entries Tuples
+func decodeEpochFrame(r *reader) message {
+	var m msgEpochFrame
+	m.Input = r.rstr()
+	m.Shard = r.rint()
+	m.Version = r.rint()
+	m.K = r.rint()
+	for i := 0; i < r.rcount(); i++ {
+		m.Entries = append(m.Entries, decodeSub(r))
+	}
+	for i := 0; i < r.rcount(); i++ {
+		m.Tuples = append(m.Tuples, r.rstr())
+	}
+	return m
+}
+
+//wire:field dec sub A B
+func decodeSub(r *reader) sub {
+	return sub{A: r.rint(), B: r.rstr()}
+}
+
+//wire:field dec view Version Procs
+func decodeView(r *reader) *view {
+	var v view
+	v.Version = r.rint()
+	for i := 0; i < r.rcount(); i++ {
+		v.Procs = append(v.Procs, r.rstr())
+	}
+	return &v
+}
+
+// msgDecDrift's decode directive disagrees with the encoder's field list;
+// the helper body is pairing-only (no composite, no var subject), so only
+// the pairing check fires.
+type msgDecDrift struct {
+	A int
+	B int
+}
+
+//wire:field enc msgDecDrift A B
+func encodeDecDrift(w *buffer, m *msgDecDrift) {
+	w.putInt(m.A)
+	w.putInt(m.B)
+}
+
+//wire:field size msgDecDrift A B
+func sizeDecDrift(m *msgDecDrift) int {
+	return zero(m.A) + zero(m.B)
+}
+
+//wire:field dec msgDecDrift A
+func decodeDecDrift(r *reader) *msgDecDrift { // want "wire fields of msgDecDrift disagree: encoder declares .A B., decoder declares .A."
+	return nil
+}
 
 //wire:field enc ghost X // want "not attached to a case arm or function"
 var unrelated = 0

@@ -1,0 +1,69 @@
+// Package a exercises the wiretag analyzer's arm-level rules over a
+// miniature codec: every tag constant needs exactly one encoder arm, one
+// decode arm in ascending tag order carrying (or delegating to) a
+// //wire:field dec directive, and a size directive for its message type.
+// The values 1..4 are dense and unique, so the value-level rules stay
+// silent here (wiretag/b covers them).
+package a
+
+type wbuf struct{ n int }
+
+func (w *wbuf) putUvarint(v uint64) { w.n += 8 }
+
+type rbuf struct{}
+
+func (r *rbuf) uvarint() uint64 { return 0 }
+
+type msgA struct{ X uint64 }
+type msgB struct{ Y uint64 }
+type msgC struct{ Z uint64 }
+
+const (
+	tagA = 1
+	tagB = 2 // want "tag tagB message type msgB has no //wire:field size directive"
+	tagC = 3
+	tagD = 4 // want "tag tagD is not written by any encoder arm" "tag tagD has no decode arm"
+)
+
+// EncodeMessage writes one message behind its tag prefix; the type-switch
+// arms bind each tag to its message type.
+func EncodeMessage(w *wbuf, m interface{}) {
+	switch m := m.(type) {
+	case *msgA:
+		w.putUvarint(tagA)
+		w.putUvarint(m.X)
+	case *msgB:
+		w.putUvarint(tagB)
+		w.putUvarint(m.Y)
+	case *msgC:
+		w.putUvarint(tagC)
+		w.putUvarint(m.Z)
+	}
+}
+
+// DecodeMessage reads one message by tag. The tagA arm is covered by its
+// delegate's directive; the tagC arm carries a directive for the wrong
+// type; the tagB arm is both out of order and unannotated.
+func DecodeMessage(r *rbuf) interface{} {
+	switch r.uvarint() {
+	case tagA:
+		return decodeA(r)
+	//wire:field dec msgB Y
+	case tagC: // want "decode arm for tagC carries //wire:field dec msgB but the encoder arm handles msgC"
+		return decodeC(r)
+	case tagB: // want "decode arm for tagB .tag 2. is out of order after tagC .tag 3." "decode arm for tagB has no //wire:field dec directive"
+		return &msgB{Y: r.uvarint()}
+	}
+	return nil
+}
+
+//wire:field dec msgA X
+func decodeA(r *rbuf) *msgA { return &msgA{X: r.uvarint()} }
+
+func decodeC(r *rbuf) *msgC { return &msgC{Z: r.uvarint()} }
+
+//wire:field size msgA X
+func sizeA(m *msgA) int { return 8 }
+
+//wire:field size msgC Z
+func sizeC(m *msgC) int { return 8 }

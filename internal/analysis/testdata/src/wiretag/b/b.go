@@ -1,0 +1,14 @@
+// Package b exercises the wiretag analyzer's value-level rules on a bare
+// tag block: a duplicated wire value and a gap before 5 (dense would be
+// 1..3). With no codec functions at all, every tag also lacks its encoder
+// and decoder arms. Duplicate tags cannot carry decode arms anyway — two
+// case labels with the same constant value do not compile — which is why
+// these rules get their own fixture package.
+package b
+
+const (
+	tagOne  = 1 // want "tag values are not dense" "tag tagOne is not written by any encoder arm" "tag tagOne has no decode arm"
+	tagTwo  = 2 // want "tag tagTwo is not written by any encoder arm" "tag tagTwo has no decode arm"
+	tagCopy = 2 // want "tag tagCopy duplicates the wire value 2 of tagTwo" "tag tagCopy is not written by any encoder arm" "tag tagCopy has no decode arm"
+	tagFive = 5 // want "tag tagFive is not written by any encoder arm" "tag tagFive has no decode arm"
+)

@@ -4,13 +4,15 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
-// WireSyncAnalyzer keeps codec.go and wiresize.go from drifting apart.
-// Every encoder arm (a `case` in EncodeMessage or a helper like
-// encodeRewritten) and every size arm (a `case` in wireSize or a helper
-// like sizeRewritten) carries a directive in its doc position:
+// WireSyncAnalyzer keeps codec.go and wiresize.go — and since cqlint v2,
+// the decode side — from drifting apart. Every encoder arm (a `case` in
+// EncodeMessage or a helper like encodeRewritten), every size arm, and
+// every decoder arm (a `case` in DecodeMessage's tag switch or a helper
+// like decodeRewritten) carries a directive in its doc position:
 //
 //	//wire:field enc queryMsg Q Attr Side Replica
 //	case queryMsg:
@@ -18,38 +20,53 @@ import (
 //	//wire:field size queryMsg Q Attr Side Replica
 //	case queryMsg:
 //
-// The analyzer then proves three things per message type:
+//	//wire:field dec queryMsg Q Attr Side Replica
+//	case tagQuery:
+//
+// The analyzer then proves per message type:
 //
 //  1. the code matches its own directive — on the enc side the fields
 //     accessed through the case/parameter variable, in source order, must
 //     equal the declared list exactly (declared order IS wire order); on
 //     the size side the accessed set must equal the declared set (size
-//     terms sum, so order is free);
-//  2. the two directives pair up — same type, identical field lists, one
-//     of each side;
-//  3. nothing escapes annotation — in any function containing at least
-//     one case-attached directive, every single-type case arm must carry
-//     one, so a new message type cannot be added to the codec silently.
+//     terms sum, so order is free); on the dec side the keyed composite
+//     literal of the type (or the fields assigned through a `var x T`
+//     subject), in source order, must equal the declared list exactly —
+//     decode order IS wire order too;
+//  2. the directives pair up — same type, identical field lists, one of
+//     each side. The dec side is required only in packages that have
+//     adopted dec directives (at least one present), so enc/size-only
+//     packages keep working;
+//  3. nothing escapes annotation — in any switch containing at least one
+//     attached directive, every non-default arm must carry one (decode
+//     arms may instead delegate to a dec-annotated helper), so a new
+//     message type cannot be added to the codec silently.
 //
-// Deleting either directive of a pair, adding an encoded field without
-// declaring it, or declaring a field without a size term all fail the
-// build (acceptance criteria in ISSUE 4).
+// Deleting any directive of a triple, adding an encoded field without
+// declaring it, or decoding fields in a different order than the encoder
+// writes them all fail the build.
 var WireSyncAnalyzer = &Analyzer{
 	Name: "wiresync",
-	Doc:  "pair //wire:field directives between encoders and size functions; flag drift either way",
+	Doc:  "pair //wire:field directives between encoders, size functions and decoders; flag drift any way",
 	Run:  runWireSync,
 }
 
 const wireFieldPrefix = "//wire:field "
 
+// sideIndex maps a directive side to its slot in a pairing triple.
+var sideIndex = map[string]int{"enc": 0, "size": 1, "dec": 2}
+
 type wireDirective struct {
-	side   string // "enc" or "size"
+	side   string // "enc", "size" or "dec"
 	typ    string // message/struct type name the arm handles
 	fields []string
 	pos    token.Pos
 	file   string // filename the directive lives in
 	line   int    // line of the directive comment
 	node   ast.Node
+	// nodeKind records what the directive attached to: "func",
+	// "typearm" (type-switch case) or "valuearm" (value-switch case).
+	nodeKind string
 }
 
 // reportPos anchors diagnostics about a directive on the case arm or
@@ -62,8 +79,39 @@ func (d *wireDirective) reportPos() token.Pos {
 	return d.pos
 }
 
-func runWireSync(pass *Pass) error {
-	var directives []*wireDirective
+// wireIndex is the parsed and attached directive set of one package,
+// shared between wiresync (pairing and body checks) and wiretag (tag
+// coverage).
+type wireIndex struct {
+	directives []*wireDirective
+	byNode     map[ast.Node]*wireDirective
+	// decFuncs are the function objects whose declaration carries a dec
+	// directive; a decode arm may delegate to one instead of carrying
+	// its own directive.
+	decFuncs map[types.Object]*wireDirective
+	// annotatedTypeSwitches / annotatedValueSwitches hold the switches
+	// containing at least one attached directive, for coverage checks.
+	annotatedTypeSwitches  map[*ast.TypeSwitchStmt]bool
+	annotatedValueSwitches map[*ast.SwitchStmt]bool
+}
+
+// buildWireIndex parses every //wire:field directive in the package and
+// attaches each to the function declaration, type-switch arm or
+// value-switch arm beginning on the line directly below it. Malformed or
+// misplaced directives are reported only when report is set (wiresync
+// owns those findings; wiretag reuses the index silently).
+func buildWireIndex(pass *Pass, report bool) *wireIndex {
+	idx := &wireIndex{
+		byNode:                 make(map[ast.Node]*wireDirective),
+		decFuncs:               make(map[types.Object]*wireDirective),
+		annotatedTypeSwitches:  make(map[*ast.TypeSwitchStmt]bool),
+		annotatedValueSwitches: make(map[*ast.SwitchStmt]bool),
+	}
+	reportf := func(pos token.Pos, format string, args ...any) {
+		if report {
+			pass.Reportf(pos, format, args...)
+		}
+	}
 	byLoc := make(map[string]*wireDirective) // "file:line" -> directive
 	for _, f := range pass.Pkg.Files {
 		for _, cg := range f.Comments {
@@ -73,8 +121,8 @@ func runWireSync(pass *Pass) error {
 					continue
 				}
 				fields := directiveFields(rest)
-				if len(fields) < 3 || (fields[0] != "enc" && fields[0] != "size") {
-					pass.Reportf(c.Pos(), "malformed //wire:field: want \"//wire:field <enc|size> <Type> <Field...>\"")
+				if len(fields) < 3 || sideIndex[fields[0]] == 0 && fields[0] != "enc" {
+					reportf(c.Pos(), "malformed //wire:field: want \"//wire:field <enc|size|dec> <Type> <Field...>\"")
 					continue
 				}
 				pos := pass.Fset.Position(c.Pos())
@@ -82,18 +130,15 @@ func runWireSync(pass *Pass) error {
 					side: fields[0], typ: fields[1], fields: fields[2:],
 					pos: c.Pos(), file: pos.Filename, line: pos.Line,
 				}
-				directives = append(directives, d)
+				idx.directives = append(idx.directives, d)
 				byLoc[fmt.Sprintf("%s:%d", d.file, d.line)] = d
 			}
 		}
 	}
-	if len(directives) == 0 {
-		return nil
+	if len(idx.directives) == 0 {
+		return idx
 	}
 
-	// Attach each directive to the case arm or function declared on the
-	// next line, check the arm's body against the declared field list, and
-	// enforce that annotated functions have no unannotated arms.
 	attach := func(node ast.Node) *wireDirective {
 		pos := pass.Fset.Position(node.Pos())
 		return byLoc[fmt.Sprintf("%s:%d", pos.Filename, pos.Line-1)]
@@ -105,29 +150,99 @@ func runWireSync(pass *Pass) error {
 				continue
 			}
 			if d := attach(fd); d != nil {
-				d.node = fd
-				subject := paramNameForType(fd, d.typ)
-				if subject == "" {
-					pass.Reportf(d.reportPos(), "//wire:field %s %s: no parameter of type %s on %s", d.side, d.typ, d.typ, fd.Name.Name)
-				} else {
-					checkArm(pass, d, fd.Body, subject)
+				d.node, d.nodeKind = fd, "func"
+				idx.byNode[fd] = d
+				if d.side == "dec" {
+					if obj := pass.Pkg.Info.Defs[fd.Name]; obj != nil {
+						idx.decFuncs[obj] = d
+					}
 				}
 			}
-			// Case arms inside this function.
-			annotated := false
-			var caseArms []*ast.CaseClause
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				sw, ok := n.(*ast.TypeSwitchStmt)
-				if !ok {
-					return true
+				switch sw := n.(type) {
+				case *ast.TypeSwitchStmt:
+					for _, stmt := range sw.Body.List {
+						cc := stmt.(*ast.CaseClause)
+						if d := attach(cc); d != nil {
+							d.node, d.nodeKind = cc, "typearm"
+							idx.byNode[cc] = d
+							idx.annotatedTypeSwitches[sw] = true
+							if d.side == "dec" {
+								reportf(d.reportPos(), "//wire:field dec belongs on a decode (value) switch arm or a decode helper, not a type-switch arm")
+							}
+						}
+					}
+				case *ast.SwitchStmt:
+					for _, stmt := range sw.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						if d := attach(cc); d != nil {
+							d.node, d.nodeKind = cc, "valuearm"
+							idx.byNode[cc] = d
+							idx.annotatedValueSwitches[sw] = true
+							if d.side != "dec" {
+								reportf(d.reportPos(), "//wire:field %s belongs on an encoder/size arm, not a decode switch arm (use dec)", d.side)
+							}
+						}
+					}
 				}
-				subject := typeSwitchSubject(sw)
-				for _, stmt := range sw.Body.List {
-					cc := stmt.(*ast.CaseClause)
-					caseArms = append(caseArms, cc)
-					if d := attach(cc); d != nil {
-						annotated = true
-						d.node = cc
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+func runWireSync(pass *Pass) error {
+	idx := buildWireIndex(pass, true)
+	if len(idx.directives) == 0 {
+		return nil
+	}
+	hasDec := false
+	for _, d := range idx.directives {
+		if d.side == "dec" && d.node != nil {
+			hasDec = true
+		}
+	}
+
+	// Body checks per attached directive.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if d := idx.byNode[fd]; d != nil {
+				if d.side == "dec" {
+					checkDecBody(pass, d, fd.Body)
+				} else {
+					subject := paramNameForType(fd, d.typ)
+					if subject == "" {
+						pass.Reportf(d.reportPos(), "//wire:field %s %s: no parameter of type %s on %s", d.side, d.typ, d.typ, fd.Name.Name)
+					} else {
+						checkArm(pass, d, fd.Body, subject)
+					}
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch sw := n.(type) {
+				case *ast.TypeSwitchStmt:
+					subject := typeSwitchSubject(sw)
+					annotated := idx.annotatedTypeSwitches[sw]
+					for _, stmt := range sw.Body.List {
+						cc := stmt.(*ast.CaseClause)
+						d := idx.byNode[cc]
+						if d == nil {
+							if annotated && len(cc.List) == 1 {
+								pass.Reportf(cc.Pos(), "case %s has no //wire:field directive in an annotated codec function", typeName(cc.List[0]))
+							}
+							continue
+						}
+						if d.side == "dec" {
+							continue // misplacement already reported by the index
+						}
 						if len(cc.List) != 1 {
 							pass.Reportf(d.reportPos(), "//wire:field on a case arm with %d types; annotate single-type arms only", len(cc.List))
 							continue
@@ -142,34 +257,41 @@ func runWireSync(pass *Pass) error {
 						}
 						checkArm(pass, d, cc, subject)
 					}
+				case *ast.SwitchStmt:
+					if !idx.annotatedValueSwitches[sw] {
+						return true
+					}
+					for _, stmt := range sw.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok || cc.List == nil {
+							continue // default arm (the codec's error path)
+						}
+						d := idx.byNode[cc]
+						if d == nil {
+							if !armDelegatesToDecFunc(pass, cc, idx, "") {
+								pass.Reportf(cc.Pos(), "decode arm has no //wire:field dec directive (directly or via a dec-annotated helper) in an annotated decode switch")
+							}
+							continue
+						}
+						if d.side == "dec" {
+							checkDecBody(pass, d, cc)
+						}
+					}
 				}
 				return true
 			})
-			if annotated {
-				for _, cc := range caseArms {
-					if cc.List == nil {
-						continue // default arm (the codec's error path)
-					}
-					if len(cc.List) == 1 && attach(cc) == nil {
-						pass.Reportf(cc.Pos(), "case %s has no //wire:field directive in an annotated codec function", typeName(cc.List[0]))
-					}
-				}
-			}
 		}
 	}
 
-	// Pair enc and size directives per type.
-	paired := make(map[string][2]*wireDirective) // typ -> [enc, size]
-	for _, d := range directives {
+	// Pair enc, size and dec directives per type.
+	paired := make(map[string][3]*wireDirective)
+	for _, d := range idx.directives {
 		if d.node == nil {
 			pass.Reportf(d.pos, "//wire:field %s %s is not attached to a case arm or function (it must sit on the line directly above one)", d.side, d.typ)
 			continue
 		}
 		entry := paired[d.typ]
-		i := 0
-		if d.side == "size" {
-			i = 1
-		}
+		i := sideIndex[d.side]
 		if entry[i] != nil {
 			pass.Reportf(d.reportPos(), "duplicate //wire:field %s %s (first at %s:%d)", d.side, d.typ, entry[i].file, entry[i].line)
 			continue
@@ -177,19 +299,130 @@ func runWireSync(pass *Pass) error {
 		entry[i] = d
 		paired[d.typ] = entry
 	}
-	for typ, pair := range paired {
-		enc, size := pair[0], pair[1]
+	for typ, triple := range paired {
+		enc, size, dec := triple[0], triple[1], triple[2]
 		switch {
-		case enc == nil:
+		case enc == nil && size != nil:
 			pass.Reportf(size.reportPos(), "type %s has a size directive but no encoder //wire:field enc %s: codec.go and wiresize.go have drifted", typ, typ)
+		case enc == nil && dec != nil:
+			pass.Reportf(dec.reportPos(), "type %s has a decoder directive but no encoder //wire:field enc %s: the decode side has drifted from the codec", typ, typ)
 		case size == nil:
 			pass.Reportf(enc.reportPos(), "type %s has an encoder directive but no size //wire:field size %s: every encoded field needs a size term in wiresize.go", typ, typ)
 		case strings.Join(enc.fields, " ") != strings.Join(size.fields, " "):
 			pass.Reportf(size.reportPos(), "wire fields of %s disagree: encoder declares [%s], size declares [%s]",
 				typ, strings.Join(enc.fields, " "), strings.Join(size.fields, " "))
+		case dec == nil && hasDec:
+			pass.Reportf(enc.reportPos(), "type %s has encoder and size directives but no decoder //wire:field dec %s: annotate its DecodeMessage arm or decode helper", typ, typ)
+		case dec != nil && strings.Join(enc.fields, " ") != strings.Join(dec.fields, " "):
+			pass.Reportf(dec.reportPos(), "wire fields of %s disagree: encoder declares [%s], decoder declares [%s]",
+				typ, strings.Join(enc.fields, " "), strings.Join(dec.fields, " "))
 		}
 	}
 	return nil
+}
+
+// armDelegatesToDecFunc reports whether a decode arm's body calls a
+// function carrying a //wire:field dec directive (for wantTyp when
+// non-empty). Pure-delegation arms like `case tagHandoff: return
+// decodeHandoff(r, catalog)` are covered by the helper's directive.
+func armDelegatesToDecFunc(pass *Pass, cc *ast.CaseClause, idx *wireIndex, wantTyp string) bool {
+	found := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			if d, ok := idx.decFuncs[fn]; ok && (wantTyp == "" || d.typ == wantTyp) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			break
+		}
+	}
+	return found
+}
+
+// checkDecBody verifies a decode arm or helper against its directive.
+// The subject is resolved in order of preference: a keyed composite
+// literal of the type (decode order IS wire order, so the keys must
+// match the declared list exactly), else a `var x T` local whose
+// accessed fields are compared in source order, else the check is
+// pairing-only (arms that re-parse, like decodeMultiQuery, or that only
+// delegate).
+func checkDecBody(pass *Pass, d *wireDirective, body ast.Node) {
+	if keys, ok := keyedCompositeFields(body, d.typ); ok {
+		if strings.Join(keys, " ") != strings.Join(d.fields, " ") {
+			pass.Reportf(d.reportPos(), "%s decoder fills fields [%s] but //wire:field declares [%s]; decode order must match the encoder's wire order",
+				d.typ, strings.Join(keys, " "), strings.Join(d.fields, " "))
+		}
+		return
+	}
+	if subject := varDeclSubject(body, d.typ); subject != "" {
+		got := accessedFields(body, subject)
+		if strings.Join(got, " ") != strings.Join(d.fields, " ") {
+			pass.Reportf(d.reportPos(), "%s decoder fills fields [%s] but //wire:field declares [%s]; decode order must match the encoder's wire order",
+				d.typ, strings.Join(got, " "), strings.Join(d.fields, " "))
+		}
+	}
+}
+
+// keyedCompositeFields finds the first fully keyed composite literal of
+// typ inside body and returns its keys in source order.
+func keyedCompositeFields(body ast.Node, typ string) ([]string, bool) {
+	var keys []string
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || cl.Type == nil || typeName(cl.Type) != typ || len(cl.Elts) == 0 {
+			return true
+		}
+		var ks []string
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				return true // positional literal: not checkable here
+			}
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				ks = append(ks, id.Name)
+			}
+		}
+		keys, found = ks, true
+		return false
+	})
+	return keys, found
+}
+
+// varDeclSubject finds `var x T` inside body for type T and returns x.
+func varDeclSubject(body ast.Node, typ string) string {
+	subject := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if subject != "" {
+			return false
+		}
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || vs.Type == nil || typeName(vs.Type) != typ || len(vs.Names) != 1 {
+				continue
+			}
+			subject = vs.Names[0].Name
+		}
+		return true
+	})
+	return subject
 }
 
 // checkArm compares the fields the arm's body actually touches through
@@ -266,6 +499,8 @@ func typeName(e ast.Expr) string {
 		return typeName(e.X)
 	case *ast.SelectorExpr:
 		return e.Sel.Name
+	case *ast.UnaryExpr:
+		return typeName(e.X)
 	}
 	return ""
 }

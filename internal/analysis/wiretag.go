@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireTagAnalyzer checks the message-tag layer of a codec package: any
+// package declaring two or more package-level constants named tag* with
+// integer values (internal/engine's tagQuery..tagHotHandoff) must keep
+// them
+//
+//  1. unique and dense — the values are exactly 1..N, so a deleted tag
+//     cannot be silently reused and a gap cannot hide a dead frame;
+//  2. encoded exactly once — each tag constant is written by exactly one
+//     encoder arm (a case in the EncodeMessage type switch), which also
+//     names the message type the tag stands for;
+//  3. decoded exactly once, in order — each tag appears in exactly one
+//     case label of a tag-valued switch (DecodeMessage), and the labels
+//     of that switch are sorted by tag value, so reordering an arm (the
+//     classic bad-merge artifact) fails the build;
+//  4. decode-annotated — the decode arm carries a //wire:field dec
+//     directive for the encoder arm's message type, directly or through
+//     a dec-annotated helper it calls (delegating arms like tagHandoff),
+//     closing the decode-side gap wiresync's pairing then checks;
+//  5. sized — the tag's message type has a //wire:field size directive,
+//     so the enc/size/dec triple is complete.
+var WireTagAnalyzer = &Analyzer{
+	Name: "wiretag",
+	Doc:  "message tag constants are unique, dense, and carried by exactly one encoder arm, one ordered decoder arm with a dec directive, and one size directive",
+	Run:  runWireTag,
+}
+
+// tagConst is one package-level tag* constant.
+type tagConst struct {
+	obj   *types.Const
+	name  string
+	value int64
+	pos   token.Pos
+}
+
+func runWireTag(pass *Pass) error {
+	tags := collectTagConsts(pass)
+	if len(tags) < 2 {
+		return nil // not a tagged codec package
+	}
+	checkTagValues(pass, tags)
+	encTypes := checkEncoderArms(pass, tags)
+	idx := buildWireIndex(pass, false)
+	checkDecodeArms(pass, tags, encTypes, idx)
+	checkSizeDirectives(pass, tags, encTypes, idx)
+	return nil
+}
+
+// collectTagConsts gathers package-level constants named tag* with
+// integer values, in declaration order. Function-local constants (like
+// wiresize.go's tagLen) are out of scope.
+func collectTagConsts(pass *Pass) []*tagConst {
+	var tags []*tagConst
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "tag") {
+						continue
+					}
+					c, ok := pass.Pkg.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.Int {
+						continue
+					}
+					v, exact := constant.Int64Val(c.Val())
+					if !exact {
+						continue
+					}
+					tags = append(tags, &tagConst{obj: c, name: name.Name, value: v, pos: name.Pos()})
+				}
+			}
+		}
+	}
+	return tags
+}
+
+// checkTagValues enforces uniqueness and density (values exactly 1..N).
+func checkTagValues(pass *Pass, tags []*tagConst) {
+	byValue := make(map[int64]*tagConst)
+	for _, t := range tags {
+		if first, dup := byValue[t.value]; dup {
+			pass.Reportf(t.pos, "tag %s duplicates the wire value %d of %s; tag values must be unique", t.name, t.value, first.name)
+		} else {
+			byValue[t.value] = t
+		}
+	}
+	values := make([]int64, 0, len(byValue))
+	for v := range byValue {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	dense := len(values) > 0 && values[0] == 1 && values[len(values)-1] == int64(len(values))
+	if len(values) > 0 && !dense {
+		pass.Reportf(tags[0].pos, "tag values are not dense 1..%d (got %v); renumber instead of leaving gaps a stale peer could misparse",
+			len(values), values)
+	}
+}
+
+// checkEncoderArms verifies each tag is written by exactly one
+// type-switch encoder arm and maps tags to the message types those arms
+// handle.
+func checkEncoderArms(pass *Pass, tags []*tagConst) map[*tagConst]string {
+	type armRef struct {
+		cc  *ast.CaseClause
+		typ string
+	}
+	uses := make(map[*tagConst][]armRef)
+	byObj := make(map[types.Object]*tagConst, len(tags))
+	for _, t := range tags {
+		byObj[t.obj] = t
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sw, ok := n.(*ast.TypeSwitchStmt)
+				if !ok {
+					return true
+				}
+				for _, stmt := range sw.Body.List {
+					cc := stmt.(*ast.CaseClause)
+					typ := ""
+					if len(cc.List) == 1 {
+						typ = typeName(cc.List[0])
+					}
+					seen := make(map[*tagConst]bool)
+					for _, body := range cc.Body {
+						ast.Inspect(body, func(m ast.Node) bool {
+							if id, ok := m.(*ast.Ident); ok {
+								if t := byObj[pass.Pkg.Info.Uses[id]]; t != nil && !seen[t] {
+									seen[t] = true
+									uses[t] = append(uses[t], armRef{cc: cc, typ: typ})
+								}
+							}
+							return true
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	encTypes := make(map[*tagConst]string)
+	for _, t := range tags {
+		refs := uses[t]
+		switch {
+		case len(refs) == 0:
+			pass.Reportf(t.pos, "tag %s is not written by any encoder arm; every tag needs exactly one EncodeMessage case", t.name)
+		case len(refs) > 1:
+			for _, ref := range refs[1:] {
+				pass.Reportf(ref.cc.Pos(), "tag %s is written by more than one encoder arm; a tag maps to exactly one message type", t.name)
+			}
+		default:
+			if refs[0].typ != "" {
+				encTypes[t] = refs[0].typ
+			}
+		}
+	}
+	return encTypes
+}
+
+// checkDecodeArms verifies each tag labels exactly one value-switch arm,
+// that the arms of the decode switch stay in ascending tag order, and
+// that each arm is covered by a //wire:field dec directive for the
+// encoder's message type (its own, or a dec-annotated helper's).
+func checkDecodeArms(pass *Pass, tags []*tagConst, encTypes map[*tagConst]string, idx *wireIndex) {
+	byObj := make(map[types.Object]*tagConst, len(tags))
+	for _, t := range tags {
+		byObj[t.obj] = t
+	}
+	type labelRef struct {
+		cc *ast.CaseClause
+		t  *tagConst
+	}
+	labels := make(map[*tagConst][]*ast.CaseClause)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				var ordered []labelRef
+				for _, stmt := range sw.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, label := range cc.List {
+						id, ok := ast.Unparen(label).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if t := byObj[pass.Pkg.Info.Uses[id]]; t != nil {
+							labels[t] = append(labels[t], cc)
+							ordered = append(ordered, labelRef{cc: cc, t: t})
+						}
+					}
+				}
+				for i := 1; i < len(ordered); i++ {
+					if ordered[i].t.value < ordered[i-1].t.value {
+						pass.Reportf(ordered[i].cc.Pos(), "decode arm for %s (tag %d) is out of order after %s (tag %d); keep DecodeMessage arms sorted by tag value",
+							ordered[i].t.name, ordered[i].t.value, ordered[i-1].t.name, ordered[i-1].t.value)
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, t := range tags {
+		ccs := labels[t]
+		switch {
+		case len(ccs) == 0:
+			pass.Reportf(t.pos, "tag %s has no decode arm; every tag needs exactly one DecodeMessage case", t.name)
+			continue
+		case len(ccs) > 1:
+			for _, cc := range ccs[1:] {
+				pass.Reportf(cc.Pos(), "tag %s is decoded by more than one arm; a tag maps to exactly one decoder", t.name)
+			}
+			continue
+		}
+		cc := ccs[0]
+		wantTyp := encTypes[t]
+		if d := idx.byNode[cc]; d != nil && d.side == "dec" {
+			if wantTyp != "" && d.typ != wantTyp {
+				pass.Reportf(cc.Pos(), "decode arm for %s carries //wire:field dec %s but the encoder arm handles %s", t.name, d.typ, wantTyp)
+			}
+			continue
+		}
+		if armDelegatesToDecFunc(pass, cc, idx, wantTyp) {
+			continue
+		}
+		pass.Reportf(cc.Pos(), "decode arm for %s has no //wire:field dec directive (directly or via a dec-annotated helper)", t.name)
+	}
+}
+
+// checkSizeDirectives closes the triple: every tag's message type must
+// have a //wire:field size directive in the package.
+func checkSizeDirectives(pass *Pass, tags []*tagConst, encTypes map[*tagConst]string, idx *wireIndex) {
+	sized := make(map[string]bool)
+	for _, d := range idx.directives {
+		if d.side == "size" && d.node != nil {
+			sized[d.typ] = true
+		}
+	}
+	for _, t := range tags {
+		if typ := encTypes[t]; typ != "" && !sized[typ] {
+			pass.Reportf(t.pos, "tag %s message type %s has no //wire:field size directive; the enc/size/dec triple is incomplete", t.name, typ)
+		}
+	}
+}

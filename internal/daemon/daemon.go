@@ -76,6 +76,12 @@ type Server struct {
 	queries   map[string]queryRef // query key -> owner + handle
 	listeners map[*listener]struct{}
 	listening net.Listener
+	// conns tracks accepted client connections and connWG their handler
+	// goroutines, so Close can tear both down instead of leaking blocked
+	// readers; closed refuses handlers accepted during shutdown.
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+	closed bool
 }
 
 // queryRef remembers who subscribed and which kind of query it was, so
@@ -124,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 		logf:      log.Printf,
 		queries:   make(map[string]queryRef),
 		listeners: make(map[*listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
 	}
 	if cfg.OverlayAddr != "" {
 		self := false
@@ -394,20 +401,41 @@ func (s *Server) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
 		go s.handleConn(conn)
 	}
 }
 
-// Close stops accepting connections and shuts down the overlay transport
-// if one is running.
+// Close stops accepting connections, closes every accepted client
+// connection, waits for their handlers to drain, and shuts down the
+// overlay transport if one is running.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	s.closed = true
 	ln := s.listening
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	// Closing a connection unblocks its handler's readLine, so the drain
+	// below terminates.
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.connWG.Wait()
 	if s.tr != nil {
 		if terr := s.tr.Close(); err == nil {
 			err = terr
@@ -444,12 +472,14 @@ const maxLineBytes = 1024 * 1024
 var errLineTooLong = errors.New("daemon: line too long")
 
 func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
 	defer func() { _ = conn.Close() }()
 	enc := json.NewEncoder(conn)
 	lst := &listener{enc: enc}
 	defer func() {
 		s.mu.Lock()
 		delete(s.listeners, lst)
+		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 
@@ -464,7 +494,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			continue
 		}
 		if err != nil {
-			if err != io.EOF {
+			s.mu.Lock()
+			closing := s.closed
+			s.mu.Unlock()
+			if err != io.EOF && !closing {
 				s.logf("daemon: connection %s: read: %v", conn.RemoteAddr(), err)
 				lst.send(map[string]interface{}{"ok": false, "error": "read: " + err.Error()})
 			}
@@ -637,17 +670,17 @@ func (s *Server) dispatch(req *request, lst *listener) map[string]interface{} {
 		ring := chord.CheckRing(s.cluster.Overlay())
 		eval := s.cluster.EvaluatorLoad()
 		resp := map[string]interface{}{
-			"ok":            true,
-			"nodes":         s.cluster.Size(),
-			"notifications": len(s.cluster.Notifications()),
-			"hops":          tr.TotalHops(),
-			"messages":      tr.TotalMessages(),
-			"bytes":         tr.TotalBytes(),
-			"ring":          ring.String(),
-			"ring_ok":       ring.OK(),
-			"eval_load_max": eval.Max,
+			"ok":             true,
+			"nodes":          s.cluster.Size(),
+			"notifications":  len(s.cluster.Notifications()),
+			"hops":           tr.TotalHops(),
+			"messages":       tr.TotalMessages(),
+			"bytes":          tr.TotalBytes(),
+			"ring":           ring.String(),
+			"ring_ok":        ring.OK(),
+			"eval_load_max":  eval.Max,
 			"eval_load_gini": eval.Gini,
-			"hot_keys":      len(s.cluster.HotKeys()),
+			"hot_keys":       len(s.cluster.HotKeys()),
 		}
 		if s.reg != nil {
 			resp["transport"] = s.reg.Snapshot()

@@ -285,3 +285,32 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	<-done
 }
+
+// TestCloseDrainsClientConns pins Close's teardown of accepted client
+// connections: Close closes every live conn (unblocking handlers parked
+// in readLine), waits for their goroutines, and returns promptly; the
+// client side observes its connection closing. Without the conns/connWG
+// tracking, Close returned with every handler goroutine still blocked.
+func TestCloseDrainsClientConns(t *testing.T) {
+	srv, conn := startServer(t, defaultConfig())
+	c := newClient(t, conn)
+	if resp := c.call(map[string]interface{}{"op": "stats"}); resp["ok"] != true {
+		t.Fatalf("stats: %v", resp)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return; client handlers not drained")
+	}
+
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.r.ReadByte(); err == nil {
+		t.Fatal("client connection still open after Close")
+	}
+}

@@ -428,6 +428,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 		return nil, err
 	}
 	switch byte(tag) {
+	//wire:field dec queryMsg Q Attr Side Replica
 	case tagQuery:
 		q, err := wire.DecodeQuery(r, catalog)
 		if err != nil {
@@ -446,6 +447,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return queryMsg{Q: q, Attr: attr, Side: query.Side(side), Replica: int(replica)}, nil
+	//wire:field dec alIndexMsg T Attr Replica
 	case tagALIndex:
 		t, err := wire.DecodeTuple(r)
 		if err != nil {
@@ -460,6 +462,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return alIndexMsg{T: t, Attr: attr, Replica: int(replica)}, nil
+	//wire:field dec vlIndexMsg T Attr
 	case tagVLIndex:
 		t, err := wire.DecodeTuple(r)
 		if err != nil {
@@ -470,12 +473,14 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return vlIndexMsg{T: t, Attr: attr}, nil
+	//wire:field dec joinMsg Rewrites
 	case tagJoin:
 		rws, err := decodeRewrittens(r, catalog)
 		if err != nil {
 			return nil, err
 		}
 		return joinMsg{Rewrites: rws}, nil
+	//wire:field dec joinVMsg Input Cond Side Value Trigger Queries
 	case tagJoinV:
 		input, err := r.String()
 		if err != nil {
@@ -512,6 +517,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			}
 		}
 		return joinVMsg{Input: input, Cond: cond, Side: query.Side(side), Value: val, Trigger: trig, Queries: qs}, nil
+	//wire:field dec joinBatch Msgs
 	case tagJoinBatch:
 		count, err := r.Uvarint()
 		if err != nil {
@@ -528,6 +534,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			}
 		}
 		return joinBatch{Msgs: msgs}, nil
+	//wire:field dec notifyMsg Subscriber Batch
 	case tagNotify:
 		sub, err := r.String()
 		if err != nil {
@@ -548,12 +555,14 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			}
 		}
 		return notifyMsg{Subscriber: sub, Batch: batch}, nil
+	//wire:field dec probeMsg AttrInput
 	case tagProbe:
 		input, err := r.String()
 		if err != nil {
 			return nil, err
 		}
 		return probeMsg{AttrInput: input}, nil
+	//wire:field dec unsubMsg QueryKey Cond Input
 	case tagUnsub:
 		key, err := r.String()
 		if err != nil {
@@ -568,6 +577,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return unsubMsg{QueryKey: key, Cond: cond, Input: input}, nil
+	//wire:field dec purgeMsg QueryKey Input
 	case tagPurge:
 		key, err := r.String()
 		if err != nil {
@@ -578,6 +588,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return purgeMsg{QueryKey: key, Input: input}, nil
+	//wire:field dec baselineQueryMsg Q Side Input
 	case tagBaselineQuery:
 		q, err := wire.DecodeQuery(r, catalog)
 		if err != nil {
@@ -592,6 +603,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return baselineQueryMsg{Q: q, Side: query.Side(side), Input: input}, nil
+	//wire:field dec baselineTupleMsg T Input Side
 	case tagBaselineTuple:
 		t, err := wire.DecodeTuple(r)
 		if err != nil {
@@ -606,6 +618,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return baselineTupleMsg{T: t, Input: input, Side: query.Side(side)}, nil
+	//wire:field dec baselineProbeMsg Input Rewrites
 	case tagBaselineProbe:
 		input, err := r.String()
 		if err != nil {
@@ -616,6 +629,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return baselineProbeMsg{Input: input, Rewrites: rws}, nil
+	//wire:field dec mQueryMsg MQ Attr Replica
 	case tagMQuery:
 		mq, err := decodeMultiQuery(r, catalog)
 		if err != nil {
@@ -630,6 +644,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return mQueryMsg{MQ: mq, Attr: attr, Replica: int(replica)}, nil
+	//wire:field dec mJoinMsg Rewrites
 	case tagMJoin:
 		count, err := r.Uvarint()
 		if err != nil {
@@ -648,6 +663,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 		return mJoinMsg{Rewrites: rws}, nil
 	case tagHandoff:
 		return decodeHandoff(r, catalog)
+	//wire:field dec hotJoinMsg Input Shard Version K Rewrites
 	case tagHotJoin:
 		input, err := r.String()
 		if err != nil {
@@ -662,6 +678,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return hotJoinMsg{Input: input, Shard: shard, Version: version, K: k, Rewrites: rws}, nil
+	//wire:field dec hotVLIndexMsg Input Shard Version K T
 	case tagHotVLIndex:
 		input, err := r.String()
 		if err != nil {
@@ -676,6 +693,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return hotVLIndexMsg{Input: input, Shard: shard, Version: version, K: k, T: t}, nil
+	//wire:field dec hotMigrateMsg Input Version K
 	case tagHotMigrate:
 		input, err := r.String()
 		if err != nil {
@@ -690,6 +708,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return hotMigrateMsg{Input: input, Version: int(version), K: int(k)}, nil
+	//wire:field dec hotRecallMsg Input Shard Version K
 	case tagHotRecall:
 		input, err := r.String()
 		if err != nil {
@@ -700,6 +719,7 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			return nil, err
 		}
 		return hotRecallMsg{Input: input, Shard: shard, Version: version, K: k}, nil
+	//wire:field dec hotHandoffMsg Input Shard Version K Entries Tuples
 	case tagHotHandoff:
 		input, err := r.String()
 		if err != nil {
@@ -715,19 +735,8 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 		}
 		entries := make([]vqEntry, ne)
 		for i := range entries {
-			e := &entries[i]
-			if e.Rw, err = decodeRewritten(r, catalog); err != nil {
+			if entries[i], err = decodeVQEntry(r, catalog); err != nil {
 				return nil, err
-			}
-			nt, err := decodeCount(r)
-			if err != nil {
-				return nil, err
-			}
-			e.Times = make([]int64, nt)
-			for j := range e.Times {
-				if e.Times[j], err = r.Varint(); err != nil {
-					return nil, err
-				}
 			}
 		}
 		nt, err := decodeCount(r)
@@ -782,6 +791,7 @@ func decodeRewrittens(r *wire.Reader, catalog *relation.Catalog) ([]*rewritten, 
 	return out, nil
 }
 
+//wire:field dec rewritten Key Orig IndexSide Trigger WantRel WantAttr WantValue
 func decodeRewritten(r *wire.Reader, catalog *relation.Catalog) (*rewritten, error) {
 	key, err := r.String()
 	if err != nil {
@@ -817,6 +827,7 @@ func decodeRewritten(r *wire.Reader, catalog *relation.Catalog) (*rewritten, err
 	}, nil
 }
 
+//wire:field dec Notification QueryKey Subscriber subscriberIP Values LeftPubT RightPubT DeliveredAt
 func decodeNotification(r *wire.Reader) (Notification, error) {
 	var n Notification
 	var err error
@@ -855,6 +866,7 @@ func decodeNotification(r *wire.Reader) (Notification, error) {
 	return n, nil
 }
 
+//wire:field dec MultiQuery Key Subscriber SubscriberIP InsT Text Rels
 func decodeMultiQuery(r *wire.Reader, catalog *relation.Catalog) (*query.MultiQuery, error) {
 	key, err := r.String()
 	if err != nil {
@@ -893,6 +905,7 @@ func decodeMultiQuery(r *wire.Reader, catalog *relation.Catalog) (*query.MultiQu
 	return mq.WithInsT(insT).WithRestoredIdentity(key, sub, ip), nil
 }
 
+//wire:field dec mRewritten Key Orig Stage Acc WantRel WantAttr WantValue
 func decodeMRewritten(r *wire.Reader, catalog *relation.Catalog) (*mRewritten, error) {
 	key, err := r.String()
 	if err != nil {
@@ -948,6 +961,7 @@ func decodeCount(r *wire.Reader) (int, error) {
 	return sliceCount(r, raw)
 }
 
+//wire:field dec targetsEntry Key Targets
 func decodeTargetsEntry(r *wire.Reader) (targetsEntry, error) {
 	var e targetsEntry
 	var err error
@@ -981,6 +995,52 @@ func decodeTargetsEntries(r *wire.Reader) ([]targetsEntry, error) {
 	return out, nil
 }
 
+//wire:field dec alGroupSection Cond Side Queries
+func decodeALGroupSection(r *wire.Reader, catalog *relation.Catalog) (alGroupSection, error) {
+	var g alGroupSection
+	var err error
+	if g.Cond, err = r.String(); err != nil {
+		return g, err
+	}
+	side, err := r.Uvarint()
+	if err != nil {
+		return g, err
+	}
+	g.Side = query.Side(side)
+	nq, err := decodeCount(r)
+	if err != nil {
+		return g, err
+	}
+	g.Queries = make([]*query.Query, nq)
+	for j := range g.Queries {
+		if g.Queries[j], err = wire.DecodeQuery(r, catalog); err != nil {
+			return g, err
+		}
+	}
+	return g, nil
+}
+
+//wire:field dec alMultiSection Cond Queries
+func decodeALMultiSection(r *wire.Reader, catalog *relation.Catalog) (alMultiSection, error) {
+	var g alMultiSection
+	var err error
+	if g.Cond, err = r.String(); err != nil {
+		return g, err
+	}
+	nq, err := decodeCount(r)
+	if err != nil {
+		return g, err
+	}
+	g.Queries = make([]*query.MultiQuery, nq)
+	for j := range g.Queries {
+		if g.Queries[j], err = decodeMultiQuery(r, catalog); err != nil {
+			return g, err
+		}
+	}
+	return g, nil
+}
+
+//wire:field dec alSection Input Groups Multi SentRewrites SentTargets
 func decodeALSection(r *wire.Reader, catalog *relation.Catalog) (alSection, error) {
 	var sec alSection
 	var err error
@@ -993,24 +1053,8 @@ func decodeALSection(r *wire.Reader, catalog *relation.Catalog) (alSection, erro
 	}
 	sec.Groups = make([]alGroupSection, ng)
 	for i := range sec.Groups {
-		g := &sec.Groups[i]
-		if g.Cond, err = r.String(); err != nil {
+		if sec.Groups[i], err = decodeALGroupSection(r, catalog); err != nil {
 			return sec, err
-		}
-		side, err := r.Uvarint()
-		if err != nil {
-			return sec, err
-		}
-		g.Side = query.Side(side)
-		nq, err := decodeCount(r)
-		if err != nil {
-			return sec, err
-		}
-		g.Queries = make([]*query.Query, nq)
-		for j := range g.Queries {
-			if g.Queries[j], err = wire.DecodeQuery(r, catalog); err != nil {
-				return sec, err
-			}
 		}
 	}
 	nm, err := decodeCount(r)
@@ -1019,19 +1063,8 @@ func decodeALSection(r *wire.Reader, catalog *relation.Catalog) (alSection, erro
 	}
 	sec.Multi = make([]alMultiSection, nm)
 	for i := range sec.Multi {
-		g := &sec.Multi[i]
-		if g.Cond, err = r.String(); err != nil {
+		if sec.Multi[i], err = decodeALMultiSection(r, catalog); err != nil {
 			return sec, err
-		}
-		nq, err := decodeCount(r)
-		if err != nil {
-			return sec, err
-		}
-		g.Queries = make([]*query.MultiQuery, nq)
-		for j := range g.Queries {
-			if g.Queries[j], err = decodeMultiQuery(r, catalog); err != nil {
-				return sec, err
-			}
 		}
 	}
 	nr, err := decodeCount(r)
@@ -1050,6 +1083,27 @@ func decodeALSection(r *wire.Reader, catalog *relation.Catalog) (alSection, erro
 	return sec, nil
 }
 
+//wire:field dec vqEntry Rw Times
+func decodeVQEntry(r *wire.Reader, catalog *relation.Catalog) (vqEntry, error) {
+	var e vqEntry
+	var err error
+	if e.Rw, err = decodeRewritten(r, catalog); err != nil {
+		return e, err
+	}
+	nt, err := decodeCount(r)
+	if err != nil {
+		return e, err
+	}
+	e.Times = make([]int64, nt)
+	for j := range e.Times {
+		if e.Times[j], err = r.Varint(); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+//wire:field dec vqSection Input Entries
 func decodeVQSection(r *wire.Reader, catalog *relation.Catalog) (vqSection, error) {
 	var sec vqSection
 	var err error
@@ -1062,24 +1116,14 @@ func decodeVQSection(r *wire.Reader, catalog *relation.Catalog) (vqSection, erro
 	}
 	sec.Entries = make([]vqEntry, n)
 	for i := range sec.Entries {
-		e := &sec.Entries[i]
-		if e.Rw, err = decodeRewritten(r, catalog); err != nil {
+		if sec.Entries[i], err = decodeVQEntry(r, catalog); err != nil {
 			return sec, err
-		}
-		nt, err := decodeCount(r)
-		if err != nil {
-			return sec, err
-		}
-		e.Times = make([]int64, nt)
-		for j := range e.Times {
-			if e.Times[j], err = r.Varint(); err != nil {
-				return sec, err
-			}
 		}
 	}
 	return sec, nil
 }
 
+//wire:field dec mqSection Input Rewrites SentTargets
 func decodeMQSection(r *wire.Reader, catalog *relation.Catalog) (mqSection, error) {
 	var sec mqSection
 	var err error
@@ -1102,6 +1146,7 @@ func decodeMQSection(r *wire.Reader, catalog *relation.Catalog) (mqSection, erro
 	return sec, nil
 }
 
+//wire:field dec vtSection Input Tuples
 func decodeVTSection(r *wire.Reader) (vtSection, error) {
 	var sec vtSection
 	var err error
@@ -1121,6 +1166,37 @@ func decodeVTSection(r *wire.Reader) (vtSection, error) {
 	return sec, nil
 }
 
+//wire:field dec dvEntry Cond Left Right
+func decodeDVEntry(r *wire.Reader) (dvEntry, error) {
+	var e dvEntry
+	var err error
+	if e.Cond, err = r.String(); err != nil {
+		return e, err
+	}
+	nl, err := decodeCount(r)
+	if err != nil {
+		return e, err
+	}
+	e.Left = make([]*relation.Tuple, nl)
+	for j := range e.Left {
+		if e.Left[j], err = wire.DecodeTuple(r); err != nil {
+			return e, err
+		}
+	}
+	nr, err := decodeCount(r)
+	if err != nil {
+		return e, err
+	}
+	e.Right = make([]*relation.Tuple, nr)
+	for j := range e.Right {
+		if e.Right[j], err = wire.DecodeTuple(r); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+//wire:field dec dvSection Input Entries
 func decodeDVSection(r *wire.Reader) (dvSection, error) {
 	var sec dvSection
 	var err error
@@ -1133,34 +1209,14 @@ func decodeDVSection(r *wire.Reader) (dvSection, error) {
 	}
 	sec.Entries = make([]dvEntry, n)
 	for i := range sec.Entries {
-		e := &sec.Entries[i]
-		if e.Cond, err = r.String(); err != nil {
+		if sec.Entries[i], err = decodeDVEntry(r); err != nil {
 			return sec, err
-		}
-		nl, err := decodeCount(r)
-		if err != nil {
-			return sec, err
-		}
-		e.Left = make([]*relation.Tuple, nl)
-		for j := range e.Left {
-			if e.Left[j], err = wire.DecodeTuple(r); err != nil {
-				return sec, err
-			}
-		}
-		nr, err := decodeCount(r)
-		if err != nil {
-			return sec, err
-		}
-		e.Right = make([]*relation.Tuple, nr)
-		for j := range e.Right {
-			if e.Right[j], err = wire.DecodeTuple(r); err != nil {
-				return sec, err
-			}
 		}
 	}
 	return sec, nil
 }
 
+//wire:field dec notifSection Subscriber Batch
 func decodeNotifSection(r *wire.Reader) (notifSection, error) {
 	var sec notifSection
 	var err error
@@ -1180,6 +1236,7 @@ func decodeNotifSection(r *wire.Reader) (notifSection, error) {
 	return sec, nil
 }
 
+//wire:field dec handoffMsg AL VQ MQ VT DV Notifs
 func decodeHandoff(r *wire.Reader, catalog *relation.Catalog) (chord.Message, error) {
 	var m handoffMsg
 	nAL, err := decodeCount(r)

@@ -67,9 +67,9 @@ func codecFixtures(t testing.TB) (*relation.Catalog, []chord.Message) {
 		mJoinMsg{Rewrites: []*mRewritten{mrw}},
 		handoffMsg{
 			AL: []alSection{{
-				Input:  "R+B",
-				Groups: []alGroupSection{{Cond: q.ConditionKey(), Side: query.SideLeft, Queries: []*query.Query{q}}},
-				Multi:  []alMultiSection{{Cond: "A.x=B.y", Queries: []*query.MultiQuery{mqRev}}},
+				Input:        "R+B",
+				Groups:       []alGroupSection{{Cond: q.ConditionKey(), Side: query.SideLeft, Queries: []*query.Query{q}}},
+				Multi:        []alMultiSection{{Cond: "A.x=B.y", Queries: []*query.MultiQuery{mqRev}}},
 				SentRewrites: []string{rw.Key},
 				SentTargets:  []targetsEntry{{Key: rw.Key, Targets: []string{"S+E+7", "S+E+9"}}},
 			}},

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"cqjoin/internal/daemon"
@@ -96,6 +97,10 @@ type DaemonTarget struct {
 	conns     [][]*jsonClient // [worker][server]
 	pubs      []pubOp
 	baseNotif int
+	// serveWG pairs the self-hosted daemons' Serve goroutines; Close
+	// waits on it after closing the servers (which closes their protocol
+	// listeners, so Serve returns).
+	serveWG sync.WaitGroup
 }
 
 // NewSelfHostedTCP builds spec.Procs daemon processes sharing one
@@ -151,7 +156,11 @@ func NewSelfHostedTCP(spec TCPSpec) (*DaemonTarget, error) {
 			t.Close()
 			return nil, fmt.Errorf("load: listen protocol %d: %w", i, err)
 		}
-		go func() { _ = srv.Serve(cln) }()
+		t.serveWG.Add(1)
+		go func() {
+			defer t.serveWG.Done()
+			_ = srv.Serve(cln)
+		}()
 		t.servers = append(t.servers, srv)
 		t.addrs = append(t.addrs, cln.Addr().String())
 	}
@@ -335,6 +344,7 @@ func (t *DaemonTarget) Close() error {
 			_ = srv.Close()
 		}
 	}
+	t.serveWG.Wait()
 	return nil
 }
 

@@ -125,6 +125,7 @@ func (t *SimTarget) Publish(_ int, op int) error {
 	o := t.ops[op]
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	//lint:allow lockorder the simulator's Send is synchronous in-process delivery, and mu exists to serialize Publish
 	_, err := t.run.Eng.Publish(o.From, o.T)
 	return err
 }

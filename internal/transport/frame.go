@@ -103,15 +103,16 @@ func beginFrame(w *wire.Buffer) {
 }
 
 // getFrameBuf returns an empty pooled buffer with the frame header
-// already reserved.
+// already reserved; it delegates to getBuf so the pool has one accessor
+// pair.
 func getFrameBuf() *wire.Buffer {
-	w := frameBufPool.Get().(*wire.Buffer)
+	w := getBuf()
 	beginFrame(w)
 	return w
 }
 
 // putFrameBuf returns a framed scratch buffer to the pool.
-func putFrameBuf(w *wire.Buffer) { frameBufPool.Put(w) }
+func putFrameBuf(w *wire.Buffer) { putBuf(w) }
 
 // finishFrame patches the reserved header with the payload length and
 // returns the complete frame (header + payload), ready for one Write.

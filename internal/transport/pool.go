@@ -38,13 +38,20 @@ var callPool = sync.Pool{New: func() interface{} {
 
 func getCall() *call { return callPool.Get().(*call) }
 
+// putCall resets a call and returns it to the pool. Every recycle —
+// finish and the never-enqueued error paths — routes through here, so a
+// pooled call always re-enters with cleared fields.
+func putCall(cl *call) {
+	cl.payload, cl.buf, cl.err = nil, nil, nil
+	callPool.Put(cl)
+}
+
 // finish extracts a completed call's results, resets it and returns it
 // to the pool. The payload remains valid until its buffer is released
 // with putReplyBuf.
 func (cl *call) finish() (payload []byte, buf *[]byte, err error) {
 	payload, buf, err = cl.payload, cl.buf, cl.err
-	cl.payload, cl.buf, cl.err = nil, nil, nil
-	callPool.Put(cl)
+	putCall(cl)
 	return payload, buf, err
 }
 

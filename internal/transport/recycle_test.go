@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPutCallClearsFields pins the reset discipline putCall centralizes:
+// every recycle path — finish and the never-enqueued error paths — clears
+// payload, buf and err, so a recycled call can never leak a previous
+// RPC's reply or error into the next request.
+func TestPutCallClearsFields(t *testing.T) {
+	cl := getCall()
+	b := []byte{1, 2, 3}
+	cl.payload = b
+	cl.buf = &b
+	cl.err = errors.New("stale")
+	putCall(cl)
+	got := getCall()
+	defer putCall(got)
+	if got.payload != nil || got.buf != nil || got.err != nil {
+		t.Fatalf("recycled call carries stale state: payload=%v buf=%v err=%v",
+			got.payload, got.buf, got.err)
+	}
+}
+
+// TestFrameBufHeaderReserved pins getFrameBuf's contract: no matter what
+// state a scratch buffer was returned in, the next getFrameBuf hands out
+// an empty buffer with exactly the frame header reserved.
+func TestFrameBufHeaderReserved(t *testing.T) {
+	w := getBuf()
+	w.PutRaw([]byte("junk left over from a previous frame"))
+	putBuf(w)
+	fw := getFrameBuf()
+	defer putFrameBuf(fw)
+	if fw.Len() != frameHeaderLen {
+		t.Fatalf("getFrameBuf returned %d bytes, want the %d-byte reserved header",
+			fw.Len(), frameHeaderLen)
+	}
+}

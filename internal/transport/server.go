@@ -50,6 +50,14 @@ type serveState struct {
 
 var serveStatePool = sync.Pool{New: func() interface{} { return new(serveState) }}
 
+// getServeState takes a frame-processing scratch from the pool.
+func getServeState() *serveState { return serveStatePool.Get().(*serveState) }
+
+// putServeState recycles a frame-processing scratch. readBuf, reply,
+// statuses and keys are capacity caches deliberately retained across
+// frames; the wire readers are Reset before each reuse.
+func putServeState(st *serveState) { serveStatePool.Put(st) }
+
 // serveQueueDepth bounds how many pipelined frames one connection may
 // have in flight server-side. Beyond it the reader stops reading — the
 // backpressure a pipelining sender sees as a slow ack.
@@ -84,10 +92,10 @@ func (t *TCP) handleConn(c net.Conn) {
 
 	br := bufio.NewReader(c)
 	for {
-		st := serveStatePool.Get().(*serveState)
+		st := getServeState()
 		payload, err := readFrameReuse(br, &st.readBuf)
 		if err != nil {
-			serveStatePool.Put(st)
+			putServeState(st)
 			if !errors.Is(err, io.EOF) && !cs.dead.Load() && !t.isClosed() {
 				t.cfg.Logf("transport: read from %s: %v", c.RemoteAddr(), err)
 			}
@@ -123,7 +131,7 @@ type connServer struct {
 // closes it.
 func (cs *connServer) serveFrame(st *serveState, payload []byte) {
 	defer func() {
-		serveStatePool.Put(st)
+		putServeState(st)
 		<-cs.sem
 		cs.handlers.Done()
 	}()

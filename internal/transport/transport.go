@@ -536,7 +536,7 @@ func (t *TCP) roundTrip(pc *pooledConn, entries []byte, acks []bool) error {
 	frame, err := finishFrame(w)
 	if err != nil {
 		pc.wmu.Unlock()
-		callPool.Put(cl)
+		putCall(cl)
 		return err
 	}
 	payload, buf, err := t.writeAndAwait(pc, cl, seq, frame)
@@ -574,7 +574,7 @@ var errAckTimeout = errors.New("transport: timed out waiting for reply")
 func (t *TCP) writeAndAwait(pc *pooledConn, cl *call, seq uint64, frame []byte) ([]byte, *[]byte, error) {
 	if err := pc.enqueue(seq, cl); err != nil {
 		pc.wmu.Unlock()
-		callPool.Put(cl) // never enqueued; nothing will complete it
+		putCall(cl) // never enqueued; nothing will complete it
 		return nil, nil, err
 	}
 	_ = pc.c.SetWriteDeadline(time.Now().Add(t.cfg.IOTimeout))
@@ -710,7 +710,7 @@ func (t *TCP) controlRoundTrip(pc *pooledConn, wantReply uint64, build func(w *w
 	frame, err := finishFrame(w)
 	if err != nil {
 		pc.wmu.Unlock()
-		callPool.Put(cl)
+		putCall(cl)
 		return nil, err
 	}
 	payload, buf, err := t.writeAndAwait(pc, cl, seq, frame)

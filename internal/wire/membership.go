@@ -37,6 +37,8 @@ func SizeMemberView(v *MemberView) int {
 }
 
 // DecodeMemberView reads one view encoded by EncodeMemberView.
+//
+//wire:field dec MemberView Version Procs
 func DecodeMemberView(r *Reader) (*MemberView, error) {
 	version, err := r.Uvarint()
 	if err != nil {
