@@ -21,6 +21,7 @@ package cqjoin_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
@@ -30,12 +31,15 @@ import (
 	"time"
 
 	"cqjoin/internal/chord"
+	"cqjoin/internal/durable"
 	"cqjoin/internal/engine"
 	"cqjoin/internal/exp"
 	"cqjoin/internal/id"
 	"cqjoin/internal/load"
 	"cqjoin/internal/metrics"
 	"cqjoin/internal/obs"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
 	"cqjoin/internal/workload"
 )
 
@@ -391,6 +395,79 @@ func BenchmarkSubstrateLookup(b *testing.B) {
 		BytesPerOp:  bytes,
 		// Mean hops depends on b.N (which lookups ran), so it gates soft.
 		Metrics: map[string]obs.Metric{"hops_per_lookup": obs.Noisy(meanHops, "hops")},
+	})
+}
+
+// BenchmarkWALAppend measures the durability hot path (DESIGN.md §14):
+// each iteration publishes one tuple through a durable store, which
+// appends a CRC-framed record to the write-ahead log and fsyncs before
+// acknowledging. Auto-checkpointing is disabled (SnapshotEvery < 0) so
+// the log stays pure appends, and the measured WAL growth divided by
+// b.N is the exact per-publish footprint — a pure function of the
+// record codec at the pinned -benchtime 1x, so it gates hard. Wall time
+// is fsync-dominated and gates soft through the entry's wall-ns field.
+// The manifest entry carries the explicit name "wal-append" so the
+// benchdiff gate keys on the subsystem, not the Go benchmark name.
+func BenchmarkWALAppend(b *testing.B) {
+	rs := relation.MustSchema("R", "A", "B", "C")
+	ss := relation.MustSchema("S", "D", "E", "F")
+	catalog := relation.MustCatalog(rs, ss)
+	dir := b.TempDir()
+	net := chord.New(chord.Config{})
+	net.AddNodes("peer", 64)
+	eng := engine.New(net, catalog, engine.Config{Seed: 7})
+	st, err := durable.Open(dir, catalog, durable.Options{SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Abandon()
+	if _, err := st.Recover(eng); err != nil {
+		b.Fatal(err)
+	}
+	nodes := net.Nodes()
+	if _, err := st.Subscribe(nodes[0], query.MustParse(catalog,
+		`SELECT R.A, S.D FROM R, S WHERE R.B = S.E`)); err != nil {
+		b.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	walSize := func() int64 {
+		fi, err := os.Stat(walPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fi.Size()
+	}
+	base := walSize()
+	mem := startMem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sch := rs
+		if i%2 == 1 {
+			sch = ss
+		}
+		tu := relation.MustTuple(sch,
+			relation.N(float64(i%5)), relation.N(float64(i%3)), relation.N(0))
+		if _, err := st.Publish(nodes[i%len(nodes)], tu); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	allocs, bytes := mem.perOp(b.N)
+	perOp := float64(walSize()-base) / float64(b.N)
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(perOp, "wal-B/op")
+	benchManifest.Add(obs.Entry{
+		Name:        "wal-append",
+		Scale:       obs.ScaleInfo{Nodes: 64, Seed: 7},
+		Iterations:  int64(b.N),
+		WallNS:      b.Elapsed().Nanoseconds() / int64(b.N),
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Metrics: map[string]obs.Metric{
+			"wal_bytes_per_op": obs.Det(perOp, "bytes"),
+		},
 	})
 }
 

@@ -45,7 +45,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"cqjoin/internal/daemon"
@@ -65,6 +67,7 @@ func main() {
 		peers     = flag.String("peers", "", "comma-separated overlay addresses of every process, identical order everywhere")
 		join      = flag.String("join", "", "client address of a running peer to copy the overlay configuration from (and enter its overlay when -overlay is set)")
 		leave     = flag.String("leave", "", "client address of a running daemon that should leave its overlay; acts as a one-shot command")
+		stateDir  = flag.String("state-dir", "", "directory for the write-ahead log and snapshots; state found there is replayed on start (empty: fully in-memory)")
 	)
 	flag.Parse()
 	if *leave != "" {
@@ -83,6 +86,7 @@ func main() {
 		HotKeyThreshold: *hotThresh,
 		HotKeyReplicas:  *hotRepl,
 		OverlayAddr:     *overlay,
+		StateDir:        *stateDir,
 	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {
@@ -116,6 +120,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("cqjoind: %v", err)
 	}
+	if cfg.StateDir != "" {
+		info := srv.Recovery()
+		log.Printf("cqjoind: durable state in %s (snapshot lsn %d, %d wal records replayed)",
+			cfg.StateDir, info.SnapshotLSN, info.Replayed)
+	}
 	if cfg.OverlayAddr != "" {
 		if err := srv.ListenAndServeOverlay(); err != nil {
 			log.Fatalf("cqjoind: overlay: %v", err)
@@ -128,9 +137,30 @@ func main() {
 			log.Printf("cqjoind: joined the running overlay as %s", cfg.OverlayAddr)
 		}
 	}
-	log.Printf("cqjoind: %d-node overlay (%s), listening on %s", cfg.Nodes, cfg.Algorithm, *addr)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatalf("cqjoind: %v", err)
+	}
+	log.Printf("cqjoind: %d-node overlay (%s), listening on %s", cfg.Nodes, cfg.Algorithm, ln.Addr())
+
+	// SIGINT/SIGTERM run the same graceful path as -leave: depart the
+	// overlay, drain client connections, checkpoint and close the durable
+	// store — no acknowledged operation is lost to the signal.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	errC := make(chan error, 1)
+	go func() { errC <- srv.Serve(ln) }()
+	select {
+	case err := <-errC:
+		if err != nil {
+			log.Fatalf("cqjoind: %v", err)
+		}
+	case sig := <-sigC:
+		log.Printf("cqjoind: %v: leaving overlay and flushing state", sig)
+		if err := srv.Shutdown(); err != nil {
+			log.Printf("cqjoind: shutdown: %v", err)
+		}
+		log.Printf("cqjoind: shutdown complete")
 	}
 }
 

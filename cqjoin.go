@@ -151,12 +151,25 @@ type Config struct {
 	HotKeyWindow int64
 }
 
+// Durability receives every mutating operation a Cluster routes through
+// it instead of calling the engine directly, so a write-ahead log can make
+// the op durable after it applies. *durable.Store is the implementation;
+// the interface keeps this package free of a durable dependency.
+type Durability interface {
+	Subscribe(from *chord.Node, q *query.Query) (*query.Query, error)
+	SubscribeMulti(from *chord.Node, mq *query.MultiQuery) (*query.MultiQuery, error)
+	Unsubscribe(from *chord.Node, q *query.Query) error
+	UnsubscribeMulti(from *chord.Node, mq *query.MultiQuery) error
+	Publish(from *chord.Node, t *relation.Tuple) (*relation.Tuple, error)
+}
+
 // Cluster is a simulated overlay network running the continuous-join
 // engine. All methods are safe for concurrent use.
 type Cluster struct {
 	net     *chord.Network
 	eng     *engine.Engine
 	catalog *Catalog
+	durable Durability // nil: ops go straight to the engine
 }
 
 // NewCluster builds an overlay of cfg.Nodes peers with exact routing state
@@ -219,6 +232,16 @@ func (c *Cluster) Join(key string) (*Node, error) {
 // here) or inspecting the ring. The simulated in-process transport stays
 // in effect unless replaced.
 func (c *Cluster) Overlay() *chord.Network { return c.net }
+
+// Engine exposes the embedded query engine — durability layers replay a
+// recovered log through it before the cluster serves traffic.
+func (c *Cluster) Engine() *engine.Engine { return c.eng }
+
+// SetDurable routes every subsequent mutating node operation through d
+// (typically a recovered durable.Store), which applies it to the engine
+// and logs it. Install before serving traffic; a nil d restores direct
+// engine calls.
+func (c *Cluster) SetDurable(d Durability) { c.durable = d }
 
 // ExportHandoff removes peer n's movable engine state from this process
 // and returns it as a wire-codable message addressed to n. Multi-process
@@ -290,6 +313,9 @@ func (p *Node) Subscribe(sql string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d := p.c.durable; d != nil {
+		return d.Subscribe(p.n, q)
+	}
 	return p.c.eng.Subscribe(p.n, q)
 }
 
@@ -301,6 +327,9 @@ func (p *Node) SubscribeMulti(sql string) (*MultiQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d := p.c.durable; d != nil {
+		return d.SubscribeMulti(p.n, mq)
+	}
 	return p.c.eng.SubscribeMulti(p.n, mq)
 }
 
@@ -309,6 +338,9 @@ func (p *Node) SubscribeMulti(sql string) (*MultiQuery, error) {
 // rewrites are purged from the evaluators, so future tuples no longer
 // trigger it.
 func (p *Node) Unsubscribe(q *Query) error {
+	if d := p.c.durable; d != nil {
+		return d.Unsubscribe(p.n, q)
+	}
 	return p.c.eng.Unsubscribe(p.n, q)
 }
 
@@ -316,6 +348,9 @@ func (p *Node) Unsubscribe(q *Query) error {
 // returned by this peer's SubscribeMulti: the chain is removed from its
 // rewriters and its partial matches are purged from every pipeline stage.
 func (p *Node) UnsubscribeMulti(mq *MultiQuery) error {
+	if d := p.c.durable; d != nil {
+		return d.UnsubscribeMulti(p.n, mq)
+	}
 	return p.c.eng.UnsubscribeMulti(p.n, mq)
 }
 
@@ -351,10 +386,13 @@ func (p *Node) Publish(rel string, values ...interface{}) (*Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.c.eng.Publish(p.n, t)
+	return p.PublishTuple(t)
 }
 
 // PublishTuple inserts a pre-built tuple.
 func (p *Node) PublishTuple(t *Tuple) (*Tuple, error) {
+	if d := p.c.durable; d != nil {
+		return d.Publish(p.n, t)
+	}
 	return p.c.eng.Publish(p.n, t)
 }

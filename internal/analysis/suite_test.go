@@ -40,8 +40,12 @@ func TestMapOrderAnalyzer(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.MapOrderAnalyzer, "maporder/a")
 }
 
+// The wiresync/walrec and wiretag/walrec fixtures pin the analyzers on
+// the WAL record codec's shape (internal/durable/record.go): value-typed
+// records switched through an any parameter, typed iota tags, and a
+// decode switch over a converted uvarint.
 func TestWireSyncAnalyzer(t *testing.T) {
-	analysistest.Run(t, "testdata/src", analysis.WireSyncAnalyzer, "wiresync/a")
+	analysistest.Run(t, "testdata/src", analysis.WireSyncAnalyzer, "wiresync/a", "wiresync/walrec")
 }
 
 func TestSendUnderLockAnalyzer(t *testing.T) {
@@ -69,7 +73,7 @@ func TestPoolSafeAnalyzer(t *testing.T) {
 }
 
 func TestWireTagAnalyzer(t *testing.T) {
-	analysistest.Run(t, "testdata/src", analysis.WireTagAnalyzer, "wiretag/a", "wiretag/b")
+	analysistest.Run(t, "testdata/src", analysis.WireTagAnalyzer, "wiretag/a", "wiretag/b", "wiretag/walrec")
 }
 
 // TestSuiteCleanOnTree is the in-repo form of the CI gate: the full suite

@@ -1,0 +1,76 @@
+// Package walrec exercises the wiresync analyzer over the WAL record
+// codec's shape (internal/durable/record.go): value-typed record structs
+// switched through an any parameter, with an opaque []byte frame field.
+// recGood is fully in sync; recDrift and recNoDec pin the drift
+// diagnostics in this shape.
+package walrec
+
+type wbuf struct{ n int }
+
+func (w *wbuf) putString(s string) { w.n += len(s) }
+func (w *wbuf) putBytes(b []byte)  { w.n += len(b) }
+
+type rbuf struct{}
+
+func (r *rbuf) tag() byte     { return 0 }
+func (r *rbuf) str() string   { return "" }
+func (r *rbuf) bytes() []byte { return nil }
+
+// recGood mirrors deliveryRec: a node key plus an opaque encoded frame.
+type recGood struct {
+	Node  string
+	Frame []byte
+}
+
+// recDrift's encoder and size directives disagree on the field list.
+type recDrift struct {
+	Node string
+	SQL  string
+}
+
+// recNoDec has the enc/size pair but no decode arm was ever annotated.
+type recNoDec struct{ Node string }
+
+func encodeRecord(w *wbuf, rec any) error {
+	switch m := rec.(type) {
+	//wire:field enc recGood Node Frame
+	case recGood:
+		w.putString(m.Node)
+		w.putBytes(m.Frame)
+	//wire:field enc recDrift Node SQL
+	case recDrift:
+		w.putString(m.Node)
+		w.putString(m.SQL)
+	//wire:field enc recNoDec Node
+	case recNoDec: // want "type recNoDec has encoder and size directives but no decoder //wire:field dec recNoDec"
+		w.putString(m.Node)
+	}
+	return nil
+}
+
+func recordSize(rec any) int {
+	switch m := rec.(type) {
+	//wire:field size recGood Node Frame
+	case recGood:
+		return len(m.Node) + len(m.Frame)
+	//wire:field size recDrift Node
+	case recDrift: // want "wire fields of recDrift disagree: encoder declares .Node SQL., size declares .Node."
+		return len(m.Node)
+	//wire:field size recNoDec Node
+	case recNoDec:
+		return len(m.Node)
+	}
+	return 0
+}
+
+func decodeRecord(r *rbuf) any {
+	switch r.tag() {
+	//wire:field dec recGood Node Frame
+	case 1:
+		return recGood{Node: r.str(), Frame: r.bytes()}
+	//wire:field dec recDrift Node SQL
+	case 2:
+		return recDrift{Node: r.str(), SQL: r.str()}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package walrec exercises the wiretag analyzer over the WAL record
+// codec's shape (internal/durable/record.go): typed byte tags derived
+// from iota, an any-typed record switch with error returns, and a decode
+// switch over a converted uvarint. The clean triple (subRec/delRec)
+// proves the shape itself is accepted; pubRec's missing size arm and the
+// orphaned tagView pin the incomplete-triple diagnostics.
+package walrec
+
+type wbuf struct{ n int }
+
+func (w *wbuf) putUvarint(v uint64) { w.n += 8 }
+func (w *wbuf) putString(s string)  { w.n += len(s) }
+
+type rbuf struct{}
+
+func (r *rbuf) uvarint() uint64 { return 0 }
+func (r *rbuf) str() string     { return "" }
+
+type subRec struct{ SQL string }
+type pubRec struct{ Node string }
+type delRec struct{ Node string }
+type viewRec struct{ Version uint64 }
+
+// Record tags: dense, typed, iota-derived like the WAL's.
+const (
+	tagSub byte = iota + 1
+	tagPub      // want "tag tagPub message type pubRec has no //wire:field size directive"
+	tagDel
+	tagView // want "tag tagView is not written by any encoder arm" "tag tagView has no decode arm"
+)
+
+// encodeRecord writes one record, tag first, like the WAL codec.
+func encodeRecord(w *wbuf, rec any) error {
+	switch m := rec.(type) {
+	case subRec:
+		w.putUvarint(uint64(tagSub))
+		w.putString(m.SQL)
+	case pubRec:
+		w.putUvarint(uint64(tagPub))
+		w.putString(m.Node)
+	case delRec:
+		w.putUvarint(uint64(tagDel))
+		w.putString(m.Node)
+	}
+	return nil
+}
+
+// recordSize carries the size arms; pubRec's is deliberately missing.
+func recordSize(rec any) int {
+	switch m := rec.(type) {
+	//wire:field size subRec SQL
+	case subRec:
+		return 1 + len(m.SQL)
+	//wire:field size delRec Node
+	case delRec:
+		return 1 + len(m.Node)
+	}
+	return 0
+}
+
+// decodeRecord reads one record by tag, converting the uvarint the way
+// the WAL decoder does.
+func decodeRecord(r *rbuf) (any, error) {
+	tag := r.uvarint()
+	switch byte(tag) {
+	//wire:field dec subRec SQL
+	case tagSub:
+		return subRec{SQL: r.str()}, nil
+	//wire:field dec pubRec Node
+	case tagPub:
+		return pubRec{Node: r.str()}, nil
+	//wire:field dec delRec Node
+	case tagDel:
+		return delRec{Node: r.str()}, nil
+	}
+	return nil, nil
+}
+
+var _ = viewRec{}

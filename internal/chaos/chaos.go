@@ -76,6 +76,14 @@ type Config struct {
 	// maintenance; the overlay then heals only through the local repairs
 	// crashes and joins trigger, and through HealAll.
 	StabilizeEvery int
+	// RestartEvery flags a whole-process crash/restart every that many
+	// Steps (0 disables). The injector cannot restart the process that
+	// hosts it, so Step only raises the flag and traces "proc-restart";
+	// the harness owning the engine polls TakeRestart, abandons its
+	// durable state, rebuilds the engine, recovers, and hands the new
+	// engine back through Rebind. In-flight parked deliveries die with
+	// the old process, exactly as a kill -9 would lose them.
+	RestartEvery int
 	// KeyedDraws switches per-delivery fault decisions from the shared
 	// sequential rng stream to draws keyed by message content (encoded
 	// bytes + endpoint keys + per-content attempt number + Seed). The fate
@@ -127,6 +135,7 @@ type Injector struct {
 	steps       int
 	incarnation int
 	joinSeq     int // deterministic naming for JoinRate joiners
+	restartDue  bool
 	down        []crashed
 	trace       []string
 
@@ -329,6 +338,10 @@ func (in *Injector) Step() {
 	stale := in.cfg.StaleIPRate > 0 && in.rng.Float64() < in.cfg.StaleIPRate
 	join := in.cfg.JoinRate > 0 && in.rng.Float64() < in.cfg.JoinRate
 	leave := in.cfg.LeaveRate > 0 && in.rng.Float64() < in.cfg.LeaveRate
+	if in.cfg.RestartEvery > 0 && steps%in.cfg.RestartEvery == 0 {
+		in.restartDue = true
+		in.tracefLocked("t=%d proc-restart", now)
+	}
 	in.mu.Unlock()
 
 	for _, c := range due {
@@ -503,6 +516,58 @@ func (in *Injector) HealAll(maxRounds int) (int, error) {
 		}
 	}
 	return maxRounds, err
+}
+
+// TakeRestart consumes the process-restart flag RestartEvery raises: it
+// reports whether a restart came due since the last call. The harness
+// reacts by killing its engine (durable.Store.Abandon), rebuilding it,
+// recovering, and calling Rebind with the new engine.
+func (in *Injector) TakeRestart() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	due := in.restartDue
+	in.restartDue = false
+	return due
+}
+
+// Rebind moves the injector onto a rebuilt engine after a process
+// crash/restart: it installs itself as the new network's interceptor and
+// clock listener, drops every parked delivery (in-flight messages die
+// with the crashed process), resets the per-content attempt counters so
+// replayed traffic re-experiences the original keyed fault schedule, and
+// re-downs the given node keys — the crash schedule the old process was
+// under, typically RecoveryInfo.Down — scheduling their rejoin afresh.
+// The rng position, step count, join counter and trace carry over, so
+// one seed still determines the whole multi-incarnation run.
+func (in *Injector) Rebind(eng *engine.Engine, down []string) {
+	in.mu.Lock()
+	in.eng = eng
+	in.net = eng.Network()
+	in.dq = &sim.DelayQueue{}
+	in.attempts = make(map[uint64]int64)
+	in.down = nil
+	in.mu.Unlock()
+	in.net.Clock().AddListener(func(now int64) { in.drain(now) })
+	in.net.SetInterceptor(in)
+
+	now := in.net.Clock().Now()
+	var rebuilt []crashed
+	for _, key := range down {
+		n := in.net.NodeByKey(key)
+		if n == nil || !n.Alive() {
+			continue
+		}
+		if in.cfg.ProtocolChurn {
+			in.eng.FailNodeProtocol(n)
+		} else {
+			in.eng.FailNode(n)
+		}
+		rebuilt = append(rebuilt, crashed{key: key, rejoinAt: now + in.cfg.RejoinAfter})
+	}
+	in.mu.Lock()
+	in.down = rebuilt
+	in.mu.Unlock()
+	in.tracef("t=%d rebind %d-down", now, len(rebuilt))
 }
 
 // Downed returns the keys of nodes currently crashed and awaiting rejoin.

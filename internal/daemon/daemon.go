@@ -17,6 +17,7 @@ import (
 
 	"cqjoin"
 	"cqjoin/internal/chord"
+	"cqjoin/internal/durable"
 	"cqjoin/internal/engine"
 	"cqjoin/internal/obs"
 	"cqjoin/internal/transport"
@@ -61,16 +62,31 @@ type Config struct {
 	// StartOverlay/ListenAndServeOverlay, call JoinOverlay to enter the
 	// ring; until then this process owns no nodes.
 	JoinExisting bool
+
+	// StateDir, when non-empty, arms per-process durability: every
+	// acknowledged mutating operation and inbound overlay delivery is
+	// appended to a write-ahead log under the directory, periodically
+	// compacted into a snapshot, and replayed on the next start before the
+	// process rejoins the overlay (DESIGN.md §14). Empty keeps the daemon
+	// fully in-memory — byte-identical behaviour to earlier releases.
+	StateDir string
+	// SnapshotEvery overrides the checkpoint cadence in logged records
+	// (tests use small values); 0 means the durable layer's default.
+	SnapshotEvery int
 }
 
 // Server owns one cluster and serves the JSON protocol.
 type Server struct {
-	cfg     Config
-	cluster *cqjoin.Cluster
-	reg     *obs.Registry  // transport metrics; nil in single-process mode
-	tr      *transport.TCP // nil in single-process mode
-	members *membership    // nil in single-process mode
-	logf    func(format string, args ...interface{})
+	cfg      Config
+	cluster  *cqjoin.Cluster
+	catalog  *cqjoin.Catalog
+	reg      *obs.Registry    // transport metrics; nil in single-process mode
+	tr       *transport.TCP   // nil in single-process mode
+	members  *membership      // nil in single-process mode
+	codec    engine.WireCodec // re-encodes inbound deliveries for the WAL
+	store    *durable.Store   // nil without Config.StateDir
+	recovery durable.RecoveryInfo
+	logf     func(format string, args ...interface{})
 
 	mu        sync.Mutex
 	queries   map[string]queryRef // query key -> owner + handle
@@ -127,6 +143,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		cluster:   cluster,
+		catalog:   catalog,
+		codec:     engine.NewWireCodec(catalog),
 		logf:      log.Printf,
 		queries:   make(map[string]queryRef),
 		listeners: make(map[*listener]struct{}),
@@ -150,18 +168,18 @@ func New(cfg Config) (*Server, error) {
 			// Version 0: any authoritative view handed back by the join
 			// seed supersedes this placeholder. Until JoinOverlay runs,
 			// this process owns no nodes.
-			s.members = newMembership(cfg.Peers, 0)
+			s.members = newMembership(cfg.OverlayAddr, cfg.Peers, 0)
 		} else {
 			if !self {
 				return nil, fmt.Errorf("daemon: overlay address %s is not in the peer list %v", cfg.OverlayAddr, cfg.Peers)
 			}
-			s.members = newMembership(cfg.Peers, 1)
+			s.members = newMembership(cfg.OverlayAddr, cfg.Peers, 1)
 		}
 		s.reg = obs.NewRegistry()
 		tr, err := transport.New(transport.Config{
 			Self:       cfg.OverlayAddr,
 			OwnerOf:    s.members.ownerOf,
-			Codec:      engine.NewWireCodec(catalog),
+			Codec:      s.codec,
 			Local:      s, // ownership-gated; see DeliverLocal
 			Membership: s,
 			Seed:       cfg.Seed,
@@ -173,9 +191,46 @@ func New(cfg Config) (*Server, error) {
 		s.tr = tr
 		cluster.Overlay().SetTransport(tr)
 	}
+	if cfg.StateDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	cluster.OnNotify(s.broadcast)
 	return s, nil
 }
+
+// openDurable loads the state directory and replays it into the fresh
+// cluster before any traffic is served: the snapshot restores whole-node
+// state, the WAL tail re-executes every acknowledged operation that
+// followed it, and the latest logged membership view is re-adopted so the
+// process rejoins the overlay owning exactly what it owned when it
+// stopped. Afterwards the cluster routes mutating ops through the store.
+func (s *Server) openDurable() error {
+	opts := durable.Options{SnapshotEvery: s.cfg.SnapshotEvery, Logf: s.logf}
+	if s.members != nil {
+		opts.View = s.members.view
+	}
+	st, err := durable.Open(s.cfg.StateDir, s.catalog, opts)
+	if err != nil {
+		return err
+	}
+	info, err := st.Recover(s.cluster.Engine())
+	if err != nil {
+		st.Abandon()
+		return fmt.Errorf("daemon: recover %s: %w", s.cfg.StateDir, err)
+	}
+	if info.View != nil && s.members != nil {
+		s.members.apply(info.View)
+	}
+	s.store = st
+	s.recovery = info
+	s.cluster.SetDurable(st)
+	return nil
+}
+
+// Recovery reports what the state directory restored (zero without one).
+func (s *Server) Recovery() durable.RecoveryInfo { return s.recovery }
 
 // StartOverlay begins serving inter-node traffic on an existing listener
 // (tests bind port 0 first so the peer list can carry concrete ports).
@@ -210,7 +265,24 @@ func (s *Server) DeliverLocal(dstKey string, msg chord.Message) bool {
 	if s.members != nil && s.members.ownerOf(dstKey) != s.cfg.OverlayAddr {
 		return false
 	}
-	return s.cluster.Overlay().DeliverLocal(dstKey, msg)
+	if !s.cluster.Overlay().DeliverLocal(dstKey, msg) {
+		return false
+	}
+	if s.store != nil {
+		// Log after applying, before acking: an acked delivery is always
+		// durable, and a delivery whose log append failed is re-sent by the
+		// peer and absorbed idempotently.
+		var w wire.Buffer
+		if err := s.codec.Encode(&w, msg); err != nil {
+			s.logf("daemon: encode delivery for wal: %v", err)
+			return false
+		}
+		if err := s.store.LogDelivery(dstKey, w.Bytes()); err != nil {
+			s.logf("daemon: log delivery to %s: %v", dstKey, err)
+			return false
+		}
+	}
+	return true
 }
 
 // HandleJoin implements transport.MembershipHandler: admit the joining
@@ -228,15 +300,33 @@ func (s *Server) HandleJoin(addr string) (*wire.MemberView, error) {
 }
 
 // HandleView implements transport.MembershipHandler: adopt the gossiped
-// view if newer, then hand off every locally held node the view assigns
-// elsewhere. The export also runs when the view merely re-confirms the
-// current version: the join protocol gossips the same view to every
-// member precisely to trigger exports after the joiner is ready, and
-// re-exporting is idempotent (only non-empty misowned state moves).
+// view if it wins the total order, then hand off every locally held node
+// the view assigns elsewhere. The export also runs when the view merely
+// re-confirms the current version: the join protocol gossips the same
+// view to every member precisely to trigger exports after the joiner is
+// ready, and re-exporting is idempotent (only non-empty misowned state
+// moves). When adopting the winner orphaned a change this process
+// originated (a concurrent same-version originator won the arbitration),
+// the re-originated view is gossiped onward so the change lands in the
+// winning lineage at a higher version.
 func (s *Server) HandleView(v *wire.MemberView) uint64 {
-	changed, cur := s.members.apply(v)
+	changed, cur, reissue := s.members.apply(v)
 	if changed {
 		s.logf("daemon: membership v%d %v", v.Version, v.Procs)
+	}
+	if reissue != nil {
+		s.logf("daemon: re-originated concurrent change as v%d %v", reissue.Version, reissue.Procs)
+		s.spread(reissue)
+		if s.store != nil {
+			if err := s.store.LogView(reissue); err != nil {
+				s.logf("daemon: log reissued view: %v", err)
+			}
+		}
+	}
+	if s.store != nil && changed {
+		if err := s.store.LogView(s.members.view()); err != nil {
+			s.logf("daemon: log view: %v", err)
+		}
 	}
 	if changed || v.Version == cur {
 		s.exportMoved()
@@ -286,7 +376,26 @@ func (s *Server) LeaveOverlay() error {
 // out before the local export so receivers' ownership gates accept the
 // handoffs.
 func (s *Server) applyAndSpread(v *wire.MemberView) (changed bool, err error) {
-	changed, _ = s.members.apply(v)
+	changed, _, reissue := s.members.apply(v)
+	firstErr := s.spread(v)
+	if reissue != nil {
+		s.logf("daemon: re-originated concurrent change as v%d %v", reissue.Version, reissue.Procs)
+		if err := s.spread(reissue); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		v = reissue
+	}
+	if s.store != nil {
+		if err := s.store.LogView(v); err != nil {
+			s.logf("daemon: log view: %v", err)
+		}
+	}
+	s.exportMoved()
+	return changed, firstErr
+}
+
+// spread gossips v to every other member it lists.
+func (s *Server) spread(v *wire.MemberView) error {
 	var firstErr error
 	for _, p := range v.Procs {
 		if p == s.cfg.OverlayAddr {
@@ -296,8 +405,7 @@ func (s *Server) applyAndSpread(v *wire.MemberView) (changed bool, err error) {
 			firstErr = fmt.Errorf("daemon: gossip view v%d to %s: %w", v.Version, p, err)
 		}
 	}
-	s.exportMoved()
-	return changed, firstErr
+	return firstErr
 }
 
 // exportMoved hands off every node whose owner under the current view is
@@ -412,6 +520,40 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		go s.handleConn(conn)
 	}
+}
+
+// Shutdown is the graceful exit shared by SIGINT/SIGTERM and -leave: in
+// multi-process mode the process departs the overlay first (handing every
+// held node to the survivors), then client connections are closed and
+// their handlers drained (Close), and finally the durable store takes its
+// last checkpoint and closes — so every operation a client saw
+// acknowledged is either handed off or in the state directory.
+func (s *Server) Shutdown() error {
+	var first error
+	if s.members != nil && s.tr != nil {
+		member := false
+		for _, p := range s.members.view().Procs {
+			if p == s.cfg.OverlayAddr {
+				member = true
+				break
+			}
+		}
+		// A process that already left (the -leave op) has nothing to hand off.
+		if member {
+			if err := s.LeaveOverlay(); err != nil {
+				first = err
+			}
+		}
+	}
+	if err := s.Close(); err != nil && first == nil {
+		first = err
+	}
+	if s.store != nil {
+		if err := s.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Close stops accepting connections, closes every accepted client

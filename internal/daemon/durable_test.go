@@ -1,0 +1,294 @@
+package daemon
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"cqjoin"
+)
+
+// ackedEvent is one notification a client actually received — the unit the
+// zero-loss guarantees below are stated over.
+type ackedEvent struct {
+	query  string
+	values string
+}
+
+func eventOf(m map[string]interface{}) ackedEvent {
+	return ackedEvent{query: fmt.Sprint(m["query"]), values: fmt.Sprint(m["values"])}
+}
+
+// notificationSet renders a recovered cluster's delivered notifications in
+// the same shape the protocol events use.
+func notificationSet(s *Server) map[ackedEvent]bool {
+	set := make(map[ackedEvent]bool)
+	for _, n := range s.Cluster().Notifications() {
+		vals := make([]interface{}, len(n.Values))
+		for i, v := range n.Values {
+			if v.Kind() == cqjoin.NumberKind {
+				vals[i] = v.Num()
+			} else {
+				vals[i] = v.Str()
+			}
+		}
+		set[ackedEvent{query: n.QueryKey, values: fmt.Sprint(vals)}] = true
+	}
+	return set
+}
+
+// subscribePublish drives one subscription and pairs matching pairs
+// through the protocol client, returning the query key.
+func subscribeDaemon(t *testing.T, c *client, node int) string {
+	t.Helper()
+	resp := c.call(map[string]interface{}{
+		"op": "subscribe", "node": node,
+		"sql": `SELECT O.Customer, S.Depot FROM Orders AS O, Shipments AS S WHERE O.Product = S.Product`,
+	})
+	if resp["ok"] != true {
+		t.Fatalf("subscribe: %v", resp)
+	}
+	return resp["key"].(string)
+}
+
+func publishMatch(t *testing.T, c *client, node int, tag string) {
+	t.Helper()
+	if resp := c.call(map[string]interface{}{
+		"op": "publish", "node": node, "relation": "Orders",
+		"values": []interface{}{1, "cust-" + tag, "prod-" + tag},
+	}); resp["ok"] != true {
+		t.Fatalf("publish Orders %s: %v", tag, resp)
+	}
+	if resp := c.call(map[string]interface{}{
+		"op": "publish", "node": node, "relation": "Shipments",
+		"values": []interface{}{2, "prod-" + tag, "depot-" + tag},
+	}); resp["ok"] != true {
+		t.Fatalf("publish Shipments %s: %v", tag, resp)
+	}
+}
+
+// TestDaemonStateDirCrashRecovery kills a single-process daemon the way
+// kill -9 does — the WAL descriptor dropped with no checkpoint — and
+// restarts it from the state directory: every acknowledged operation must
+// be back (delivered notifications, live subscriptions), and the restored
+// subscription must keep matching new tuples.
+func TestDaemonStateDirCrashRecovery(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.StateDir = t.TempDir()
+	cfg.SnapshotEvery = 8 // cross at least one checkpoint mid-workload
+
+	srv, conn := startServer(t, cfg)
+	c := newClient(t, conn)
+	if resp := c.call(map[string]interface{}{"op": "listen"}); resp["ok"] != true {
+		t.Fatalf("listen: %v", resp)
+	}
+	key := subscribeDaemon(t, c, 0)
+	acked := make(map[ackedEvent]bool)
+	for i := 0; i < 12; i++ {
+		publishMatch(t, c, 1+i%4, fmt.Sprintf("crash-%d", i))
+		ev := c.nextEvent()
+		if ev["query"] != key {
+			t.Fatalf("event for %v, want %v", ev["query"], key)
+		}
+		acked[eventOf(ev)] = true
+	}
+
+	// kill -9: no checkpoint, no close, just the descriptor gone.
+	srv.store.Abandon()
+	_ = srv.Close()
+
+	restarted, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart from state dir: %v", err)
+	}
+	info := restarted.Recovery()
+	if info.SnapshotLSN == 0 && info.Replayed == 0 {
+		t.Fatalf("nothing recovered: %+v", info)
+	}
+	got := notificationSet(restarted)
+	for ev := range acked {
+		if !got[ev] {
+			t.Fatalf("acknowledged notification lost across crash: %+v (recovered %d)", ev, len(got))
+		}
+	}
+
+	// The restored subscription still matches fresh tuples end to end.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = restarted.Serve(ln) }()
+	t.Cleanup(func() { _ = restarted.Close() })
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = conn2.Close() })
+	c2 := newClient(t, conn2)
+	if resp := c2.call(map[string]interface{}{"op": "listen"}); resp["ok"] != true {
+		t.Fatalf("listen after restart: %v", resp)
+	}
+	publishMatch(t, c2, 2, "post-restart")
+	ev := c2.nextEvent()
+	if ev["query"] != key {
+		t.Fatalf("restored subscription did not fire: %v", ev)
+	}
+
+	// The restored store keeps logging: a second unclean crash and restart
+	// must still have everything, including the post-restart match.
+	acked[eventOf(ev)] = true
+	restarted.store.Abandon()
+	_ = restarted.Close()
+	again, err := New(cfg)
+	if err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+	t.Cleanup(func() { _ = again.Close() })
+	got = notificationSet(again)
+	for ev := range acked {
+		if !got[ev] {
+			t.Fatalf("notification lost across second crash: %+v", ev)
+		}
+	}
+}
+
+// TestDaemonShutdownZeroLoss pins the SIGINT/SIGTERM contract: Shutdown —
+// the path cmd/cqjoind's signal handler runs — checkpoints and closes the
+// store, so a signaled daemon loses zero acknowledged notifications and
+// the next start replays nothing (the snapshot covers the whole log).
+func TestDaemonShutdownZeroLoss(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.StateDir = t.TempDir()
+
+	srv, conn := startServer(t, cfg)
+	c := newClient(t, conn)
+	if resp := c.call(map[string]interface{}{"op": "listen"}); resp["ok"] != true {
+		t.Fatalf("listen: %v", resp)
+	}
+	key := subscribeDaemon(t, c, 0)
+	acked := make(map[ackedEvent]bool)
+	for i := 0; i < 6; i++ {
+		publishMatch(t, c, 1+i, fmt.Sprintf("sig-%d", i))
+		ev := c.nextEvent()
+		acked[eventOf(ev)] = true
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	restarted, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart after shutdown: %v", err)
+	}
+	t.Cleanup(func() { _ = restarted.Close() })
+	info := restarted.Recovery()
+	if info.Replayed != 0 {
+		t.Fatalf("clean shutdown left %d unsnapshotted wal records", info.Replayed)
+	}
+	if info.SnapshotLSN == 0 {
+		t.Fatalf("no snapshot after shutdown: %+v", info)
+	}
+	got := notificationSet(restarted)
+	for ev := range acked {
+		if !got[ev] {
+			t.Fatalf("acknowledged notification lost across shutdown: %+v", ev)
+		}
+	}
+	if len(got) != len(acked) {
+		t.Fatalf("recovered %d notifications, acked %d", len(got), len(acked))
+	}
+	// The subscription itself survived: every recovered notification names
+	// the key the pre-shutdown subscribe returned.
+	for ev := range got {
+		if ev.query != key {
+			t.Fatalf("recovered notification for unknown query %q, want %q", ev.query, key)
+		}
+	}
+}
+
+// TestDaemonMultiProcessCrashRestart kills one process of a two-process
+// overlay mid-workload and restarts it from its state directory under the
+// same overlay address: the restarted process replays its log, re-owns the
+// same arcs under the unchanged membership view, holds every notification
+// it had acknowledged, and keeps evaluating — while its peer absorbs the
+// replay-driven duplicate deliveries idempotently.
+func TestDaemonMultiProcessCrashRestart(t *testing.T) {
+	base := defaultConfig()
+	lns := make([]net.Listener, 2)
+	peers := make([]string, 2)
+	dirs := []string{t.TempDir(), t.TempDir()}
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen overlay %d: %v", i, err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	procs := make([]*overlayProc, 2)
+	for i, ln := range lns {
+		cfg := base
+		cfg.OverlayAddr = peers[i]
+		cfg.Peers = peers
+		cfg.StateDir = dirs[i]
+		cfg.SnapshotEvery = 8
+		procs[i] = startOverlayProc(t, cfg, ln)
+	}
+	a, b := procs[0], procs[1]
+
+	// Subscribe on a node owned by B, publish through both processes.
+	subNode := b.nodeOwnedBy(t)
+	key := subscribeDaemon(t, b.c, subNode)
+	for i := 0; i < 6; i++ {
+		publishPair(t, procs, fmt.Sprintf("mp-%d", i))
+	}
+	before := notificationSet(b.srv)
+	if len(before) == 0 {
+		t.Fatal("no notifications delivered before the crash")
+	}
+
+	// kill -9 process B.
+	b.srv.store.Abandon()
+	_ = b.srv.Close()
+
+	// Restart it from its state directory under the same overlay address.
+	lnB, err := net.Listen("tcp", b.addr)
+	if err != nil {
+		t.Fatalf("rebind overlay addr %s: %v", b.addr, err)
+	}
+	cfgB := base
+	cfgB.OverlayAddr = b.addr
+	cfgB.Peers = peers
+	cfgB.StateDir = dirs[1]
+	cfgB.SnapshotEvery = 8
+	b2 := startOverlayProc(t, cfgB, lnB)
+	info := b2.srv.Recovery()
+	if info.SnapshotLSN == 0 && info.Replayed == 0 {
+		t.Fatalf("nothing recovered on restart: %+v", info)
+	}
+	after := notificationSet(b2.srv)
+	for ev := range before {
+		if !after[ev] {
+			t.Fatalf("notification lost across process crash: %+v", ev)
+		}
+	}
+
+	// The peer must not have double-delivered under the replay's re-sends.
+	if d := a.srv.Cluster().Traffic().Duplicates("notification"); d != 0 {
+		t.Fatalf("peer delivered %d duplicate notifications", d)
+	}
+
+	// The overlay keeps evaluating across the restart: a fresh matching
+	// pair published through the survivor notifies the restored subscriber.
+	live := []*overlayProc{a, b2}
+	publishPair(t, live, "mp-post")
+	count := 0
+	for _, n := range b2.srv.Cluster().Notifications() {
+		if n.QueryKey == key {
+			count++
+		}
+	}
+	if count != len(before)+1 {
+		t.Fatalf("restored subscriber has %d notifications, want %d", count, len(before)+1)
+	}
+}

@@ -17,16 +17,25 @@ import (
 // coordination beyond agreeing on the view, and a membership change moves
 // only the arcs adjacent to the joining or leaving process.
 //
-// Views are totally ordered by version. A process adopts gossip iff it is
-// strictly newer than what it holds, so replayed and reordered view frames
-// are no-ops. Changes originate at one process (the join seed, or the
-// leaver) which increments the version; concurrent originators are not
-// arbitrated — the daemon protocol drives joins and leaves one at a time.
+// Views carry a deterministic total order: (Version, Hash(Origin)), the
+// origin address itself as the final tie-break. A process adopts gossip
+// iff it strictly succeeds what it holds, so replayed and reordered view
+// frames are no-ops — and two changes originated concurrently at the same
+// base version (two joiners admitted through different seed processes in
+// the same instant) resolve to the same winner everywhere. The losing
+// originator's change is not forgotten: the originator keeps the delta
+// pending and re-originates it on top of any adopted view that does not
+// reflect it, at a strictly higher version, so both concurrent changes
+// land in a single linear version history (DESIGN.md §14.5).
 type membership struct {
 	mu      sync.Mutex
+	self    string // this process's overlay address (origin of local changes)
 	version uint64
+	origin  string       // originator of the installed view
 	procs   []string     // sorted addresses
 	points  []ownerPoint // procs by ring position, ascending
+	pending *pendingDelta
+	history []viewStamp
 }
 
 // ownerPoint is one process's position on the identifier ring.
@@ -35,18 +44,49 @@ type ownerPoint struct {
 	addr string
 }
 
-// newMembership builds the initial view. Version 1 marks a configured
-// (non-empty) member list; a process joining an existing overlay starts at
-// version 0 with the current members, so any authoritative view it is
-// handed applies.
-func newMembership(procs []string, version uint64) *membership {
-	m := &membership{}
-	m.install(version, procs)
+// pendingDelta is a membership change this process originated and must
+// see reflected in the winning view lineage before forgetting it.
+type pendingDelta struct {
+	add  bool   // admit addr (a join) vs depart addr (a leave)
+	addr string // the address the change concerns
+}
+
+// viewStamp identifies one adopted view: its version and originator.
+type viewStamp struct {
+	version uint64
+	origin  string
+}
+
+// viewAfter reports whether view (version, origin) strictly succeeds the
+// held (curVersion, curOrigin) in the total order.
+func viewAfter(version uint64, origin string, curVersion uint64, curOrigin string) bool {
+	if version != curVersion {
+		return version > curVersion
+	}
+	if origin == curOrigin {
+		return false
+	}
+	oh, ch := id.Hash(origin), id.Hash(curOrigin)
+	if !oh.Equal(ch) {
+		return ch.Less(oh)
+	}
+	return origin > curOrigin
+}
+
+// newMembership builds the initial view held by the process at self.
+// Version 1 marks a configured (non-empty) member list; a process joining
+// an existing overlay starts at version 0 with the current members, so
+// any authoritative view it is handed applies. The boot view has no
+// originator: every configured process holds an identical stamp.
+func newMembership(self string, procs []string, version uint64) *membership {
+	m := &membership{self: self}
+	m.install(version, "", procs)
 	return m
 }
 
-// install replaces the view. Callers hold m.mu (or own m exclusively).
-func (m *membership) install(version uint64, procs []string) {
+// install replaces the view and stamps the history. Callers hold m.mu (or
+// own m exclusively).
+func (m *membership) install(version uint64, origin string, procs []string) {
 	sorted := append([]string(nil), procs...)
 	sort.Strings(sorted)
 	points := make([]ownerPoint, len(sorted))
@@ -55,15 +95,22 @@ func (m *membership) install(version uint64, procs []string) {
 	}
 	sort.Slice(points, func(i, j int) bool { return points[i].pos.Less(points[j].pos) })
 	m.version = version
+	m.origin = origin
 	m.procs = sorted
 	m.points = points
+	m.history = append(m.history, viewStamp{version: version, origin: origin})
+}
+
+// viewLocked copies the current view. Callers hold m.mu.
+func (m *membership) viewLocked() *wire.MemberView {
+	return &wire.MemberView{Version: m.version, Origin: m.origin, Procs: append([]string(nil), m.procs...)}
 }
 
 // view returns a copy of the current view for gossiping.
 func (m *membership) view() *wire.MemberView {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return &wire.MemberView{Version: m.version, Procs: append([]string(nil), m.procs...)}
+	return m.viewLocked()
 }
 
 // currentVersion returns the view version.
@@ -73,34 +120,82 @@ func (m *membership) currentVersion() uint64 {
 	return m.version
 }
 
-// apply adopts v iff it is strictly newer. It reports whether the view
-// changed and the version held afterwards.
-func (m *membership) apply(v *wire.MemberView) (changed bool, version uint64) {
+// stamps returns the adopted view history (for convergence checks).
+func (m *membership) stamps() []viewStamp {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if v.Version <= m.version {
-		return false, m.version
+	return append([]viewStamp(nil), m.history...)
+}
+
+// reflects reports whether procs embodies the pending change.
+func (p *pendingDelta) reflects(procs []string) bool {
+	for _, q := range procs {
+		if q == p.addr {
+			return p.add
+		}
 	}
-	m.install(v.Version, v.Procs)
-	return true, m.version
+	return !p.add
+}
+
+// apply adopts v iff it strictly succeeds the held view in the total
+// order. It reports whether the view changed and the version held
+// afterwards. When the adopted view fails to reflect a change this
+// process originated (a concurrent originator won the same-version
+// arbitration), the change is re-originated on top of the winner at a
+// strictly higher version and returned as reissue — the caller must
+// gossip it. The pending change is dropped instead when the adopted view
+// already reflects it, or when the adopted view was originated by the
+// very address the change concerns: a process that originates views
+// speaks for its own membership, and resurrecting it against its will
+// (e.g. re-adding a joiner that has since departed) would fork the
+// lineage it started.
+func (m *membership) apply(v *wire.MemberView) (changed bool, version uint64, reissue *wire.MemberView) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !viewAfter(v.Version, v.Origin, m.version, m.origin) {
+		return false, m.version, nil
+	}
+	m.install(v.Version, v.Origin, v.Procs)
+	if p := m.pending; p != nil {
+		switch {
+		case p.reflects(m.procs) || v.Origin == p.addr:
+			m.pending = nil
+		default:
+			procs := make([]string, 0, len(m.procs)+1)
+			for _, q := range m.procs {
+				if q != p.addr {
+					procs = append(procs, q)
+				}
+			}
+			if p.add {
+				procs = append(procs, p.addr)
+			}
+			m.install(m.version+1, m.self, procs)
+			reissue = m.viewLocked()
+		}
+	}
+	return true, m.version, reissue
 }
 
 // add admits addr and returns the resulting view. Re-admitting a current
 // member returns the unchanged view, so replayed join frames are no-ops.
+// The admission is held pending until a winning view reflects it.
 func (m *membership) add(addr string) (*wire.MemberView, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, p := range m.procs {
 		if p == addr {
-			return &wire.MemberView{Version: m.version, Procs: append([]string(nil), m.procs...)}, false
+			return m.viewLocked(), false
 		}
 	}
-	m.install(m.version+1, append(append([]string(nil), m.procs...), addr))
-	return &wire.MemberView{Version: m.version, Procs: append([]string(nil), m.procs...)}, true
+	m.install(m.version+1, m.self, append(append([]string(nil), m.procs...), addr))
+	m.pending = &pendingDelta{add: true, addr: addr}
+	return m.viewLocked(), true
 }
 
 // remove departs addr and returns the resulting view; ok is false when
-// addr was not a member.
+// addr was not a member. The departure is held pending until a winning
+// view reflects it.
 func (m *membership) remove(addr string) (*wire.MemberView, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -113,8 +208,9 @@ func (m *membership) remove(addr string) (*wire.MemberView, bool) {
 	if len(rest) == len(m.procs) {
 		return nil, false
 	}
-	m.install(m.version+1, rest)
-	return &wire.MemberView{Version: m.version, Procs: append([]string(nil), m.procs...)}, true
+	m.install(m.version+1, m.self, rest)
+	m.pending = &pendingDelta{add: false, addr: addr}
+	return m.viewLocked(), true
 }
 
 // ownerOf maps a node key to the address of its owning process: the

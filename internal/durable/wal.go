@@ -1,0 +1,144 @@
+// Package durable adds per-node crash durability to the engine: a
+// write-ahead log of client operations and inbound overlay deliveries,
+// plus periodic whole-engine snapshots with log truncation (DESIGN.md
+// §14). Recovery restores the latest snapshot and replays the log tail
+// through the ordinary engine entry points, so a kill -9'd process
+// reproduces the exact notification content a never-crashed run delivers.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL frame layout, little-endian:
+//
+//	plen:u32 | hcrc:u32 | payload | pcrc:u32
+//
+// where hcrc covers the four plen bytes, pcrc covers the payload, and the
+// payload is the record's LSN as a uvarint followed by its record-codec
+// bytes. The header CRC splits torn tails from corruption: appends write
+// the header first, so an interrupted append leaves a strict prefix of a
+// frame — a header that is complete but wrong was not torn, it was
+// damaged, and replay must refuse it rather than silently truncate
+// committed records behind it.
+
+const (
+	frameHeaderLen  = 8       // plen + hcrc
+	frameTrailerLen = 4       // pcrc
+	maxRecordLen    = 1 << 26 // sanity bound on one payload
+)
+
+// castagnoli is the CRC-32C polynomial table (the iSCSI/ext4 checksum).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports a WAL frame that is damaged rather than torn:
+// replay stops and recovery fails loudly instead of dropping committed
+// records (ISSUE 10 satellite; DESIGN.md §14.2).
+type CorruptError struct {
+	Off    int64  // byte offset of the offending frame
+	LSN    uint64 // last good LSN before it (0 if none)
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("durable: corrupt wal frame at offset %d after lsn %d: %s", e.Off, e.LSN, e.Reason)
+}
+
+// walRecord is one decoded frame: its log sequence number and record
+// bytes (aliasing the scanned buffer).
+type walRecord struct {
+	lsn  uint64
+	data []byte
+}
+
+// appendFrame appends one framed (lsn, record) payload to dst.
+func appendFrame(dst []byte, lsn uint64, record []byte) []byte {
+	payload := binary.AppendUvarint(nil, lsn)
+	payload = append(payload, record...)
+	return appendFramedPayload(dst, payload)
+}
+
+// appendFramedPayload wraps payload in the frame layout above. The
+// snapshot file reuses it for its single whole-file frame.
+func appendFramedPayload(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(hdr[0:4], castagnoli))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+}
+
+// parseOneFrame parses data as exactly one complete frame and returns its
+// payload. Unlike the WAL scan, nothing here is tolerably torn: the
+// snapshot file is written to a temp path, fsynced, and renamed into
+// place, so any damage is corruption.
+func parseOneFrame(data []byte) ([]byte, error) {
+	if len(data) < frameHeaderLen+frameTrailerLen {
+		return nil, &CorruptError{Reason: fmt.Sprintf("file too short (%d bytes)", len(data))}
+	}
+	plen := binary.LittleEndian.Uint32(data[0:4])
+	if crc32.Checksum(data[0:4], castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, &CorruptError{Reason: "header crc mismatch"}
+	}
+	if plen == 0 || plen > maxRecordLen {
+		return nil, &CorruptError{Reason: fmt.Sprintf("implausible payload length %d", plen)}
+	}
+	if len(data) != frameHeaderLen+int(plen)+frameTrailerLen {
+		return nil, &CorruptError{Reason: fmt.Sprintf("file length %d does not match framed length %d", len(data), frameHeaderLen+int(plen)+frameTrailerLen)}
+	}
+	payload := data[frameHeaderLen : frameHeaderLen+plen]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[len(data)-frameTrailerLen:]) {
+		return nil, &CorruptError{Reason: "payload crc mismatch"}
+	}
+	return payload, nil
+}
+
+// scanFrames parses a WAL image into its complete records. The second
+// return is the clean length: bytes past it are a torn tail (an append
+// interrupted by the crash) and safe to truncate. A frame that is
+// complete but fails a CRC, length, or LSN-continuity check yields a
+// CorruptError instead — committed records must never be dropped quietly.
+func scanFrames(data []byte) ([]walRecord, int64, error) {
+	var recs []walRecord
+	var lastLSN uint64
+	off := int64(0)
+	for int(off) < len(data) {
+		rem := data[off:]
+		if len(rem) < frameHeaderLen {
+			return recs, off, nil // torn inside the header
+		}
+		plen := binary.LittleEndian.Uint32(rem[0:4])
+		hcrc := binary.LittleEndian.Uint32(rem[4:8])
+		if crc32.Checksum(rem[0:4], castagnoli) != hcrc {
+			return nil, off, &CorruptError{Off: off, LSN: lastLSN, Reason: "header crc mismatch"}
+		}
+		if plen == 0 || plen > maxRecordLen {
+			return nil, off, &CorruptError{Off: off, LSN: lastLSN, Reason: fmt.Sprintf("implausible payload length %d", plen)}
+		}
+		if len(rem)-frameHeaderLen < int(plen)+frameTrailerLen {
+			return recs, off, nil // torn inside payload or trailer
+		}
+		payload := rem[frameHeaderLen : frameHeaderLen+plen]
+		pcrc := binary.LittleEndian.Uint32(rem[frameHeaderLen+plen : frameHeaderLen+plen+frameTrailerLen])
+		if crc32.Checksum(payload, castagnoli) != pcrc {
+			return nil, off, &CorruptError{Off: off, LSN: lastLSN, Reason: "payload crc mismatch"}
+		}
+		lsn, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, off, &CorruptError{Off: off, LSN: lastLSN, Reason: "unreadable lsn"}
+		}
+		if lastLSN != 0 && lsn != lastLSN+1 {
+			return nil, off, &CorruptError{Off: off, LSN: lastLSN, Reason: fmt.Sprintf("lsn discontinuity: %d after %d", lsn, lastLSN)}
+		}
+		if lsn == 0 {
+			return nil, off, &CorruptError{Off: off, LSN: lastLSN, Reason: "lsn 0 is reserved"}
+		}
+		recs = append(recs, walRecord{lsn: lsn, data: payload[n:]})
+		lastLSN = lsn
+		off += int64(frameHeaderLen) + int64(plen) + int64(frameTrailerLen)
+	}
+	return recs, off, nil
+}

@@ -46,6 +46,7 @@ const (
 	tagHotMigrate
 	tagHotRecall
 	tagHotHandoff
+	tagSnapMeta
 )
 
 // EncodeMessage appends msg's wire form to w. The buffer is pre-grown to
@@ -233,6 +234,43 @@ func EncodeMessage(w *wire.Buffer, msg chord.Message) error {
 		for _, t := range m.Tuples {
 			wire.EncodeTuple(w, t)
 		}
+	//wire:field enc snapMetaMsg Clock Nodes Down Seq Subs Multi Conds Sink HotEpochs HotCounts
+	case snapMetaMsg:
+		w.PutUvarint(uint64(tagSnapMeta))
+		w.PutVarint(m.Clock)
+		w.PutUvarint(uint64(len(m.Nodes)))
+		for _, k := range m.Nodes {
+			w.PutString(k)
+		}
+		w.PutUvarint(uint64(len(m.Down)))
+		for _, k := range m.Down {
+			w.PutString(k)
+		}
+		w.PutUvarint(uint64(len(m.Seq)))
+		for _, s := range m.Seq {
+			encodeSeqEntry(w, s)
+		}
+		w.PutUvarint(uint64(len(m.Subs)))
+		for _, s := range m.Subs {
+			encodeSubsEntry(w, s)
+		}
+		w.PutUvarint(boolBit(m.Multi))
+		w.PutUvarint(uint64(len(m.Conds)))
+		for _, q := range m.Conds {
+			wire.EncodeQuery(w, q)
+		}
+		w.PutUvarint(uint64(len(m.Sink)))
+		for _, n := range m.Sink {
+			encodeNotification(w, n)
+		}
+		w.PutUvarint(uint64(len(m.HotEpochs)))
+		for _, e := range m.HotEpochs {
+			encodeHotEpochEntry(w, e)
+		}
+		w.PutUvarint(uint64(len(m.HotCounts)))
+		for _, c := range m.HotCounts {
+			encodeHotCountEntry(w, c)
+		}
 	default:
 		return fmt.Errorf("engine: no codec for message type %T", msg)
 	}
@@ -406,6 +444,43 @@ func encodeNotifSection(w *wire.Buffer, sec notifSection) {
 	for _, n := range sec.Batch {
 		encodeNotification(w, n)
 	}
+}
+
+//wire:field enc seqEntry Key Seq
+func encodeSeqEntry(w *wire.Buffer, s seqEntry) {
+	w.PutString(s.Key)
+	w.PutVarint(s.Seq)
+}
+
+//wire:field enc subsEntry Key Inputs
+func encodeSubsEntry(w *wire.Buffer, s subsEntry) {
+	w.PutString(s.Key)
+	w.PutUvarint(uint64(len(s.Inputs)))
+	for _, in := range s.Inputs {
+		w.PutString(in)
+	}
+}
+
+//wire:field enc hotEpochEntry Input Version K
+func encodeHotEpochEntry(w *wire.Buffer, e hotEpochEntry) {
+	w.PutString(e.Input)
+	w.PutUvarint(uint64(e.Version))
+	w.PutUvarint(uint64(e.K))
+}
+
+//wire:field enc hotCountEntry Input Count WindowStart
+func encodeHotCountEntry(w *wire.Buffer, c hotCountEntry) {
+	w.PutString(c.Input)
+	w.PutVarint(c.Count)
+	w.PutVarint(c.WindowStart)
+}
+
+// boolBit renders a bool as its uvarint wire bit.
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // sliceCount validates an element count read off the wire against the
@@ -750,6 +825,8 @@ func DecodeMessage(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 			}
 		}
 		return hotHandoffMsg{Input: input, Shard: shard, Version: version, K: k, Entries: entries, Tuples: tuples}, nil
+	case tagSnapMeta:
+		return decodeSnapMeta(r, catalog)
 	default:
 		return nil, fmt.Errorf("engine: unknown message tag %d", tag)
 	}
@@ -1300,6 +1377,167 @@ func decodeHandoff(r *wire.Reader, catalog *relation.Catalog) (chord.Message, er
 		}
 	}
 	return m, nil
+}
+
+//wire:field dec snapMetaMsg Clock Nodes Down Seq Subs Multi Conds Sink HotEpochs HotCounts
+func decodeSnapMeta(r *wire.Reader, catalog *relation.Catalog) (chord.Message, error) {
+	var m snapMetaMsg
+	clock, err := r.Varint()
+	if err != nil {
+		return nil, err
+	}
+	m.Clock = clock
+	if m.Nodes, err = decodeStrings(r); err != nil {
+		return nil, err
+	}
+	if m.Down, err = decodeStrings(r); err != nil {
+		return nil, err
+	}
+	nSeq, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Seq = make([]seqEntry, nSeq)
+	for i := range m.Seq {
+		if m.Seq[i], err = decodeSeqEntry(r); err != nil {
+			return nil, err
+		}
+	}
+	nSubs, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Subs = make([]subsEntry, nSubs)
+	for i := range m.Subs {
+		if m.Subs[i], err = decodeSubsEntry(r); err != nil {
+			return nil, err
+		}
+	}
+	multi, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m.Multi = multi != 0
+	nConds, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Conds = make([]*query.Query, nConds)
+	for i := range m.Conds {
+		if m.Conds[i], err = wire.DecodeQuery(r, catalog); err != nil {
+			return nil, err
+		}
+	}
+	nSink, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Sink = make([]Notification, nSink)
+	for i := range m.Sink {
+		if m.Sink[i], err = decodeNotification(r); err != nil {
+			return nil, err
+		}
+	}
+	nEp, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.HotEpochs = make([]hotEpochEntry, nEp)
+	for i := range m.HotEpochs {
+		if m.HotEpochs[i], err = decodeHotEpochEntry(r); err != nil {
+			return nil, err
+		}
+	}
+	nCt, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m.HotCounts = make([]hotCountEntry, nCt)
+	for i := range m.HotCounts {
+		if m.HotCounts[i], err = decodeHotCountEntry(r); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// decodeStrings reads a uvarint-counted list of strings.
+func decodeStrings(r *wire.Reader) ([]string, error) {
+	n, err := decodeCount(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = r.String(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+//wire:field dec seqEntry Key Seq
+func decodeSeqEntry(r *wire.Reader) (seqEntry, error) {
+	var s seqEntry
+	var err error
+	if s.Key, err = r.String(); err != nil {
+		return s, err
+	}
+	if s.Seq, err = r.Varint(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+//wire:field dec subsEntry Key Inputs
+func decodeSubsEntry(r *wire.Reader) (subsEntry, error) {
+	var s subsEntry
+	var err error
+	if s.Key, err = r.String(); err != nil {
+		return s, err
+	}
+	if s.Inputs, err = decodeStrings(r); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+//wire:field dec hotEpochEntry Input Version K
+func decodeHotEpochEntry(r *wire.Reader) (hotEpochEntry, error) {
+	var e hotEpochEntry
+	var err error
+	if e.Input, err = r.String(); err != nil {
+		return e, err
+	}
+	v, err := r.Uvarint()
+	if err != nil {
+		return e, err
+	}
+	k, err := r.Uvarint()
+	if err != nil {
+		return e, err
+	}
+	e.Version, e.K = int(v), int(k)
+	return e, nil
+}
+
+//wire:field dec hotCountEntry Input Count WindowStart
+func decodeHotCountEntry(r *wire.Reader) (hotCountEntry, error) {
+	var c hotCountEntry
+	var err error
+	if c.Input, err = r.String(); err != nil {
+		return c, err
+	}
+	if c.Count, err = r.Varint(); err != nil {
+		return c, err
+	}
+	if c.WindowStart, err = r.Varint(); err != nil {
+		return c, err
+	}
+	return c, nil
 }
 
 // encodedLen is the single source of truth for message sizes: the exact

@@ -245,6 +245,14 @@ func (e *Engine) ExportHandoff(n *chord.Node) (chord.Message, bool) {
 // hand-off delivery adds nothing twice. Stored notifications whose
 // subscriber is this node are replayed immediately.
 func (st *nodeState) handleHandoff(on *chord.Node, m handoffMsg) {
+	st.merge(on, m, true)
+}
+
+// merge installs a handoffMsg into this node's tables. With replayNotifs
+// set (the live hand-off path) stored notifications addressed to this node
+// are replayed immediately; snapshot restore passes false so recovered
+// offline queues stay queued exactly as exported.
+func (st *nodeState) merge(on *chord.Node, m handoffMsg, replayNotifs bool) {
 	var addedRewriter, addedEvaluator int
 	var replay []string
 
@@ -308,7 +316,7 @@ func (st *nodeState) handleHandoff(on *chord.Node, m handoffMsg) {
 	for _, sec := range m.Notifs {
 		st.storedNotifs[sec.Subscriber] = append(st.storedNotifs[sec.Subscriber], sec.Batch...)
 		addedEvaluator += len(sec.Batch)
-		if sec.Subscriber == on.Key() {
+		if replayNotifs && sec.Subscriber == on.Key() {
 			replay = append(replay, sec.Subscriber)
 		}
 	}

@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"fmt"
+
+	"cqjoin/internal/chord"
+	"cqjoin/internal/query"
+	"cqjoin/internal/relation"
+)
+
+// Engine-wide snapshot for the durability layer (internal/durable,
+// DESIGN.md §14). A snapshot is the non-destructive counterpart of the
+// per-node hand-off export: every node's movable tables in handoffMsg wire
+// form, plus one snapMetaMsg carrying the engine-global state a replayed
+// log needs to continue deterministically — the logical clock, the
+// per-subscriber query sequence counters (so replayed subscribes re-derive
+// the same Key(q)), the subscription index, the registered conflict
+// conditions, the delivered-notification sink, and the hot-key epoch
+// registry. Deliberately NOT carried, matching the hand-off exclusions:
+// the JFRT and subscriber-IP caches (best-effort, refill), probe
+// statistics, the pair-baseline store, and the engine's private rng state
+// (it only picks index attributes and replicas, which never changes match
+// content — see DESIGN.md §14.3).
+
+// kindSnapMeta names the snapshot-meta message class.
+const kindSnapMeta = "snapmeta"
+
+// seqEntry is one per-subscriber query sequence counter.
+type seqEntry struct {
+	Key string
+	Seq int64
+}
+
+// subsEntry maps one query key to its attribute-level index inputs (the
+// unsubscribe fan-out list).
+type subsEntry struct {
+	Key    string
+	Inputs []string
+}
+
+// hotEpochEntry is one hot-key registry entry: the promoted (or demoted,
+// K==0) epoch of a value-level input.
+type hotEpochEntry struct {
+	Input   string
+	Version int
+	K       int
+}
+
+// hotCountEntry is one hot-key detector counter: arrivals within the
+// currently open window of an input.
+type hotCountEntry struct {
+	Input       string
+	Count       int64
+	WindowStart int64
+}
+
+// snapMetaMsg is the engine-global section of a snapshot. It reuses the
+// engine message codec (tag tagSnapMeta) so the wiretag/wiresync analyzers
+// gate its encoding like every other frame.
+type snapMetaMsg struct {
+	Clock     int64
+	Nodes     []string // alive node keys, ring order
+	Down      []string // caller-declared crashed keys awaiting rejoin
+	Seq       []seqEntry
+	Subs      []subsEntry
+	Multi     bool
+	Conds     []*query.Query
+	Sink      []Notification
+	HotEpochs []hotEpochEntry
+	HotCounts []hotCountEntry
+}
+
+func (snapMetaMsg) Kind() string { return kindSnapMeta }
+
+// NodeSnapshot is one node's movable state in handoffMsg wire form, keyed
+// by the node whose tables it holds.
+type NodeSnapshot struct {
+	Key string
+	Msg chord.Message
+}
+
+// ExportSnapshot returns a consistent, non-destructive copy of the whole
+// engine: the global meta message and one NodeSnapshot per alive node with
+// non-empty movable state. down lists node keys the caller knows to be
+// crashed-and-pending-rejoin, recorded so a recovery can rebuild the same
+// ring liveness. The caller must ensure no operation is mid-cascade (the
+// durable layer gates operations against checkpoints).
+func (e *Engine) ExportSnapshot(down []string) (chord.Message, []NodeSnapshot) {
+	nodes := e.net.Nodes()
+	meta := snapMetaMsg{
+		Clock: e.net.Clock().Now(),
+		Down:  append([]string(nil), down...),
+	}
+	for _, n := range nodes {
+		meta.Nodes = append(meta.Nodes, n.Key())
+	}
+
+	e.mu.Lock()
+	for _, k := range sortedKeys(e.seq) {
+		meta.Seq = append(meta.Seq, seqEntry{Key: k, Seq: int64(e.seq[k])})
+	}
+	for _, k := range sortedKeys(e.subs) {
+		meta.Subs = append(meta.Subs, subsEntry{Key: k, Inputs: append([]string(nil), e.subs[k]...)})
+	}
+	meta.Multi = e.hasMulti
+	meta.Sink = append([]Notification(nil), e.sink...)
+	e.mu.Unlock()
+
+	e.condMu.Lock()
+	meta.Conds = append([]*query.Query(nil), e.conds...)
+	e.condMu.Unlock()
+
+	if e.hot != nil {
+		e.hot.mu.Lock()
+		for _, input := range sortedKeys(e.hot.entries) {
+			en := e.hot.entries[input]
+			meta.HotEpochs = append(meta.HotEpochs, hotEpochEntry{Input: input, Version: en.version, K: en.k})
+		}
+		for _, input := range sortedKeys(e.hot.counters) {
+			c := e.hot.counters[input]
+			meta.HotCounts = append(meta.HotCounts, hotCountEntry{Input: input, Count: c.count, WindowStart: c.windowStart})
+		}
+		e.hot.mu.Unlock()
+	}
+
+	var out []NodeSnapshot
+	for _, n := range nodes {
+		st := e.state(n)
+		if m, ok := st.snapshotSections(); ok {
+			out = append(out, NodeSnapshot{Key: n.Key(), Msg: m})
+		}
+	}
+	return meta, out
+}
+
+// snapshotSections builds a handoffMsg copy of this node's movable state
+// without draining it. Mutable slices are copied so later engine activity
+// cannot reach into the snapshot; the immutable leaves (tuples, queries,
+// rewrites) are shared.
+func (st *nodeState) snapshotSections() (handoffMsg, bool) {
+	var m handoffMsg
+	st.mu.Lock()
+	for _, input := range sortedKeys(st.alqt) {
+		b := st.alqt[input]
+		sec := alSection{
+			Input:        b.input,
+			SentRewrites: sortedKeys(b.sentRewrites),
+			SentTargets:  flattenTargets(b.sentTargets),
+		}
+		for _, cond := range condsOf(b.byCond, b.condOrder) {
+			g := b.byCond[cond]
+			sec.Groups = append(sec.Groups, alGroupSection{
+				Cond: g.cond, Side: g.side, Queries: append([]*query.Query(nil), g.queries...),
+			})
+		}
+		for _, cond := range sortedKeys(b.multi) {
+			g := b.multi[cond]
+			sec.Multi = append(sec.Multi, alMultiSection{
+				Cond: g.cond, Queries: append([]*query.MultiQuery(nil), g.queries...),
+			})
+		}
+		m.AL = append(m.AL, sec)
+	}
+	for _, input := range sortedKeys(st.vlqt) {
+		b := st.vlqt[input]
+		sec := vqSection{Input: b.input}
+		for _, sr := range b.sorted {
+			sec.Entries = append(sec.Entries, vqEntry{Rw: sr.rw, Times: append([]int64(nil), sr.times...)})
+		}
+		m.VQ = append(m.VQ, sec)
+	}
+	for _, input := range sortedKeys(st.mvlqt) {
+		b := st.mvlqt[input]
+		m.MQ = append(m.MQ, mqSection{
+			Input:       b.input,
+			Rewrites:    append([]*mRewritten(nil), b.rewrites...),
+			SentTargets: flattenTargets(b.sentTargets),
+		})
+	}
+	for _, input := range sortedKeys(st.vltt) {
+		b := st.vltt[input]
+		m.VT = append(m.VT, vtSection{Input: b.input, Tuples: append([]*relation.Tuple(nil), b.tuples...)})
+	}
+	for _, input := range sortedKeys(st.vstore) {
+		b := st.vstore[input]
+		sec := dvSection{Input: b.input}
+		for _, cond := range sortedKeys(b.byCond) {
+			entry := b.byCond[cond]
+			sec.Entries = append(sec.Entries, dvEntry{
+				Cond:  entry.cond,
+				Left:  append([]*relation.Tuple(nil), entry.tuples[query.SideLeft]...),
+				Right: append([]*relation.Tuple(nil), entry.tuples[query.SideRight]...),
+			})
+		}
+		m.DV = append(m.DV, sec)
+	}
+	for _, sub := range sortedKeys(st.storedNotifs) {
+		m.Notifs = append(m.Notifs, notifSection{Subscriber: sub, Batch: append([]Notification(nil), st.storedNotifs[sub]...)})
+	}
+	st.mu.Unlock()
+
+	empty := len(m.AL) == 0 && len(m.VQ) == 0 && len(m.MQ) == 0 &&
+		len(m.VT) == 0 && len(m.DV) == 0 && len(m.Notifs) == 0
+	return m, !empty
+}
+
+// RestoreSnapshot installs an exported snapshot into a freshly built
+// engine (same catalog, config and seed as the exporting run): ring
+// liveness is replayed first (missing nodes join, recorded-down nodes
+// fail), then the clock catches up, then the global meta and every node's
+// tables merge through the idempotent hand-off merges — without replaying
+// stored offline notifications, which stay queued exactly as they were.
+func (e *Engine) RestoreSnapshot(meta chord.Message, nodes []NodeSnapshot) error {
+	m, ok := meta.(snapMetaMsg)
+	if !ok {
+		return fmt.Errorf("engine: restore: meta is %T, want snapMetaMsg", meta)
+	}
+
+	have := make(map[string]*chord.Node)
+	for _, n := range e.net.Nodes() {
+		have[n.Key()] = n
+	}
+	want := make(map[string]bool, len(m.Nodes))
+	for _, k := range m.Nodes {
+		want[k] = true
+	}
+	for _, k := range m.Nodes {
+		if have[k] == nil {
+			if _, err := e.RejoinNode(k); err != nil {
+				return fmt.Errorf("engine: restore: join %s: %w", k, err)
+			}
+		}
+	}
+	// Nodes in the fresh overlay the snapshot does not list as alive were
+	// down when it was taken (whether or not the exporter knew a rejoin
+	// schedule for them): fail them so ownership matches the snapshot.
+	for k, n := range have {
+		if !want[k] {
+			e.FailNode(n)
+		}
+	}
+
+	if d := m.Clock - e.net.Clock().Now(); d > 0 {
+		e.net.Clock().Advance(d)
+	}
+
+	e.mu.Lock()
+	for _, s := range m.Seq {
+		e.seq[s.Key] = int(s.Seq)
+	}
+	for _, s := range m.Subs {
+		e.subs[s.Key] = append([]string(nil), s.Inputs...)
+	}
+	e.hasMulti = m.Multi
+	e.sink = append(e.sink, m.Sink...)
+	for _, n := range m.Sink {
+		e.delivered[deliveryKey(n)] = true
+	}
+	e.mu.Unlock()
+	e.multiOn.Store(m.Multi)
+
+	for _, q := range m.Conds {
+		e.registerCondition(q)
+	}
+
+	if e.hot != nil {
+		e.hot.mu.Lock()
+		for _, en := range m.HotEpochs {
+			e.hot.entries[en.Input] = hotEntry{version: en.Version, k: en.K}
+		}
+		for _, c := range m.HotCounts {
+			e.hot.counters[c.Input] = &hotCounter{count: c.Count, windowStart: c.WindowStart}
+		}
+		e.hot.mu.Unlock()
+	}
+
+	for _, ns := range nodes {
+		e.mu.Lock()
+		st := e.byKey[ns.Key]
+		e.mu.Unlock()
+		if st == nil {
+			return fmt.Errorf("engine: restore: node %s not in overlay", ns.Key)
+		}
+		hm, ok := ns.Msg.(handoffMsg)
+		if !ok {
+			return fmt.Errorf("engine: restore: node %s section is %T, want handoffMsg", ns.Key, ns.Msg)
+		}
+		st.merge(st.node, hm, false)
+	}
+	return nil
+}
+
+// Catalog returns the schema catalog the engine resolves relations and
+// queries against.
+func (e *Engine) Catalog() *relation.Catalog { return e.catalog }

@@ -29,7 +29,7 @@ func MessageSize(msg chord.Message) int { return wireSize(msg) }
 // wireSize returns msg's exact encoded length, or 0 for message types
 // EncodeMessage does not know (mirroring encodedLen's error case).
 func wireSize(msg chord.Message) int {
-	// Every tag is a single-byte uvarint (1..21).
+	// Every tag is a single-byte uvarint (1..22).
 	const tagLen = 1
 	switch m := msg.(type) {
 	//wire:field size queryMsg Q Attr Side Replica
@@ -171,9 +171,71 @@ func wireSize(msg chord.Message) int {
 			n += wire.SizeTuple(t)
 		}
 		return n
+	//wire:field size snapMetaMsg Clock Nodes Down Seq Subs Multi Conds Sink HotEpochs HotCounts
+	case snapMetaMsg:
+		n := tagLen + wire.SizeVarint(m.Clock) + wire.SizeUvarint(uint64(len(m.Nodes)))
+		for _, k := range m.Nodes {
+			n += wire.SizeString(k)
+		}
+		n += wire.SizeUvarint(uint64(len(m.Down)))
+		for _, k := range m.Down {
+			n += wire.SizeString(k)
+		}
+		n += wire.SizeUvarint(uint64(len(m.Seq)))
+		for _, s := range m.Seq {
+			n += sizeSeqEntry(s)
+		}
+		n += wire.SizeUvarint(uint64(len(m.Subs)))
+		for _, s := range m.Subs {
+			n += sizeSubsEntry(s)
+		}
+		n += wire.SizeUvarint(boolBit(m.Multi))
+		n += wire.SizeUvarint(uint64(len(m.Conds)))
+		for _, q := range m.Conds {
+			n += wire.SizeQuery(q)
+		}
+		n += wire.SizeUvarint(uint64(len(m.Sink)))
+		for _, nt := range m.Sink {
+			n += sizeNotification(nt)
+		}
+		n += wire.SizeUvarint(uint64(len(m.HotEpochs)))
+		for _, e := range m.HotEpochs {
+			n += sizeHotEpochEntry(e)
+		}
+		n += wire.SizeUvarint(uint64(len(m.HotCounts)))
+		for _, c := range m.HotCounts {
+			n += sizeHotCountEntry(c)
+		}
+		return n
 	default:
 		return 0
 	}
+}
+
+//wire:field size seqEntry Key Seq
+func sizeSeqEntry(s seqEntry) int {
+	return wire.SizeString(s.Key) + wire.SizeVarint(s.Seq)
+}
+
+//wire:field size subsEntry Key Inputs
+func sizeSubsEntry(s subsEntry) int {
+	n := wire.SizeString(s.Key) + wire.SizeUvarint(uint64(len(s.Inputs)))
+	for _, in := range s.Inputs {
+		n += wire.SizeString(in)
+	}
+	return n
+}
+
+//wire:field size hotEpochEntry Input Version K
+func sizeHotEpochEntry(e hotEpochEntry) int {
+	return wire.SizeString(e.Input) + wire.SizeUvarint(uint64(e.Version)) +
+		wire.SizeUvarint(uint64(e.K))
+}
+
+//wire:field size hotCountEntry Input Count WindowStart
+func sizeHotCountEntry(c hotCountEntry) int {
+	return wire.SizeString(c.Input) + wire.SizeVarint(c.Count) +
+		wire.SizeVarint(c.WindowStart)
 }
 
 //wire:field size rewritten Key Orig IndexSide Trigger WantRel WantAttr WantValue

@@ -3,22 +3,29 @@ package wire
 import "fmt"
 
 // MemberView is the daemon membership gossip payload: the authoritative
-// list of overlay processes at a given version. Views are totally ordered
-// by Version; a receiver adopts a view iff its version exceeds the local
-// one, so replayed or reordered views are harmless. Procs is kept sorted
-// by the daemon layer so that equal views are byte-identical on the wire
-// and node ownership (successor-of-hash over Procs) is deterministic for
+// list of overlay processes at a given version, stamped with the address
+// of the process that originated the change. Views are totally ordered by
+// (Version, ring position of Origin): version first, and concurrent
+// same-version views — two processes each incrementing the same base in
+// the same instant — are arbitrated by the deterministic hash order of
+// their originators, so every process picks the same winner with no
+// coordination. Replayed or reordered views are harmless: a receiver
+// adopts a view iff it succeeds the one it holds. Procs is kept sorted by
+// the daemon layer so that equal views are byte-identical on the wire and
+// node ownership (successor-of-hash over Procs) is deterministic for
 // every holder of the same view.
 type MemberView struct {
 	Version uint64
+	Origin  string
 	Procs   []string
 }
 
 // EncodeMemberView appends v's wire form to w.
 //
-//wire:field enc MemberView Version Procs
+//wire:field enc MemberView Version Origin Procs
 func EncodeMemberView(w *Buffer, v *MemberView) {
 	w.PutUvarint(v.Version)
+	w.PutString(v.Origin)
 	w.PutUvarint(uint64(len(v.Procs)))
 	for _, p := range v.Procs {
 		w.PutString(p)
@@ -27,9 +34,9 @@ func EncodeMemberView(w *Buffer, v *MemberView) {
 
 // SizeMemberView reports the exact encoded length of v.
 //
-//wire:field size MemberView Version Procs
+//wire:field size MemberView Version Origin Procs
 func SizeMemberView(v *MemberView) int {
-	n := SizeUvarint(v.Version) + SizeUvarint(uint64(len(v.Procs)))
+	n := SizeUvarint(v.Version) + SizeString(v.Origin) + SizeUvarint(uint64(len(v.Procs)))
 	for _, p := range v.Procs {
 		n += SizeString(p)
 	}
@@ -38,9 +45,13 @@ func SizeMemberView(v *MemberView) int {
 
 // DecodeMemberView reads one view encoded by EncodeMemberView.
 //
-//wire:field dec MemberView Version Procs
+//wire:field dec MemberView Version Origin Procs
 func DecodeMemberView(r *Reader) (*MemberView, error) {
 	version, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	origin, err := r.String()
 	if err != nil {
 		return nil, err
 	}
@@ -57,5 +68,5 @@ func DecodeMemberView(r *Reader) (*MemberView, error) {
 			return nil, err
 		}
 	}
-	return &MemberView{Version: version, Procs: procs}, nil
+	return &MemberView{Version: version, Origin: origin, Procs: procs}, nil
 }
