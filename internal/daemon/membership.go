@@ -57,6 +57,11 @@ type viewStamp struct {
 	origin  string
 }
 
+// maxViewHistory bounds the adopted-stamp history: convergence checks
+// only ever need a recent suffix, and without a cap ongoing membership
+// churn on a long-lived daemon grows the slice without bound.
+const maxViewHistory = 64
+
 // viewAfter reports whether view (version, origin) strictly succeeds the
 // held (curVersion, curOrigin) in the total order.
 func viewAfter(version uint64, origin string, curVersion uint64, curOrigin string) bool {
@@ -99,6 +104,9 @@ func (m *membership) install(version uint64, origin string, procs []string) {
 	m.procs = sorted
 	m.points = points
 	m.history = append(m.history, viewStamp{version: version, origin: origin})
+	if n := len(m.history); n > maxViewHistory {
+		m.history = append(m.history[:0], m.history[n-maxViewHistory:]...)
+	}
 }
 
 // viewLocked copies the current view. Callers hold m.mu.
@@ -120,7 +128,8 @@ func (m *membership) currentVersion() uint64 {
 	return m.version
 }
 
-// stamps returns the adopted view history (for convergence checks).
+// stamps returns the retained adopted-view history — the most recent
+// maxViewHistory stamps (for convergence checks).
 func (m *membership) stamps() []viewStamp {
 	m.mu.Lock()
 	defer m.mu.Unlock()

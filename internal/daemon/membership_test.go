@@ -243,3 +243,35 @@ func TestPendingDroppedWhenOriginSpeaksForItself(t *testing.T) {
 		t.Fatal("pending delta not cleared by the originator's own view")
 	}
 }
+
+// TestViewHistoryBounded: the adopted-stamp history retains only a
+// recent suffix, so unbounded membership churn on a long-lived daemon
+// cannot grow it without bound, and the retained suffix still ends on
+// the installed view.
+func TestViewHistoryBounded(t *testing.T) {
+	const (
+		addrA = "10.0.0.1:7570"
+		addrB = "10.0.0.2:7570"
+	)
+	m := newMembership(addrA, []string{addrA}, 1)
+	for i := 0; i < 10*maxViewHistory; i++ {
+		if i%2 == 0 {
+			m.add(addrB)
+		} else {
+			m.remove(addrB)
+		}
+	}
+	stamps := m.stamps()
+	if len(stamps) != maxViewHistory {
+		t.Errorf("history holds %d stamps after churn, want cap %d", len(stamps), maxViewHistory)
+	}
+	last := stamps[len(stamps)-1]
+	if last.version != m.currentVersion() {
+		t.Errorf("history ends on version %d, installed view is %d", last.version, m.currentVersion())
+	}
+	for i := 1; i < len(stamps); i++ {
+		if !viewAfter(stamps[i].version, stamps[i].origin, stamps[i-1].version, stamps[i-1].origin) {
+			t.Fatalf("retained history not linear: %+v then %+v", stamps[i-1], stamps[i])
+		}
+	}
+}

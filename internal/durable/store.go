@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,6 +23,13 @@ const (
 	// operations when Options.SnapshotEvery is zero.
 	defaultSnapshotEvery = 1024
 )
+
+// errFailed is returned once a WAL write or fsync has failed: the log
+// tail is then in an unknown state (possibly partial frame bytes), so
+// accepting further appends would bury acked records behind an
+// unreadable frame. The store fail-stops instead; restarting recovers
+// everything that was durable before the fault.
+var errFailed = errors.New("durable: store is fail-stopped after a wal write error; restart to recover")
 
 // Options tunes a Store.
 type Options struct {
@@ -71,6 +79,15 @@ type Store struct {
 	// drops a record the snapshot missed.
 	gate sync.RWMutex
 
+	// applyMu serializes mutating client ops across apply+log so WAL
+	// order equals engine apply order. Replay re-derives publication
+	// stamps (clock ticks) and per-subscriber sequence numbers by
+	// re-executing records in log order; only when the original ticks and
+	// seq draws happened in that same order does recovery reproduce the
+	// acked values. Gate-free deliveries and views are exempt: they are
+	// replayed verbatim and never draw from the clock or seq space.
+	applyMu sync.Mutex
+
 	mu       sync.Mutex // serializes file appends; file order == LSN order
 	f        *os.File
 	lsn      uint64 // last appended LSN
@@ -80,6 +97,7 @@ type Store struct {
 	syncDone *sync.Cond
 	opCount  int
 	closed   bool
+	failed   bool // a WAL write or fsync failed; the store is fail-stopped
 
 	// Recovery staging decoded by Open, consumed by Recover.
 	pending *snapImage
@@ -146,6 +164,12 @@ func Open(dir string, catalog *relation.Catalog, opts Options) (*Store, error) {
 
 	s.f, err = os.OpenFile(walPath, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	// Make a freshly created WAL's directory entry durable before any
+	// append is acked through it.
+	if err := syncDir(dir); err != nil {
+		s.f.Close()
 		return nil, err
 	}
 	if s.torn > 0 {
@@ -303,10 +327,15 @@ func (s *Store) append(rec any) error {
 		s.mu.Unlock()
 		return fmt.Errorf("durable: store is closed")
 	}
+	if s.failed {
+		s.mu.Unlock()
+		return errFailed
+	}
 	s.lsn++
 	lsn := s.lsn
 	frame := appendFrame(nil, lsn, w.Bytes())
 	if _, err := s.f.Write(frame); err != nil {
+		s.failed = true
 		s.mu.Unlock()
 		return fmt.Errorf("durable: wal append: %w", err)
 	}
@@ -315,18 +344,27 @@ func (s *Store) append(rec any) error {
 	for s.syncing && s.synced < lsn {
 		s.syncDone.Wait()
 	}
+	if s.failed {
+		s.mu.Unlock()
+		return errFailed // the leader's fsync failed while we waited
+	}
 	if s.synced >= lsn {
 		s.mu.Unlock()
 		return nil // a later leader's fsync already covered this record
 	}
 	s.syncing = true
 	written := s.lsn
+	// Capture the descriptor under s.mu: checkpoints swap s.f only after
+	// waiting out any in-flight sync, so f stays valid for this Sync.
+	f := s.f
 	s.mu.Unlock()
 
-	err := s.f.Sync()
+	err := f.Sync()
 	s.mu.Lock()
 	s.syncing = false
-	if err == nil && written > s.synced {
+	if err != nil {
+		s.failed = true
+	} else if written > s.synced {
 		s.synced = written
 	}
 	s.syncDone.Broadcast()
@@ -337,20 +375,25 @@ func (s *Store) append(rec any) error {
 	return nil
 }
 
-// The op wrappers hold the checkpoint gate shared across apply+log. The
-// engine calls inside can block on overlay sends; that is safe here
-// because the transport's inbound paths (LogDelivery, LogView) never
-// take the gate, so remote acks keep draining while a checkpoint writer
-// waits for the readers to finish.
+// The op wrappers hold the checkpoint gate shared, then applyMu, across
+// apply+log: the gate keeps checkpoints op-atomic, applyMu keeps WAL
+// order identical to engine apply order (clock ticks, per-subscriber
+// seqs) so replay re-stamps to exactly the acked values. The engine
+// calls inside can block on overlay sends; that is safe here because
+// the transport's inbound paths (LogDelivery, LogView) take neither
+// lock, so remote acks keep draining while a checkpoint writer or the
+// next client op waits.
 
 // Subscribe applies and logs a two-way subscription.
 func (s *Store) Subscribe(from *chord.Node, q *query.Query) (*query.Query, error) {
 	s.gate.RLock()
+	s.applyMu.Lock()
 	//lint:allow lockorder inbound transport paths never take the gate, so acks drain while a checkpoint waits
 	res, err := s.eng.Subscribe(from, q)
 	if err == nil {
 		err = s.append(subscribeRec{Node: from.Key(), SQL: res.Text(), Key: res.Key()})
 	}
+	s.applyMu.Unlock()
 	s.gate.RUnlock()
 	s.maybeCheckpoint()
 	return res, err
@@ -359,11 +402,13 @@ func (s *Store) Subscribe(from *chord.Node, q *query.Query) (*query.Query, error
 // SubscribeMulti applies and logs a multi-way chain subscription.
 func (s *Store) SubscribeMulti(from *chord.Node, mq *query.MultiQuery) (*query.MultiQuery, error) {
 	s.gate.RLock()
+	s.applyMu.Lock()
 	//lint:allow lockorder inbound transport paths never take the gate, so acks drain while a checkpoint waits
 	res, err := s.eng.SubscribeMulti(from, mq)
 	if err == nil {
 		err = s.append(subscribeRec{Node: from.Key(), SQL: res.Text(), Key: res.Key(), Multi: true})
 	}
+	s.applyMu.Unlock()
 	s.gate.RUnlock()
 	s.maybeCheckpoint()
 	return res, err
@@ -372,11 +417,13 @@ func (s *Store) SubscribeMulti(from *chord.Node, mq *query.MultiQuery) (*query.M
 // Unsubscribe applies and logs a two-way retraction.
 func (s *Store) Unsubscribe(from *chord.Node, q *query.Query) error {
 	s.gate.RLock()
+	s.applyMu.Lock()
 	//lint:allow lockorder inbound transport paths never take the gate, so acks drain while a checkpoint waits
 	err := s.eng.Unsubscribe(from, q)
 	if err == nil {
 		err = s.append(unsubscribeRec{Node: from.Key(), SQL: q.Text(), Key: q.Key()})
 	}
+	s.applyMu.Unlock()
 	s.gate.RUnlock()
 	s.maybeCheckpoint()
 	return err
@@ -385,33 +432,42 @@ func (s *Store) Unsubscribe(from *chord.Node, q *query.Query) error {
 // UnsubscribeMulti applies and logs a multi-way retraction.
 func (s *Store) UnsubscribeMulti(from *chord.Node, mq *query.MultiQuery) error {
 	s.gate.RLock()
+	s.applyMu.Lock()
 	//lint:allow lockorder inbound transport paths never take the gate, so acks drain while a checkpoint waits
 	err := s.eng.UnsubscribeMulti(from, mq)
 	if err == nil {
 		err = s.append(unsubscribeRec{Node: from.Key(), SQL: mq.Text(), Key: mq.Key(), Multi: true})
 	}
+	s.applyMu.Unlock()
 	s.gate.RUnlock()
 	s.maybeCheckpoint()
 	return err
 }
 
 // Publish applies and logs one tuple publication. The unstamped input
-// tuple is logged; replay re-stamps through the restored clock.
+// tuple is logged; replay re-stamps through the restored clock, which
+// reproduces the acked PubT because applyMu pinned log order to the
+// original tick order.
 func (s *Store) Publish(from *chord.Node, t *relation.Tuple) (*relation.Tuple, error) {
 	s.gate.RLock()
+	s.applyMu.Lock()
 	//lint:allow lockorder inbound transport paths never take the gate, so acks drain while a checkpoint waits
 	res, err := s.eng.Publish(from, t)
 	if err == nil {
 		err = s.append(publishRec{Node: from.Key(), T: t})
 	}
+	s.applyMu.Unlock()
 	s.gate.RUnlock()
 	s.maybeCheckpoint()
 	return res, err
 }
 
-// PublishBatch applies and logs one batched publication wave.
+// PublishBatch applies and logs one batched publication wave. The batch
+// reserves its tick range deterministically by op index, so internal
+// worker parallelism stays replay-safe under applyMu.
 func (s *Store) PublishBatch(ops []engine.PublishOp, workers int) error {
 	s.gate.RLock()
+	s.applyMu.Lock()
 	//lint:allow lockorder inbound transport paths never take the gate, so acks drain while a checkpoint waits
 	err := s.eng.PublishBatch(ops, workers)
 	if err == nil {
@@ -422,6 +478,7 @@ func (s *Store) PublishBatch(ops []engine.PublishOp, workers int) error {
 		}
 		err = s.append(rec)
 	}
+	s.applyMu.Unlock()
 	s.gate.RUnlock()
 	s.maybeCheckpoint()
 	return err
@@ -480,10 +537,13 @@ func (s *Store) checkpointLocked() error {
 	s.mu.Lock()
 	covered := s.lsn
 	coveredBytes := s.walBytes
-	closed := s.closed
+	closed, failed := s.closed, s.failed
 	s.mu.Unlock()
 	if closed {
 		return fmt.Errorf("durable: store is closed")
+	}
+	if failed {
+		return errFailed
 	}
 
 	img := snapImage{covered: covered}
@@ -518,6 +578,12 @@ func (s *Store) checkpointLocked() error {
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
 		return err
 	}
+	// Order the snapshot rename before the WAL rewrite on disk: without
+	// the directory fsync a power loss could persist the truncated WAL
+	// but not the new snapshot, leaving a gap Open rejects as corrupt.
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
 
 	// Drop the covered WAL prefix. Gate-free appends (deliveries, views)
 	// may have landed after coveredBytes; they are not in the snapshot,
@@ -525,6 +591,15 @@ func (s *Store) checkpointLocked() error {
 	// already-acked records are never in a half-truncated state.
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Wait out any group-commit leader mid-fsync: rewriteWAL closes and
+	// swaps the descriptor, and a leader syncing the old one would get a
+	// spurious ErrClosed for a record that is in fact durable.
+	for s.syncing {
+		s.syncDone.Wait()
+	}
+	if s.failed {
+		return errFailed
+	}
 	if tailLen := s.walBytes - coveredBytes; tailLen > 0 {
 		tail := make([]byte, tailLen)
 		if _, err := s.f.ReadAt(tail, coveredBytes); err != nil {
@@ -569,7 +644,25 @@ func (s *Store) rewriteWAL(content []byte) error {
 	s.f.Close()
 	s.f = f
 	s.walBytes = int64(len(content))
-	return nil
+	// The swap happens before the directory fsync so a sync failure still
+	// leaves s.f on the renamed (live) file; the error only fails the
+	// checkpoint, not the append path.
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so renames into it are ordered on disk —
+// without it a power loss can persist a later rename before an earlier
+// one (or before the renamed file's data).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Close takes a final checkpoint and closes the WAL. The store is
@@ -579,6 +672,12 @@ func (s *Store) Close() error {
 	defer s.gate.Unlock()
 	err := s.checkpointLocked()
 	s.mu.Lock()
+	// A gate-free append's commit leader may still be mid-fsync (e.g.
+	// when the checkpoint failed early); closing under it would turn a
+	// durable record's ack into a spurious error.
+	for s.syncing {
+		s.syncDone.Wait()
+	}
 	s.closed = true
 	cerr := s.f.Close()
 	s.mu.Unlock()
